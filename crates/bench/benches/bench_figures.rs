@@ -1,0 +1,49 @@
+//! Scaled-down figure pipelines under Criterion, so `cargo bench`
+//! exercises every experiment path end to end (the full paper-sized
+//! figures are produced by the `fig*` binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig6_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure_pipelines");
+    g.sample_size(10);
+    let w = casted_workloads::by_name("mpeg2dec").unwrap();
+    g.bench_function("fig6_7_one_benchmark_quick_grid", |b| {
+        let spec = casted::experiments::GridSpec {
+            issues: vec![1, 2],
+            delays: vec![1, 3],
+            schemes: casted::Scheme::ALL.to_vec(),
+        };
+        b.iter(|| casted::experiments::perf_sweep(std::slice::from_ref(&w), &spec));
+    });
+    g.bench_function("fig9_one_benchmark_20_trials", |b| {
+        let spec = casted::experiments::GridSpec {
+            issues: vec![2],
+            delays: vec![2],
+            schemes: vec![casted::Scheme::Casted],
+        };
+        let campaign = casted_faults::CampaignConfig {
+            trials: 20,
+            ..Default::default()
+        };
+        b.iter(|| casted::experiments::coverage_sweep(std::slice::from_ref(&w), &spec, &campaign));
+    });
+    g.bench_function("fig2_3_motivating_example", |b| {
+        let m = casted_bench::motivating_module();
+        b.iter(|| {
+            let mut total = 0u64;
+            for scheme in casted::Scheme::ALL {
+                for (i, d) in [(1usize, 1u32), (2, 1)] {
+                    let cfg = casted::ir::MachineConfig::perfect_memory(i, d);
+                    let prep = casted::build(&m, scheme, &cfg).unwrap();
+                    total += casted::measure(&prep).stats.cycles;
+                }
+            }
+            total
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6_cell);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmarks for cluster assignment + list scheduling under
+//! the three placement policies (fixed single-cluster, fixed
+//! by-stream, adaptive BUG).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_placements(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_function");
+    g.sample_size(10);
+    let mut module = casted_workloads::by_name("h263enc").unwrap().compile().unwrap();
+    casted_passes::error_detection(&mut module);
+    let cfg = casted::ir::MachineConfig::itanium2_like(2, 2);
+    use casted_passes::Placement;
+    let cases = [
+        ("all_on_main", Placement::AllOn(casted::ir::Cluster::MAIN)),
+        ("by_stream", Placement::ByStream),
+        ("adaptive_bug", Placement::Adaptive),
+    ];
+    for (name, p) in cases {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &p, |b, &p| {
+            b.iter(|| casted_passes::schedule_function(&module, &cfg, p));
+        });
+    }
+    g.finish();
+}
+
+fn bench_dfg(c: &mut Criterion) {
+    let mut module = casted_workloads::by_name("cjpeg").unwrap().compile().unwrap();
+    casted_passes::error_detection(&mut module);
+    let func = module.entry_fn();
+    let lat = casted::ir::LatencyConfig::default();
+    // The largest block dominates DFG construction cost.
+    let big = func
+        .iter_blocks()
+        .max_by_key(|(_, b)| b.insns.len())
+        .map(|(id, _)| id)
+        .unwrap();
+    c.bench_function("block_dfg_build", |b| {
+        b.iter(|| casted::ir::dfg::BlockDfg::build(func, big, &lat))
+    });
+}
+
+criterion_group!(benches, bench_placements, bench_dfg);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figs. 6 and 7 of the paper: performance of SCED/DCED/CASTED
+//! normalized to NOED at the same issue width, for delays 1–4 and
+//! issue widths 1–4, over all seven benchmarks.
+
+use casted::experiments::perf_sweep;
+use casted::report;
+
+fn main() {
+    let opts = casted_bench::parse_args();
+    let benchmarks = casted_bench::benchmarks(&opts);
+    let spec = casted_bench::grid(&opts);
+    eprintln!(
+        "sweeping {} benchmarks x {} schemes x {} issues x {} delays ...",
+        benchmarks.len(),
+        spec.schemes.len(),
+        spec.issues.len(),
+        spec.delays.len()
+    );
+    let table = perf_sweep(&benchmarks, &spec);
+    for b in table.benchmarks() {
+        println!("{}", report::perf_panel(&table, &b, &spec.issues, &spec.delays));
+    }
+    let csv = report::perf_csv(&table);
+    casted_bench::maybe_write(&opts, "fig6_7.csv", &csv);
+    println!("{} cells measured.", table.points.len());
+}

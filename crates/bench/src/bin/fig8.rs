@@ -1,0 +1,18 @@
+//! Fig. 8 of the paper: ILP scaling — how each scheme's performance
+//! scales with issue width (normalized to the same scheme at issue 1).
+
+use casted::experiments::perf_sweep;
+use casted::report;
+
+fn main() {
+    let opts = casted_bench::parse_args();
+    let benchmarks = casted_bench::benchmarks(&opts);
+    let mut spec = casted_bench::grid(&opts);
+    // Fig. 8 uses one delay; the paper plots scaling curves.
+    spec.delays = vec![2];
+    let table = perf_sweep(&benchmarks, &spec);
+    for b in table.benchmarks() {
+        println!("{}", report::scaling_panel(&table, &b, &spec.issues, 2));
+    }
+    casted_bench::maybe_write(&opts, "fig8.csv", &report::perf_csv(&table));
+}

@@ -1,0 +1,43 @@
+//! Fig. 9 of the paper: fault coverage for all benchmarks at
+//! issue-width 2, delay 2, with 300 Monte-Carlo injections per
+//! (benchmark, scheme), classified into the five outcome classes.
+
+use casted::experiments::{coverage_sweep, GridSpec};
+use casted::report;
+use casted_faults::CampaignConfig;
+
+fn main() {
+    let opts = casted_bench::parse_args();
+    let benchmarks = casted_bench::benchmarks(&opts);
+    let spec = GridSpec {
+        issues: vec![2],
+        delays: vec![2],
+        schemes: casted::Scheme::ALL.to_vec(),
+    };
+    let campaign = CampaignConfig {
+        trials: opts.trials,
+        ..Default::default()
+    };
+    eprintln!(
+        "fault campaign: {} benchmarks x 4 schemes x {} trials ...",
+        benchmarks.len(),
+        campaign.trials
+    );
+    let points = coverage_sweep(&benchmarks, &spec, &campaign);
+    println!("{}", report::coverage_panel(&points));
+    casted_bench::maybe_write(&opts, "fig9.csv", &report::coverage_csv(&points));
+
+    // Shape checks the paper's Fig. 9 commentary makes.
+    for p in points.iter().filter(|p| p.scheme != casted::Scheme::Noed) {
+        let det = p.tally.fraction(casted_faults::Outcome::Detected)
+            + p.tally.fraction(casted_faults::Outcome::Exception)
+            + p.tally.fraction(casted_faults::Outcome::Benign);
+        assert!(
+            det > 0.85,
+            "{} {}: protected scheme leaves too many unsafe outcomes",
+            p.benchmark,
+            p.scheme.name()
+        );
+    }
+    println!("All protected schemes keep DataCorrupt+Timeout below 15% per cell.");
+}

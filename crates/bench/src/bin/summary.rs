@@ -1,0 +1,72 @@
+//! §IV-B headline numbers: per-scheme slowdown ranges and CASTED's
+//! advantage over the best fixed scheme, next to the paper's values.
+
+use casted::experiments::{casted_vs_best_fixed, perf_sweep, summarize};
+use casted::Scheme;
+
+fn main() {
+    let opts = casted_bench::parse_args();
+    let benchmarks = casted_bench::benchmarks(&opts);
+    let spec = casted_bench::grid(&opts);
+    let table = perf_sweep(&benchmarks, &spec);
+
+    println!("Scheme slowdown vs NOED over the whole grid (paper values in brackets):");
+    let paper = [
+        (Scheme::Sced, (1.34, 1.7, 2.22)),
+        (Scheme::Dced, (1.31, 2.1, 3.32)),
+        (Scheme::Casted, (1.19, 1.58, 2.1)),
+    ];
+    for s in summarize(&table) {
+        let (pmin, pavg, pmax) = paper
+            .iter()
+            .find(|(sc, _)| *sc == s.scheme)
+            .map(|(_, v)| *v)
+            .unwrap();
+        println!(
+            "  {:7} min {:.2} avg {:.2} max {:.2}   [paper: min {:.2} avg {:.2} max {:.2}]",
+            s.scheme.name(),
+            s.min,
+            s.avg,
+            s.max,
+            pmin,
+            pavg,
+            pmax
+        );
+    }
+
+    let (best_gain, worst_gap, rows) = casted_vs_best_fixed(&table);
+    println!("\nCASTED vs best fixed scheme per cell (positive = CASTED faster):");
+    let wins = rows.iter().filter(|r| r.3 >= -0.5).count();
+    println!(
+        "  matches-or-beats best fixed in {}/{} cells; best gain {:.1}% (paper: up to 21.2%); worst gap {:.1}%",
+        wins,
+        rows.len(),
+        best_gain,
+        worst_gap
+    );
+    let mut top: Vec<_> = rows.clone();
+    top.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap());
+    for (b, i, d, g) in top.iter().take(5) {
+        println!("    {b} issue {i} delay {d}: {g:+.1}%");
+    }
+
+    // Average slowdown reduction vs each fixed scheme (paper: 7.5%
+    // against SCED, 24.7% against DCED).
+    let mut vs_sced = Vec::new();
+    let mut vs_dced = Vec::new();
+    for p in table.points.iter().filter(|p| p.scheme == Scheme::Casted) {
+        if let (Some(s), Some(d)) = (
+            table.get(&p.benchmark, Scheme::Sced, p.issue, p.delay),
+            table.get(&p.benchmark, Scheme::Dced, p.issue, p.delay),
+        ) {
+            vs_sced.push(1.0 - p.cycles as f64 / s.cycles as f64);
+            vs_dced.push(1.0 - p.cycles as f64 / d.cycles as f64);
+        }
+    }
+    let avg = |v: &[f64]| 100.0 * v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "\nAverage cycle reduction: vs SCED {:.1}% (paper 7.5%), vs DCED {:.1}% (paper 24.7%)",
+        avg(&vs_sced),
+        avg(&vs_dced)
+    );
+}

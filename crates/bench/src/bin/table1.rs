@@ -1,0 +1,16 @@
+//! Table I of the paper: the processor configuration.
+
+fn main() {
+    let opts = casted_bench::parse_args();
+    println!("Table I: processor configuration (IA64-style clustered VLIW)\n");
+    for issue in if opts.quick { vec![2] } else { vec![1, 2, 3, 4] } {
+        for delay in if opts.quick { vec![2] } else { vec![1, 2, 3, 4] } {
+            if issue == 2 && delay == 2 || !opts.quick && issue == 1 && delay == 1 {
+                let cfg = casted::ir::MachineConfig::itanium2_like(issue, delay);
+                println!("issue-width {issue}, inter-core delay {delay}:");
+                println!("{cfg}");
+            }
+        }
+    }
+    println!("(issue-width and inter-core delay sweep over 1..=4 in the evaluation)");
+}

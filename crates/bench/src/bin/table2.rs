@@ -1,0 +1,21 @@
+//! Table II of the paper: the benchmark programs, with the dynamic
+//! properties of our MiniC substitutes.
+
+fn main() {
+    let _ = casted_bench::parse_args();
+    println!("Table II: benchmark programs");
+    println!("{:<12} {:<14} {:>10} {:>8} {:>8}", "benchmark", "suite", "dyn insns", "blocks", "static");
+    for w in casted_workloads::all() {
+        let m = w.compile().expect("compile");
+        let r = casted::ir::interp::run(&m, 100_000_000).expect("run");
+        let f = m.entry_fn();
+        println!(
+            "{:<12} {:<14} {:>10} {:>8} {:>8}",
+            w.name,
+            w.suite.to_string(),
+            r.dyn_insns,
+            f.blocks.len(),
+            f.static_size()
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Table III of the paper: compiler-based error-detection schemes.
+//! The last three rows are the schemes this repository implements
+//! (`casted::Scheme`); the rest are prior work for context.
+
+fn main() {
+    let _ = casted_bench::parse_args();
+    println!("Table III: compiler-based error detection schemes\n");
+    println!("{:<26} {:<32} {:<22} {:<9}", "scheme", "speed-up factors", "target architecture", "placement");
+    let rows = [
+        ("EDDI [20]", "-", "wide single-core", "fixed"),
+        ("SWIFT [23]", "reduction of checking points", "wide single-core", "fixed"),
+        ("SHOESTRING [9]", "partial redundancy", "single-core", "fixed"),
+        ("Compiler-assisted ED [14]", "partial redundancy", "single-core", "fixed"),
+        ("SRMT [34]", "partially synchronized threads", "dual-core", "fixed"),
+        ("DAFT [36]", "decoupled threads", "dual-core", "fixed"),
+    ];
+    for (a, b, c, d) in rows {
+        println!("{a:<26} {b:<32} {c:<22} {d:<9}");
+    }
+    // The implemented schemes, tied to the library's enum.
+    use casted::Scheme;
+    for s in [Scheme::Sced, Scheme::Dced, Scheme::Casted] {
+        let (speedup, target, placement) = match s {
+            Scheme::Sced => ("(SWIFT-style baseline)", "wide single-core", "fixed"),
+            Scheme::Dced => ("(SRMT/DAFT-style baseline)", "dual-core", "fixed"),
+            Scheme::Casted => ("adaptivity", "tightly-coupled cores", "adaptive"),
+            Scheme::Noed => unreachable!(),
+        };
+        println!("{:<26} {:<32} {:<22} {:<9}   [implemented: Scheme::{:?}]", s.name(), speedup, target, placement, s);
+    }
+}

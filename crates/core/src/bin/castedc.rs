@@ -1,0 +1,220 @@
+//! `castedc` — command-line driver for the CASTED toolchain.
+//!
+//! ```text
+//! castedc ir <file.mc>                      dump the compiled IR
+//! castedc build <file.mc> [opts]            compile + pass statistics
+//! castedc run <file.mc> [opts]              simulate and print output
+//! castedc schedule <file.mc> [opts]         print the VLIW schedules
+//! castedc inject <file.mc> [opts]           Monte-Carlo fault campaign
+//! castedc trace <file.mc> [opts]            first 200 issued instructions
+//!
+//! options:
+//!   --scheme noed|sced|dced|casted   (default casted)
+//!   --issue N                        issue width per cluster (default 2)
+//!   --delay N                        inter-cluster delay (default 2)
+//!   --trials N                       injection trials (default 300)
+//!   --seed N                         campaign seed
+//! ```
+
+use std::process::ExitCode;
+
+use casted::ir::MachineConfig;
+use casted::Scheme;
+
+struct Args {
+    cmd: String,
+    file: String,
+    scheme: Scheme,
+    issue: usize,
+    delay: u32,
+    trials: usize,
+    seed: u64,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: castedc <ir|build|run|schedule|inject> <file.mc> \
+         [--scheme noed|sced|dced|casted] [--issue N] [--delay N] [--trials N] [--seed N]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut argv = std::env::args().skip(1);
+    let cmd = argv.next().ok_or_else(usage)?;
+    let file = argv.next().ok_or_else(usage)?;
+    let mut args = Args {
+        cmd,
+        file,
+        scheme: Scheme::Casted,
+        issue: 2,
+        delay: 2,
+        trials: 300,
+        seed: 0xCA57ED,
+    };
+    while let Some(a) = argv.next() {
+        let mut val = || argv.next().ok_or_else(usage);
+        match a.as_str() {
+            "--scheme" => {
+                args.scheme = match val()?.to_lowercase().as_str() {
+                    "noed" => Scheme::Noed,
+                    "sced" => Scheme::Sced,
+                    "dced" => Scheme::Dced,
+                    "casted" => Scheme::Casted,
+                    other => {
+                        eprintln!("unknown scheme {other:?}");
+                        return Err(ExitCode::from(2));
+                    }
+                };
+            }
+            "--issue" => args.issue = val()?.parse().map_err(|_| usage())?,
+            "--delay" => args.delay = val()?.parse().map_err(|_| usage())?,
+            "--trials" => args.trials = val()?.parse().map_err(|_| usage())?,
+            "--seed" => args.seed = val()?.parse().map_err(|_| usage())?,
+            other => {
+                eprintln!("unknown option {other:?}");
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(c) => return c,
+    };
+    let source = match std::fs::read_to_string(&args.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("castedc: cannot read {}: {e}", args.file);
+            return ExitCode::from(1);
+        }
+    };
+    let module = match casted::compile(&args.file, &source) {
+        Ok(m) => m,
+        Err(diags) => {
+            for d in diags {
+                eprintln!("{}: {d}", args.file);
+            }
+            return ExitCode::from(1);
+        }
+    };
+
+    if args.cmd == "ir" {
+        print!("{module}");
+        return ExitCode::SUCCESS;
+    }
+
+    let config = MachineConfig::itanium2_like(args.issue, args.delay);
+    let prep = match casted::build(&module, args.scheme, &config) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("castedc: back-end failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    match args.cmd.as_str() {
+        "build" => {
+            println!("scheme:        {}", args.scheme.name());
+            println!("machine:       issue {} x delay {}", args.issue, args.delay);
+            let f = prep.sp.module.entry_fn();
+            println!("blocks:        {}", f.blocks.len());
+            println!("instructions:  {}", f.static_size());
+            if let Some(st) = prep.ed_stats {
+                println!("replicated:    {}", st.replicated);
+                println!("checks:        {}", st.checks);
+                println!("iso copies:    {}", st.isolation_copies);
+                println!("code growth:   {:.2}x", st.growth());
+            }
+            println!("spilled regs:  {}", prep.spilled);
+            println!("occupancy:     {:?}", prep.sp.cluster_occupancy());
+            let peak = &prep.phys.peak;
+            println!(
+                "reg peaks:     c0 gp{}/fp{}/pr{}  c1 gp{}/fp{}/pr{}",
+                peak[0][0], peak[0][1], peak[0][2], peak[1][0], peak[1][1], peak[1][2]
+            );
+        }
+        "run" => {
+            let r = casted::measure(&prep);
+            for v in &r.stream {
+                match v {
+                    casted::ir::interp::OutVal::Int(x) => println!("{x}"),
+                    casted::ir::interp::OutVal::Float(x) => println!("{x}"),
+                }
+            }
+            eprintln!("-- stop:   {:?}", r.stop);
+            eprintln!("-- cycles: {}", r.stats.cycles);
+            eprintln!("-- insns:  {} (ipc {:.2})", r.stats.dyn_insns, r.stats.ipc());
+            eprintln!(
+                "-- stalls: {} | cross-cluster reads: {} | L1 miss {:.1}%",
+                r.stats.stall_cycles,
+                r.stats.cross_reads,
+                100.0 * r.stats.cache.l1_miss_ratio()
+            );
+        }
+        "schedule" => {
+            let f = prep.sp.module.entry_fn();
+            for (bid, _) in f.iter_blocks() {
+                print!("{}", prep.sp.render_block(bid));
+                println!();
+            }
+        }
+        "trace" => {
+            let r = casted_sim::simulate(
+                &prep.sp,
+                &casted_sim::SimOptions {
+                    max_cycles: u64::MAX,
+                    injection: None,
+                    trace_limit: 200,
+                },
+            );
+            let f = prep.sp.module.entry_fn();
+            println!("cycle  blk  cl  stall  instruction");
+            for e in &r.trace {
+                println!(
+                    "{:>5} {:>4} {:>3} {:>6}  {}",
+                    e.cycle,
+                    e.block.0,
+                    e.cluster.index(),
+                    e.stalled,
+                    casted::ir::print::format_insn(f, f.insn(e.insn)),
+                );
+            }
+            eprintln!("-- ({} of {} dynamic instructions)", r.trace.len(), r.stats.dyn_insns);
+        }
+        "inject" => {
+            let r = casted_faults::run_campaign(
+                &prep.sp,
+                &casted_faults::CampaignConfig {
+                    trials: args.trials,
+                    seed: args.seed,
+                    timeout_factor: 10,
+                },
+            );
+            println!(
+                "{} trials into {} ({} @ issue {} delay {}):",
+                args.trials,
+                args.file,
+                args.scheme.name(),
+                args.issue,
+                args.delay
+            );
+            for o in casted_faults::Outcome::ALL {
+                println!(
+                    "  {:<12} {:>5}  ({:5.1}%)",
+                    o.name(),
+                    r.tally.count(o),
+                    100.0 * r.tally.fraction(o)
+                );
+            }
+        }
+        other => {
+            eprintln!("unknown command {other:?}");
+            return usage();
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,481 @@
+//! Experiment drivers reproducing the paper's evaluation (§IV).
+//!
+//! * [`perf_sweep`] — the measurement grid behind Figs. 6, 7 and 8:
+//!   every (benchmark × scheme × issue-width × inter-cluster delay)
+//!   cell, with cycle counts from the cycle-accurate simulator and
+//!   slowdowns normalized to NOED at the same issue width.
+//! * [`coverage_sweep`] — the Monte-Carlo fault-injection grids behind
+//!   Figs. 9 and 10.
+//! * [`summarize`] / [`casted_vs_best_fixed`] — the headline numbers of
+//!   §IV-B (scheme slowdown ranges/averages, CASTED's win over the
+//!   best non-adaptive scheme).
+//!
+//! Sweeps run cells on a small scoped thread pool (`crossbeam`) sized
+//! to the host's parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use casted_faults::{CampaignConfig, Tally};
+use casted_ir::MachineConfig;
+use casted_passes::Scheme;
+use casted_workloads::Workload;
+use parking_lot::Mutex;
+
+/// The sweep grid. The paper's full grid is issue widths 1–4 ×
+/// delays 1–4 × all four schemes.
+#[derive(Clone, Debug)]
+pub struct GridSpec {
+    /// Issue widths per cluster.
+    pub issues: Vec<usize>,
+    /// Inter-cluster delays in cycles.
+    pub delays: Vec<u32>,
+    /// Schemes to run.
+    pub schemes: Vec<Scheme>,
+}
+
+impl GridSpec {
+    /// The paper's full grid (Figs. 6/7): issue 1–4, delay 1–4, all
+    /// four schemes.
+    pub fn paper_full() -> Self {
+        GridSpec {
+            issues: vec![1, 2, 3, 4],
+            delays: vec![1, 2, 3, 4],
+            schemes: Scheme::ALL.to_vec(),
+        }
+    }
+
+    /// A reduced grid for quick runs and tests.
+    pub fn quick() -> Self {
+        GridSpec {
+            issues: vec![1, 2],
+            delays: vec![1, 3],
+            schemes: Scheme::ALL.to_vec(),
+        }
+    }
+}
+
+/// One measured cell of the performance grid.
+#[derive(Clone, Debug)]
+pub struct PerfPoint {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Scheme.
+    pub scheme: Scheme,
+    /// Issue width per cluster.
+    pub issue: usize,
+    /// Inter-cluster delay (meaningful for DCED/CASTED; NOED and SCED
+    /// use one cluster and are delay-insensitive).
+    pub delay: u32,
+    /// Fault-free cycle count.
+    pub cycles: u64,
+    /// Dynamic instructions.
+    pub dyn_insns: u64,
+    /// Registers spilled by the pipeline.
+    pub spilled: usize,
+    /// Static code growth from error detection (1.0 for NOED).
+    pub code_growth: f64,
+    /// Instructions placed on each cluster.
+    pub occupancy: Vec<usize>,
+}
+
+/// The full measured grid with lookup helpers.
+#[derive(Clone, Debug, Default)]
+pub struct PerfTable {
+    /// All measured points.
+    pub points: Vec<PerfPoint>,
+}
+
+impl PerfTable {
+    /// Find a cell.
+    pub fn get(&self, benchmark: &str, scheme: Scheme, issue: usize, delay: u32) -> Option<&PerfPoint> {
+        self.points.iter().find(|p| {
+            p.benchmark == benchmark && p.scheme == scheme && p.issue == issue && p.delay == delay
+        })
+    }
+
+    /// NOED baseline cycles for a benchmark at an issue width (NOED is
+    /// delay-independent; any measured delay cell is the baseline).
+    pub fn noed_cycles(&self, benchmark: &str, issue: usize) -> Option<u64> {
+        self.points
+            .iter()
+            .find(|p| p.benchmark == benchmark && p.scheme == Scheme::Noed && p.issue == issue)
+            .map(|p| p.cycles)
+    }
+
+    /// Slowdown of a cell relative to NOED at the same issue width —
+    /// the y-axis of Figs. 6 and 7.
+    pub fn slowdown(&self, benchmark: &str, scheme: Scheme, issue: usize, delay: u32) -> Option<f64> {
+        let p = self.get(benchmark, scheme, issue, delay)?;
+        let base = self.noed_cycles(benchmark, issue)?;
+        Some(p.cycles as f64 / base as f64)
+    }
+
+    /// Speedup of a scheme as the issue width grows, normalized to the
+    /// same scheme at issue 1 (Fig. 8's ILP-scaling curves).
+    pub fn scaling(&self, benchmark: &str, scheme: Scheme, delay: u32, issue: usize) -> Option<f64> {
+        let base = self.get(benchmark, scheme, 1, delay)?.cycles;
+        let p = self.get(benchmark, scheme, issue, delay)?.cycles;
+        Some(base as f64 / p as f64)
+    }
+
+    /// Benchmarks present, in first-seen order.
+    pub fn benchmarks(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for p in &self.points {
+            if !out.contains(&p.benchmark) {
+                out.push(p.benchmark.clone());
+            }
+        }
+        out
+    }
+}
+
+fn pool_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run a set of tasks on a scoped pool, collecting results.
+fn run_pool<T: Send, F>(tasks: Vec<F>) -> Vec<T>
+where
+    F: Fn() -> T + Send + Sync,
+{
+    let n = tasks.len();
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let threads = pool_threads().min(n.max(1));
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = tasks[i]();
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("task not run"))
+        .collect()
+}
+
+/// Measure the full performance grid for `benchmarks` over `spec`.
+///
+/// NOED and SCED are delay-insensitive (one cluster); their cells are
+/// measured once per issue width and replicated across delays so the
+/// table is dense.
+pub fn perf_sweep(benchmarks: &[Workload], spec: &GridSpec) -> PerfTable {
+    // Compile every benchmark once.
+    let modules: Vec<(String, casted_ir::Module)> = benchmarks
+        .iter()
+        .map(|w| {
+            (
+                w.name.to_string(),
+                w.compile()
+                    .unwrap_or_else(|e| panic!("{} failed to compile: {e:?}", w.name)),
+            )
+        })
+        .collect();
+
+    // Enumerate unique measurement cells.
+    struct Cell<'a> {
+        name: &'a str,
+        module: &'a casted_ir::Module,
+        scheme: Scheme,
+        issue: usize,
+        delay: u32,
+        replicate_delays: Vec<u32>,
+    }
+    let mut cells: Vec<Cell> = Vec::new();
+    for (name, module) in &modules {
+        for &scheme in &spec.schemes {
+            let delay_sensitive = matches!(scheme, Scheme::Dced | Scheme::Casted);
+            for &issue in &spec.issues {
+                if delay_sensitive {
+                    for &delay in &spec.delays {
+                        cells.push(Cell {
+                            name,
+                            module,
+                            scheme,
+                            issue,
+                            delay,
+                            replicate_delays: vec![delay],
+                        });
+                    }
+                } else {
+                    cells.push(Cell {
+                        name,
+                        module,
+                        scheme,
+                        issue,
+                        delay: spec.delays[0],
+                        replicate_delays: spec.delays.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    let tasks: Vec<_> = cells
+        .into_iter()
+        .map(|cell| {
+            move || {
+                let config = MachineConfig::itanium2_like(cell.issue, cell.delay);
+                let prep = casted_passes::prepare(cell.module, cell.scheme, &config)
+                    .unwrap_or_else(|e| {
+                        panic!("{} {} i{} d{}: {e}", cell.name, cell.scheme, cell.issue, cell.delay)
+                    });
+                let r = casted_sim::simulate(&prep.sp, &casted_sim::SimOptions::default());
+                assert!(
+                    matches!(r.stop, casted_ir::interp::StopReason::Halt(_)),
+                    "{} {} did not halt: {:?}",
+                    cell.name,
+                    cell.scheme,
+                    r.stop
+                );
+                let occ = prep.sp.cluster_occupancy();
+                cell.replicate_delays
+                    .iter()
+                    .map(|&d| PerfPoint {
+                        benchmark: cell.name.to_string(),
+                        scheme: cell.scheme,
+                        issue: cell.issue,
+                        delay: d,
+                        cycles: r.stats.cycles,
+                        dyn_insns: r.stats.dyn_insns,
+                        spilled: prep.spilled,
+                        code_growth: prep.ed_stats.map(|s| s.growth()).unwrap_or(1.0),
+                        occupancy: occ.clone(),
+                    })
+                    .collect::<Vec<_>>()
+            }
+        })
+        .collect();
+
+    let mut table = PerfTable::default();
+    for group in run_pool(tasks) {
+        table.points.extend(group);
+    }
+    table
+}
+
+/// One cell of a coverage grid.
+#[derive(Clone, Debug)]
+pub struct CoveragePoint {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Scheme.
+    pub scheme: Scheme,
+    /// Issue width.
+    pub issue: usize,
+    /// Inter-cluster delay.
+    pub delay: u32,
+    /// Outcome tallies.
+    pub tally: Tally,
+}
+
+/// Run fault-injection campaigns over a grid (Figs. 9 and 10).
+pub fn coverage_sweep(
+    benchmarks: &[Workload],
+    spec: &GridSpec,
+    campaign: &CampaignConfig,
+) -> Vec<CoveragePoint> {
+    let modules: Vec<(String, casted_ir::Module)> = benchmarks
+        .iter()
+        .map(|w| (w.name.to_string(), w.compile().expect("compile failed")))
+        .collect();
+
+    let mut tasks = Vec::new();
+    for (name, module) in &modules {
+        for &scheme in &spec.schemes {
+            for &issue in &spec.issues {
+                for &delay in &spec.delays {
+                    let campaign = campaign.clone();
+                    tasks.push(move || {
+                        let config = MachineConfig::itanium2_like(issue, delay);
+                        let prep = casted_passes::prepare(module, scheme, &config)
+                            .expect("prepare failed");
+                        let r = casted_faults::run_campaign(&prep.sp, &campaign);
+                        CoveragePoint {
+                            benchmark: name.clone(),
+                            scheme,
+                            issue,
+                            delay,
+                            tally: r.tally,
+                        }
+                    });
+                }
+            }
+        }
+    }
+    run_pool(tasks)
+}
+
+/// Headline slowdown statistics for one scheme (§IV-B quotes SCED
+/// 1.34–2.22 avg 1.7; DCED 1.31–3.32 avg 2.1; CASTED 1.19–2.1 avg
+/// 1.58 on the authors' setup).
+#[derive(Clone, Debug)]
+pub struct SchemeSummary {
+    /// Scheme.
+    pub scheme: Scheme,
+    /// Minimum slowdown across all cells.
+    pub min: f64,
+    /// Average slowdown.
+    pub avg: f64,
+    /// Maximum slowdown.
+    pub max: f64,
+}
+
+/// Compute min/avg/max slowdown (vs NOED at equal issue width) per
+/// ED scheme over the whole grid.
+pub fn summarize(table: &PerfTable) -> Vec<SchemeSummary> {
+    let mut out = Vec::new();
+    for scheme in [Scheme::Sced, Scheme::Dced, Scheme::Casted] {
+        let mut vals = Vec::new();
+        for p in table.points.iter().filter(|p| p.scheme == scheme) {
+            if let Some(s) = table.slowdown(&p.benchmark, scheme, p.issue, p.delay) {
+                vals.push(s);
+            }
+        }
+        if vals.is_empty() {
+            continue;
+        }
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().cloned().fold(0.0, f64::max);
+        let avg = vals.iter().sum::<f64>() / vals.len() as f64;
+        out.push(SchemeSummary {
+            scheme,
+            min,
+            avg,
+            max,
+        });
+    }
+    out
+}
+
+/// CASTED's gain over the best fixed scheme per cell:
+/// `best(SCED, DCED) / CASTED - 1`, in percent. Returns
+/// `(best_gain_pct, worst_gap_pct, per-cell rows)`; positive numbers
+/// mean CASTED is faster than the best non-adaptive scheme.
+pub fn casted_vs_best_fixed(table: &PerfTable) -> (f64, f64, Vec<(String, usize, u32, f64)>) {
+    let mut rows = Vec::new();
+    let mut best_gain = f64::NEG_INFINITY;
+    let mut worst_gap = f64::INFINITY;
+    for p in table.points.iter().filter(|p| p.scheme == Scheme::Casted) {
+        let (b, i, d) = (&p.benchmark, p.issue, p.delay);
+        let (Some(sced), Some(dced)) = (
+            table.get(b, Scheme::Sced, i, d).map(|x| x.cycles),
+            table.get(b, Scheme::Dced, i, d).map(|x| x.cycles),
+        ) else {
+            continue;
+        };
+        let best_fixed = sced.min(dced) as f64;
+        let gain = (best_fixed / p.cycles as f64 - 1.0) * 100.0;
+        best_gain = best_gain.max(gain);
+        worst_gap = worst_gap.min(gain);
+        rows.push((b.clone(), i, d, gain));
+    }
+    (best_gain, worst_gap, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_workload() -> Workload {
+        Workload {
+            name: "tiny",
+            suite: casted_workloads::Suite::MediaBench2,
+            source: format!(
+                "{}\nfn main() {{ var s: int = 0; for i in 0..40 {{ s = s + clip(i * 3, 0, 64); }} out(s); }}",
+                casted_workloads::PRELUDE
+            ),
+        }
+    }
+
+    #[test]
+    fn perf_sweep_produces_dense_grid() {
+        let spec = GridSpec::quick();
+        let table = perf_sweep(&[tiny_workload()], &spec);
+        // 4 schemes x 2 issues x 2 delays = 16 dense cells.
+        assert_eq!(table.points.len(), 16);
+        for &scheme in &spec.schemes {
+            for &i in &spec.issues {
+                for &d in &spec.delays {
+                    assert!(table.get("tiny", scheme, i, d).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slowdowns_are_at_least_one_for_ed_schemes() {
+        let table = perf_sweep(&[tiny_workload()], &GridSpec::quick());
+        for p in &table.points {
+            if p.scheme != Scheme::Noed {
+                let s = table
+                    .slowdown(&p.benchmark, p.scheme, p.issue, p.delay)
+                    .unwrap();
+                assert!(s >= 1.0, "{:?} slowdown {} < 1", p.scheme, s);
+            }
+        }
+    }
+
+    #[test]
+    fn noed_is_delay_insensitive() {
+        let table = perf_sweep(&[tiny_workload()], &GridSpec::quick());
+        let a = table.get("tiny", Scheme::Noed, 1, 1).unwrap().cycles;
+        let b = table.get("tiny", Scheme::Noed, 1, 3).unwrap().cycles;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn summary_covers_three_schemes() {
+        let table = perf_sweep(&[tiny_workload()], &GridSpec::quick());
+        let sums = summarize(&table);
+        assert_eq!(sums.len(), 3);
+        for s in sums {
+            assert!(s.min <= s.avg && s.avg <= s.max);
+            assert!(s.min >= 1.0);
+        }
+    }
+
+    #[test]
+    fn casted_within_tolerance_of_best_fixed() {
+        let table = perf_sweep(&[tiny_workload()], &GridSpec::quick());
+        let (_best, worst, rows) = casted_vs_best_fixed(&table);
+        assert_eq!(rows.len(), 4); // 2 issues x 2 delays
+        // Adaptive placement should never be drastically worse than
+        // the best fixed placement (paper: "at least as good ... in
+        // the majority of cases").
+        assert!(worst > -25.0, "CASTED loses {worst}% somewhere");
+    }
+
+    #[test]
+    fn coverage_sweep_runs_small_campaign() {
+        let spec = GridSpec {
+            issues: vec![2],
+            delays: vec![2],
+            schemes: vec![Scheme::Noed, Scheme::Casted],
+        };
+        let campaign = CampaignConfig {
+            trials: 20,
+            ..Default::default()
+        };
+        let pts = coverage_sweep(&[tiny_workload()], &spec, &campaign);
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert_eq!(p.tally.total(), 20);
+        }
+        // The protected scheme must detect at least occasionally what
+        // the unprotected one cannot detect at all.
+        let noed = pts.iter().find(|p| p.scheme == Scheme::Noed).unwrap();
+        assert_eq!(noed.tally.count(casted_faults::Outcome::Detected), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Plain-text rendering of experiment results: ASCII bar charts in the
+//! style of the paper's figures, and CSV for downstream plotting.
+
+use crate::experiments::{CoveragePoint, PerfTable};
+use crate::Scheme;
+use casted_faults::Outcome;
+
+/// A horizontal ASCII bar scaled to `width` characters at `max`.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let frac = if max > 0.0 { (value / max).clamp(0.0, 1.0) } else { 0.0 };
+    let n = (frac * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < n { '#' } else { ' ' });
+    }
+    s
+}
+
+/// Render one benchmark's Fig. 6/7-style panel: slowdown vs NOED for
+/// each (issue, delay, scheme).
+pub fn perf_panel(table: &PerfTable, benchmark: &str, issues: &[usize], delays: &[u32]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {benchmark}: slowdown vs NOED (per issue width) ==\n"));
+    for &d in delays {
+        out.push_str(&format!("-- delay {d} --\n"));
+        for &i in issues {
+            for scheme in [Scheme::Sced, Scheme::Dced, Scheme::Casted] {
+                if let Some(s) = table.slowdown(benchmark, scheme, i, d) {
+                    out.push_str(&format!(
+                        "  issue {i} {:7} {s:5.2}x |{}|\n",
+                        scheme.name(),
+                        bar(s, 3.5, 40)
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Render the Fig. 8-style ILP scaling panel: speedup of each scheme
+/// at growing issue widths, normalized to the same scheme at issue 1.
+pub fn scaling_panel(table: &PerfTable, benchmark: &str, issues: &[usize], delay: u32) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {benchmark}: ILP scaling (delay {delay}) ==\n"));
+    for scheme in Scheme::ALL {
+        out.push_str(&format!("  {:7}", scheme.name()));
+        for &i in issues {
+            match table.scaling(benchmark, scheme, delay, i) {
+                Some(s) => out.push_str(&format!("  i{i}:{s:4.2}x")),
+                None => out.push_str(&format!("  i{i}:  - ")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a Fig. 9/10-style coverage panel.
+pub fn coverage_panel(points: &[CoveragePoint]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "benchmark    scheme  issue delay   Benign Detected Exception Corrupt Timeout\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:12} {:7} {:5} {:5} {:7.1}% {:7.1}% {:8.1}% {:6.1}% {:6.1}%\n",
+            p.benchmark,
+            p.scheme.name(),
+            p.issue,
+            p.delay,
+            100.0 * p.tally.fraction(Outcome::Benign),
+            100.0 * p.tally.fraction(Outcome::Detected),
+            100.0 * p.tally.fraction(Outcome::Exception),
+            100.0 * p.tally.fraction(Outcome::DataCorrupt),
+            100.0 * p.tally.fraction(Outcome::Timeout),
+        ));
+    }
+    out
+}
+
+/// Dump the performance grid as CSV.
+pub fn perf_csv(table: &PerfTable) -> String {
+    let mut out = String::from(
+        "benchmark,scheme,issue,delay,cycles,dyn_insns,slowdown_vs_noed,spilled,code_growth,occ0,occ1\n",
+    );
+    for p in &table.points {
+        let slow = table
+            .slowdown(&p.benchmark, p.scheme, p.issue, p.delay)
+            .unwrap_or(f64::NAN);
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{:.4},{},{:.3},{},{}\n",
+            p.benchmark,
+            p.scheme.name(),
+            p.issue,
+            p.delay,
+            p.cycles,
+            p.dyn_insns,
+            slow,
+            p.spilled,
+            p.code_growth,
+            p.occupancy.first().copied().unwrap_or(0),
+            p.occupancy.get(1).copied().unwrap_or(0),
+        ));
+    }
+    out
+}
+
+/// Dump coverage points as CSV.
+pub fn coverage_csv(points: &[CoveragePoint]) -> String {
+    let mut out =
+        String::from("benchmark,scheme,issue,delay,benign,detected,exception,corrupt,timeout\n");
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{}\n",
+            p.benchmark,
+            p.scheme.name(),
+            p.issue,
+            p.delay,
+            p.tally.count(Outcome::Benign),
+            p.tally.count(Outcome::Detected),
+            p.tally.count(Outcome::Exception),
+            p.tally.count(Outcome::DataCorrupt),
+            p.tally.count(Outcome::Timeout),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(0.0, 2.0, 10), "          ");
+        assert_eq!(bar(1.0, 2.0, 10), "#####     ");
+        assert_eq!(bar(2.0, 2.0, 10), "##########");
+        assert_eq!(bar(5.0, 2.0, 10), "##########");
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let table = PerfTable::default();
+        let csv = perf_csv(&table);
+        assert!(csv.starts_with("benchmark,scheme"));
+        assert_eq!(csv.lines().count(), 1);
+    }
+
+    fn fake_table() -> PerfTable {
+        use crate::experiments::PerfPoint;
+        let mut t = PerfTable::default();
+        for (scheme, cycles) in [
+            (Scheme::Noed, 1000u64),
+            (Scheme::Sced, 1700),
+            (Scheme::Dced, 1300),
+            (Scheme::Casted, 1250),
+        ] {
+            for issue in [1usize, 2] {
+                t.points.push(PerfPoint {
+                    benchmark: "fake".into(),
+                    scheme,
+                    issue,
+                    delay: 1,
+                    cycles: cycles / issue as u64,
+                    dyn_insns: 500,
+                    spilled: 0,
+                    code_growth: if scheme == Scheme::Noed { 1.0 } else { 2.3 },
+                    occupancy: vec![10, 5],
+                });
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn perf_panel_contains_all_schemes_and_slowdowns() {
+        let t = fake_table();
+        let panel = perf_panel(&t, "fake", &[1, 2], &[1]);
+        assert!(panel.contains("SCED"));
+        assert!(panel.contains("DCED"));
+        assert!(panel.contains("CASTED"));
+        assert!(panel.contains("1.70x"), "{panel}");
+        assert!(panel.contains("1.25x"), "{panel}");
+    }
+
+    #[test]
+    fn scaling_panel_normalizes_to_issue_one() {
+        let t = fake_table();
+        let panel = scaling_panel(&t, "fake", &[1, 2], 1);
+        // cycles halve from issue 1 to 2 => 2.00x scaling everywhere.
+        assert!(panel.contains("i1:1.00x"));
+        assert!(panel.contains("i2:2.00x"));
+    }
+
+    #[test]
+    fn coverage_panel_and_csv_agree_on_counts() {
+        use crate::experiments::CoveragePoint;
+        let mut tally = casted_faults::Tally::default();
+        for _ in 0..7 {
+            tally.record(Outcome::Detected);
+        }
+        for _ in 0..3 {
+            tally.record(Outcome::Benign);
+        }
+        let pts = vec![CoveragePoint {
+            benchmark: "fake".into(),
+            scheme: Scheme::Casted,
+            issue: 2,
+            delay: 2,
+            tally,
+        }];
+        let panel = coverage_panel(&pts);
+        assert!(panel.contains("70.0%"), "{panel}");
+        assert!(panel.contains("30.0%"), "{panel}");
+        let csv = coverage_csv(&pts);
+        assert!(csv.lines().nth(1).unwrap().contains(",3,7,0,0,0"));
+    }
+
+    #[test]
+    fn perf_csv_row_matches_point() {
+        let t = fake_table();
+        let csv = perf_csv(&t);
+        // NOED issue 1 row: slowdown exactly 1.0.
+        let row = csv
+            .lines()
+            .find(|l| l.starts_with("fake,NOED,1,"))
+            .unwrap();
+        assert!(row.contains(",1.0000,"), "{row}");
+        assert!(row.ends_with(",10,5"), "{row}");
+    }
+}

@@ -1,0 +1,515 @@
+//! # casted-faults — Monte-Carlo transient-fault injection (§IV-C)
+//!
+//! Reproduces the paper's fault-coverage methodology: "a dynamic
+//! instruction is randomly selected and one of its outputs is randomly
+//! picked for injection and a random bit of the register output is
+//! flipped. Errors are injected into general purpose, floating point
+//! and predicate registers."
+//!
+//! Each Monte-Carlo trial simulates the program once with a single
+//! injected bit flip and classifies the outcome into the paper's five
+//! classes ([`Outcome`]): Benign, Detected, Exception, DataCorrupt,
+//! Timeout. Timeouts are caught by the simulator's watchdog at a
+//! multiple of the fault-free cycle count.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use casted_ir::interp::StopReason;
+use casted_ir::vliw::ScheduledProgram;
+use casted_sim::{simulate, Injection, SimOptions, SimResult};
+
+/// The five outcome classes of §IV-C.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Masked: same output stream and exit code as the fault-free run.
+    Benign,
+    /// Caught by the error-detection checks (`br.detect` fired).
+    Detected,
+    /// Hardware exception (wild address, misalignment, divide by
+    /// zero). "Since they can be easily caught by a custom exception
+    /// handler, they are usually part of the detected errors"; shown
+    /// separately for clarity, as in the paper.
+    Exception,
+    /// Wrong output without detection — the bad case.
+    DataCorrupt,
+    /// Infinite execution, detected by the simulator watchdog.
+    Timeout,
+}
+
+impl Outcome {
+    /// All outcomes in reporting order.
+    pub const ALL: [Outcome; 5] = [
+        Outcome::Benign,
+        Outcome::Detected,
+        Outcome::Exception,
+        Outcome::DataCorrupt,
+        Outcome::Timeout,
+    ];
+
+    /// Display label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Benign => "Benign",
+            Outcome::Detected => "Detected",
+            Outcome::Exception => "Exception",
+            Outcome::DataCorrupt => "DataCorrupt",
+            Outcome::Timeout => "Timeout",
+        }
+    }
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Campaign parameters.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Monte-Carlo trials (the paper uses 300 per benchmark).
+    pub trials: usize,
+    /// RNG seed (campaigns are fully reproducible).
+    pub seed: u64,
+    /// Watchdog threshold as a multiple of the fault-free cycle count.
+    pub timeout_factor: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            trials: 300,
+            seed: 0xCA57ED,
+            timeout_factor: 10,
+        }
+    }
+}
+
+/// Aggregated campaign outcome counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Count per outcome, indexed in [`Outcome::ALL`] order.
+    pub counts: [usize; 5],
+}
+
+impl Tally {
+    /// Record one outcome.
+    pub fn record(&mut self, o: Outcome) {
+        let idx = Outcome::ALL.iter().position(|&x| x == o).unwrap();
+        self.counts[idx] += 1;
+    }
+
+    /// Count for an outcome.
+    pub fn count(&self, o: Outcome) -> usize {
+        self.counts[Outcome::ALL.iter().position(|&x| x == o).unwrap()]
+    }
+
+    /// Total trials recorded.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction (0..=1) for an outcome.
+    pub fn fraction(&self, o: Outcome) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.count(o) as f64 / self.total() as f64
+        }
+    }
+
+    /// "Coverage" in the loose sense used when discussing Fig. 9:
+    /// everything except undetected corruption and timeouts (benign
+    /// faults need no detection; exceptions are catchable).
+    pub fn safe_fraction(&self) -> f64 {
+        1.0 - self.fraction(Outcome::DataCorrupt) - self.fraction(Outcome::Timeout)
+    }
+}
+
+impl std::fmt::Display for Tally {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for o in Outcome::ALL {
+            write!(f, "{}={:5.1}% ", o.name(), 100.0 * self.fraction(o))?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of a whole campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignResult {
+    /// Outcome counts.
+    pub tally: Tally,
+    /// Fault-free cycle count of the program under test.
+    pub golden_cycles: u64,
+    /// Fault-free dynamic instruction count.
+    pub golden_dyn: u64,
+}
+
+/// Classify one faulty run against the fault-free reference.
+pub fn classify(golden: &SimResult, faulty: &SimResult) -> Outcome {
+    match faulty.stop {
+        StopReason::Detected => Outcome::Detected,
+        StopReason::Exception(_) => Outcome::Exception,
+        StopReason::Timeout => Outcome::Timeout,
+        StopReason::Halt(code) => {
+            let same_code = golden.stop == StopReason::Halt(code);
+            let same_stream = golden.stream.len() == faulty.stream.len()
+                && golden
+                    .stream
+                    .iter()
+                    .zip(&faulty.stream)
+                    .all(|(a, b)| a.bit_eq(b));
+            if same_code && same_stream {
+                Outcome::Benign
+            } else {
+                Outcome::DataCorrupt
+            }
+        }
+    }
+}
+
+/// Run one injection trial.
+pub fn run_trial(sp: &ScheduledProgram, golden: &SimResult, inj: Injection, max_cycles: u64) -> Outcome {
+    let r = simulate(
+        sp,
+        &SimOptions {
+            max_cycles,
+            injection: Some(inj),
+                trace_limit: 0,
+            },
+    );
+    classify(golden, &r)
+}
+
+/// Run a full Monte-Carlo campaign over `sp`.
+///
+/// Each trial draws a uniformly random dynamic instruction of the run
+/// and a random bit of its output register. (The paper fixes the error
+/// *rate* to the original binary's dynamic length; we draw one fault
+/// per trial uniformly over the tested binary's own execution — the
+/// reported per-class *fractions* are directly comparable, see
+/// DESIGN.md.)
+pub fn run_campaign(sp: &ScheduledProgram, cfg: &CampaignConfig) -> CampaignResult {
+    let golden = simulate(sp, &SimOptions::default());
+    assert!(
+        matches!(golden.stop, StopReason::Halt(_)),
+        "campaign target must run fault-free to completion, got {:?}",
+        golden.stop
+    );
+    let max_cycles = golden.stats.cycles.saturating_mul(cfg.timeout_factor);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut tally = Tally::default();
+    for _ in 0..cfg.trials {
+        let at = rng.gen_range(1..=golden.stats.dyn_insns);
+        let bit = rng.gen_range(0..64u32);
+        let outcome = run_trial(sp, &golden, Injection { at_dyn_insn: at, bit, target: None }, max_cycles);
+        tally.record(outcome);
+    }
+    CampaignResult {
+        tally,
+        golden_cycles: golden.stats.cycles,
+        golden_dyn: golden.stats.dyn_insns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casted_ir::vliw::{Bundle, ScheduledBlock};
+    use casted_ir::{Cluster, FunctionBuilder, MachineConfig, Module, Opcode, Operand};
+    use std::collections::HashMap;
+
+    fn sequential(module: &Module) -> ScheduledProgram {
+        let config = MachineConfig::perfect_memory(1, 1);
+        let func = module.entry_fn();
+        let mut assignment = vec![None; func.insns.len()];
+        let mut home = HashMap::new();
+        let mut blocks = Vec::new();
+        for (bid, block) in func.iter_blocks() {
+            let mut bundles = Vec::new();
+            for &iid in &block.insns {
+                assignment[iid.index()] = Some(Cluster::MAIN);
+                for &d in &func.insn(iid).defs {
+                    home.entry(d).or_insert(Cluster::MAIN);
+                }
+                let mut b = Bundle::empty(config.clusters);
+                b.slots[0].push(iid);
+                bundles.push(b);
+            }
+            blocks.push(ScheduledBlock { block: bid, bundles });
+        }
+        ScheduledProgram {
+            module: module.clone(),
+            config,
+            assignment,
+            home,
+            blocks,
+        }
+    }
+
+    /// Unprotected program summing memory values and printing the sum.
+    fn unprotected() -> ScheduledProgram {
+        let mut m = Module::new("t");
+        let (_, addr) = m.add_global("g", casted_ir::func::GlobalClass::Int, 64, (0..64).collect());
+        let mut b = FunctionBuilder::new("main");
+        let body = b.new_block("body");
+        let done = b.new_block("done");
+        let acc = b.imm(0);
+        let i = b.imm(0);
+        b.br(body);
+        b.switch_to(body);
+        let base = b.imm(addr);
+        let sh = b.binop(Opcode::Shl, Operand::Reg(i), Operand::Imm(3));
+        let ea = b.binop(Opcode::Add, Operand::Reg(base), Operand::Reg(sh));
+        let v = b.load(ea, 0);
+        let acc1 = b.binop(Opcode::Add, Operand::Reg(acc), Operand::Reg(v));
+        b.push(Opcode::MovI, vec![acc], vec![Operand::Reg(acc1)]);
+        let i1 = b.binop(Opcode::Add, Operand::Reg(i), Operand::Imm(1));
+        b.push(Opcode::MovI, vec![i], vec![Operand::Reg(i1)]);
+        let p = b.cmp(casted_ir::CmpKind::Lt, Operand::Reg(i), Operand::Imm(64));
+        b.br_cond(p, body, done);
+        b.switch_to(done);
+        b.out(Operand::Reg(acc));
+        b.halt_imm(0);
+        let id = m.add_function(b.finish());
+        m.entry = Some(id);
+        sequential(&m)
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let sp = unprotected();
+        let cfg = CampaignConfig {
+            trials: 50,
+            ..Default::default()
+        };
+        let a = run_campaign(&sp, &cfg);
+        let b = run_campaign(&sp, &cfg);
+        assert_eq!(a.tally, b.tally);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let sp = unprotected();
+        let a = run_campaign(
+            &sp,
+            &CampaignConfig {
+                trials: 60,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let b = run_campaign(
+            &sp,
+            &CampaignConfig {
+                trials: 60,
+                seed: 2,
+                ..Default::default()
+            },
+        );
+        // Overwhelmingly likely to differ in at least one class.
+        assert_ne!(a.tally, b.tally);
+    }
+
+    #[test]
+    fn unprotected_program_never_detects() {
+        let sp = unprotected();
+        let r = run_campaign(
+            &sp,
+            &CampaignConfig {
+                trials: 80,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.tally.count(Outcome::Detected), 0);
+        // And some faults must corrupt data or raise exceptions.
+        assert!(
+            r.tally.count(Outcome::DataCorrupt) + r.tally.count(Outcome::Exception) > 0,
+            "all faults benign? {:?}",
+            r.tally
+        );
+        assert_eq!(r.tally.total(), 80);
+    }
+
+    #[test]
+    fn tally_fractions_sum_to_one() {
+        let sp = unprotected();
+        let r = run_campaign(
+            &sp,
+            &CampaignConfig {
+                trials: 40,
+                ..Default::default()
+            },
+        );
+        let sum: f64 = Outcome::ALL.iter().map(|&o| r.tally.fraction(o)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classify_benign_vs_corrupt() {
+        let sp = unprotected();
+        let golden = simulate(&sp, &SimOptions::default());
+        // Same result is benign.
+        assert_eq!(classify(&golden, &golden), Outcome::Benign);
+        // A run with altered stream is corrupt.
+        let mut faulty = golden.clone();
+        faulty.stream[0] = casted_ir::interp::OutVal::Int(-1);
+        assert_eq!(classify(&golden, &faulty), Outcome::DataCorrupt);
+        // Different exit code is corrupt even with same stream.
+        let mut faulty2 = golden.clone();
+        faulty2.stop = StopReason::Halt(99);
+        assert_eq!(classify(&golden, &faulty2), Outcome::DataCorrupt);
+    }
+}
+
+/// Which hardware structure the fault strikes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FaultModel {
+    /// The paper's model (§IV-C): flip a bit of a dynamic
+    /// instruction's output register right after writeback.
+    #[default]
+    InstructionOutput,
+    /// Extension: flip a bit of a uniformly random *architectural
+    /// register* at a random point in time — a register-file strike.
+    /// Dormant values (long-lived, rarely rewritten) are exposed much
+    /// longer under this model, so coverage differs.
+    RegisterFile,
+}
+
+/// Run a campaign under a chosen [`FaultModel`].
+pub fn run_campaign_with_model(
+    sp: &ScheduledProgram,
+    cfg: &CampaignConfig,
+    model: FaultModel,
+) -> CampaignResult {
+    if model == FaultModel::InstructionOutput {
+        return run_campaign(sp, cfg);
+    }
+    use casted_ir::{Reg, RegClass};
+    let golden = simulate(sp, &SimOptions::default());
+    assert!(matches!(golden.stop, StopReason::Halt(_)));
+    let max_cycles = golden.stats.cycles.saturating_mul(cfg.timeout_factor);
+    let func = sp.module.entry_fn();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut tally = Tally::default();
+    for _ in 0..cfg.trials {
+        let at = rng.gen_range(1..=golden.stats.dyn_insns);
+        let bit = rng.gen_range(0..64u32);
+        // Uniform over all allocated registers of all classes.
+        let counts = [
+            func.reg_count(RegClass::Gp),
+            func.reg_count(RegClass::Fp),
+            func.reg_count(RegClass::Pr),
+        ];
+        let total: u32 = counts.iter().sum();
+        let mut pick = rng.gen_range(0..total.max(1));
+        let target = if pick < counts[0] {
+            Reg::gp(pick)
+        } else if {
+            pick -= counts[0];
+            pick < counts[1]
+        } {
+            Reg::fp(pick)
+        } else {
+            pick -= counts[1];
+            Reg::pr(pick)
+        };
+        let outcome = run_trial(
+            sp,
+            &golden,
+            Injection {
+                at_dyn_insn: at,
+                bit,
+                target: Some(target),
+            },
+            max_cycles,
+        );
+        tally.record(outcome);
+    }
+    CampaignResult {
+        tally,
+        golden_cycles: golden.stats.cycles,
+        golden_dyn: golden.stats.dyn_insns,
+    }
+}
+
+#[cfg(test)]
+mod model_tests {
+    use super::*;
+    use casted_ir::testgen::{random_module, GenOptions};
+    use casted_ir::vliw::{Bundle, ScheduledBlock};
+    use casted_ir::{Cluster, MachineConfig};
+    use std::collections::HashMap;
+
+    fn sequential_of(m: &casted_ir::Module) -> ScheduledProgram {
+        let config = MachineConfig::perfect_memory(1, 1);
+        let func = m.entry_fn();
+        let mut assignment = vec![None; func.insns.len()];
+        let mut home = HashMap::new();
+        let mut blocks = Vec::new();
+        for (bid, block) in func.iter_blocks() {
+            let mut bundles = Vec::new();
+            for &iid in &block.insns {
+                assignment[iid.index()] = Some(Cluster::MAIN);
+                for &d in &func.insn(iid).defs {
+                    home.entry(d).or_insert(Cluster::MAIN);
+                }
+                let mut b = Bundle::empty(config.clusters);
+                b.slots[0].push(iid);
+                bundles.push(b);
+            }
+            blocks.push(ScheduledBlock { block: bid, bundles });
+        }
+        ScheduledProgram {
+            module: m.clone(),
+            config,
+            assignment,
+            home,
+            blocks,
+        }
+    }
+
+    #[test]
+    fn register_file_model_runs_and_is_deterministic() {
+        let m = random_module(5, &GenOptions::default());
+        let sp = sequential_of(&m);
+        let cfg = CampaignConfig {
+            trials: 30,
+            ..Default::default()
+        };
+        let a = run_campaign_with_model(&sp, &cfg, FaultModel::RegisterFile);
+        let b = run_campaign_with_model(&sp, &cfg, FaultModel::RegisterFile);
+        assert_eq!(a.tally, b.tally);
+        assert_eq!(a.tally.total(), 30);
+    }
+
+    #[test]
+    fn output_model_delegates_to_default_campaign() {
+        let m = random_module(9, &GenOptions::default());
+        let sp = sequential_of(&m);
+        let cfg = CampaignConfig {
+            trials: 20,
+            ..Default::default()
+        };
+        let a = run_campaign_with_model(&sp, &cfg, FaultModel::InstructionOutput);
+        let b = run_campaign(&sp, &cfg);
+        assert_eq!(a.tally, b.tally);
+    }
+
+    #[test]
+    fn models_differ_in_distribution() {
+        // Register-file strikes hit dormant/dead registers far more
+        // often, so the benign fraction should generally be higher.
+        let m = random_module(12, &GenOptions::default());
+        let sp = sequential_of(&m);
+        let cfg = CampaignConfig {
+            trials: 120,
+            ..Default::default()
+        };
+        let out = run_campaign_with_model(&sp, &cfg, FaultModel::InstructionOutput);
+        let rf = run_campaign_with_model(&sp, &cfg, FaultModel::RegisterFile);
+        assert_ne!(out.tally, rf.tally, "models should produce different tallies");
+    }
+}

@@ -1,0 +1,272 @@
+//! MiniC abstract syntax tree.
+
+/// Scalar value types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ty {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Boolean; exists only transiently in conditions (it cannot be
+    /// stored in variables or arrays).
+    Bool,
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ty::Int => write!(f, "int"),
+            Ty::Float => write!(f, "float"),
+            Ty::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Short-circuit logical and.
+    LAnd,
+    /// Short-circuit logical or.
+    LOr,
+}
+
+impl BinOp {
+    /// True for the six comparison operators (result type `bool`).
+    pub fn is_cmp(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// True for the short-circuit logical operators.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::LAnd | BinOp::LOr)
+    }
+
+    /// True for operators defined only on integers.
+    pub fn is_int_only(self) -> bool {
+        matches!(
+            self,
+            BinOp::Rem | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (bool only).
+    Not,
+}
+
+/// Expressions, annotated with the source line for diagnostics.
+#[derive(Clone, Debug)]
+pub struct Expr {
+    /// Node payload.
+    pub kind: ExprKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Expression payloads.
+#[derive(Clone, Debug)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Variable / const / scalar-global read.
+    Name(String),
+    /// Array element read: `name[index]`.
+    Index(String, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Function call (user or lib function).
+    Call(String, Vec<Expr>),
+    /// `int(e)` cast.
+    CastInt(Box<Expr>),
+    /// `float(e)` cast.
+    CastFloat(Box<Expr>),
+}
+
+/// Statements.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `var name: ty = init;` — scalar local.
+    Var {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Ty,
+        /// Initializer.
+        init: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `var name: [ty; len];` — local array (statically allocated).
+    VarArray {
+        /// Array name.
+        name: String,
+        /// Element type.
+        ty: Ty,
+        /// Length (a const expression resolved by the parser/sema).
+        len: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `name = expr;` (scalar local or scalar global).
+    Assign {
+        /// Target name.
+        name: String,
+        /// Right-hand side.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `name[index] = expr;`.
+    AssignIndex {
+        /// Array name.
+        name: String,
+        /// Element index.
+        index: Expr,
+        /// Right-hand side.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `if cond { .. } else { .. }`.
+    If {
+        /// Condition (must be `bool`).
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while cond { .. }`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for name in lo..hi { .. }` — counted loop over `int`.
+    For {
+        /// Induction variable (fresh `int` binding).
+        name: String,
+        /// Inclusive lower bound.
+        lo: Expr,
+        /// Exclusive upper bound.
+        hi: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `break;`
+    Break(u32),
+    /// `continue;`
+    Continue(u32),
+    /// `return;` / `return expr;`
+    Return(Option<Expr>, u32),
+    /// Expression statement (a call evaluated for effect).
+    ExprStmt(Expr),
+    /// `out(expr);` — append int to the observable output stream.
+    Out(Expr),
+    /// `fout(expr);` — append float to the observable output stream.
+    FOut(Expr),
+}
+
+/// A function parameter.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Name.
+    pub name: String,
+    /// Type (`int` or `float`).
+    pub ty: Ty,
+}
+
+/// A function definition.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// Name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Return type; `None` = void.
+    pub ret: Option<Ty>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// `lib fn` — compiled as unprotected library code.
+    pub is_lib: bool,
+    /// Source line of the definition.
+    pub line: u32,
+}
+
+/// A global declaration.
+#[derive(Clone, Debug)]
+pub struct GlobalDef {
+    /// Name.
+    pub name: String,
+    /// Element type.
+    pub ty: Ty,
+    /// Element count; 1 for scalar globals.
+    pub len: Expr,
+    /// `true` if declared as an array (`[ty; len]` syntax).
+    pub is_array: bool,
+    /// Optional initializer values (const expressions).
+    pub init: Vec<Expr>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A compile-time constant declaration.
+#[derive(Clone, Debug)]
+pub struct ConstDef {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Ty,
+    /// Value expression (const-evaluated).
+    pub value: Expr,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A full MiniC program.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// `const` declarations.
+    pub consts: Vec<ConstDef>,
+    /// `global` declarations.
+    pub globals: Vec<GlobalDef>,
+    /// Function definitions (must include `main`).
+    pub functions: Vec<FnDef>,
+}
+
+impl Program {
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&FnDef> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}

@@ -1,0 +1,344 @@
+//! MiniC lexer.
+
+use crate::Diag;
+
+/// Kinds of MiniC tokens.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword text is kept in [`Token::text`].
+    Ident,
+    /// Integer literal (value in [`Token::int_val`]).
+    Int,
+    /// Float literal (value in [`Token::float_val`]).
+    Float,
+    // Keywords.
+    KwFn,
+    KwLib,
+    KwGlobal,
+    KwConst,
+    KwVar,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwIn,
+    KwBreak,
+    KwContinue,
+    KwReturn,
+    KwInt,
+    KwFloat,
+    // Punctuation / operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Arrow,
+    DotDot,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    AndAnd,
+    OrOr,
+    Not,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// End of input sentinel.
+    Eof,
+}
+
+/// A lexed token.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Kind.
+    pub kind: TokenKind,
+    /// Source text for identifiers/keywords.
+    pub text: String,
+    /// Value for integer literals.
+    pub int_val: i64,
+    /// Value for float literals.
+    pub float_val: f64,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Token {
+    fn simple(kind: TokenKind, line: u32) -> Self {
+        Token {
+            kind,
+            text: String::new(),
+            int_val: 0,
+            float_val: 0.0,
+            line,
+        }
+    }
+}
+
+fn keyword(text: &str) -> Option<TokenKind> {
+    Some(match text {
+        "fn" => TokenKind::KwFn,
+        "lib" => TokenKind::KwLib,
+        "global" => TokenKind::KwGlobal,
+        "const" => TokenKind::KwConst,
+        "var" => TokenKind::KwVar,
+        "if" => TokenKind::KwIf,
+        "else" => TokenKind::KwElse,
+        "while" => TokenKind::KwWhile,
+        "for" => TokenKind::KwFor,
+        "in" => TokenKind::KwIn,
+        "break" => TokenKind::KwBreak,
+        "continue" => TokenKind::KwContinue,
+        "return" => TokenKind::KwReturn,
+        "int" => TokenKind::KwInt,
+        "float" => TokenKind::KwFloat,
+        _ => return None,
+    })
+}
+
+/// Lex MiniC source into tokens (always terminated by an `Eof` token).
+pub fn lex(source: &str) -> Result<Vec<Token>, Vec<Diag>> {
+    let bytes = source.as_bytes();
+    let mut toks = Vec::new();
+    let mut errs = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                match keyword(text) {
+                    Some(kind) => toks.push(Token::simple(kind, line)),
+                    None => toks.push(Token {
+                        kind: TokenKind::Ident,
+                        text: text.to_string(),
+                        int_val: 0,
+                        float_val: 0.0,
+                        line,
+                    }),
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                // A float literal needs `digit . digit`; `0..N` must lex
+                // as Int DotDot Ident.
+                let is_float = i + 1 < bytes.len()
+                    && bytes[i] == b'.'
+                    && (bytes[i + 1] as char).is_ascii_digit();
+                if is_float {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    // Optional exponent.
+                    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                        let mut j = i + 1;
+                        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                            j += 1;
+                        }
+                        if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                            i = j;
+                            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                                i += 1;
+                            }
+                        }
+                    }
+                    match source[start..i].parse::<f64>() {
+                        Ok(v) => toks.push(Token {
+                            kind: TokenKind::Float,
+                            text: String::new(),
+                            int_val: 0,
+                            float_val: v,
+                            line,
+                        }),
+                        Err(_) => errs.push(Diag::new(line, "malformed float literal")),
+                    }
+                } else {
+                    match source[start..i].parse::<i64>() {
+                        Ok(v) => toks.push(Token {
+                            kind: TokenKind::Int,
+                            text: String::new(),
+                            int_val: v,
+                            float_val: 0.0,
+                            line,
+                        }),
+                        Err(_) => errs.push(Diag::new(line, "integer literal out of range")),
+                    }
+                }
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() {
+                    &source[i..i + 2]
+                } else {
+                    ""
+                };
+                let (kind, len) = match two {
+                    "->" => (Some(TokenKind::Arrow), 2),
+                    ".." => (Some(TokenKind::DotDot), 2),
+                    "<<" => (Some(TokenKind::Shl), 2),
+                    ">>" => (Some(TokenKind::Shr), 2),
+                    "&&" => (Some(TokenKind::AndAnd), 2),
+                    "||" => (Some(TokenKind::OrOr), 2),
+                    "==" => (Some(TokenKind::EqEq), 2),
+                    "!=" => (Some(TokenKind::NotEq), 2),
+                    "<=" => (Some(TokenKind::Le), 2),
+                    ">=" => (Some(TokenKind::Ge), 2),
+                    _ => {
+                        let k = match c {
+                            '(' => Some(TokenKind::LParen),
+                            ')' => Some(TokenKind::RParen),
+                            '{' => Some(TokenKind::LBrace),
+                            '}' => Some(TokenKind::RBrace),
+                            '[' => Some(TokenKind::LBracket),
+                            ']' => Some(TokenKind::RBracket),
+                            ',' => Some(TokenKind::Comma),
+                            ';' => Some(TokenKind::Semi),
+                            ':' => Some(TokenKind::Colon),
+                            '=' => Some(TokenKind::Assign),
+                            '+' => Some(TokenKind::Plus),
+                            '-' => Some(TokenKind::Minus),
+                            '*' => Some(TokenKind::Star),
+                            '/' => Some(TokenKind::Slash),
+                            '%' => Some(TokenKind::Percent),
+                            '&' => Some(TokenKind::Amp),
+                            '|' => Some(TokenKind::Pipe),
+                            '^' => Some(TokenKind::Caret),
+                            '!' => Some(TokenKind::Not),
+                            '<' => Some(TokenKind::Lt),
+                            '>' => Some(TokenKind::Gt),
+                            _ => None,
+                        };
+                        (k, 1)
+                    }
+                };
+                match kind {
+                    Some(k) => {
+                        toks.push(Token::simple(k, line));
+                        i += len;
+                    }
+                    None => {
+                        errs.push(Diag::new(line, format!("unexpected character '{c}'")));
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+    toks.push(Token::simple(TokenKind::Eof, line));
+    if errs.is_empty() {
+        Ok(toks)
+    } else {
+        Err(errs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("fn main lib"),
+            vec![
+                TokenKind::KwFn,
+                TokenKind::Ident,
+                TokenKind::KwLib,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        assert_eq!(
+            kinds("0..10"),
+            vec![TokenKind::Int, TokenKind::DotDot, TokenKind::Int, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn float_literals() {
+        let t = lex("3.25 1.0e3").unwrap();
+        assert_eq!(t[0].kind, TokenKind::Float);
+        assert_eq!(t[0].float_val, 3.25);
+        assert_eq!(t[1].float_val, 1000.0);
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_counted() {
+        let t = lex("a // comment\nb").unwrap();
+        assert_eq!(t[0].line, 1);
+        assert_eq!(t[1].line, 2);
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("<= >= == != << >> && || ->"),
+            vec![
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Arrow,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unexpected_character_is_an_error() {
+        let errs = lex("a $ b").unwrap_err();
+        assert!(errs[0].msg.contains("unexpected character"));
+    }
+
+    #[test]
+    fn big_integer_literal_error() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,628 @@
+//! MiniC recursive-descent parser.
+
+use crate::ast::*;
+use crate::lexer::{Token, TokenKind};
+use crate::Diag;
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+type PResult<T> = Result<T, Diag>;
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)]
+    }
+
+    fn line(&self) -> u32 {
+        self.peek().line
+    }
+
+    fn at(&self, kind: TokenKind) -> bool {
+        self.peek().kind == kind
+    }
+
+    fn bump(&mut self) -> &Token {
+        let t = &self.toks[self.pos];
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: TokenKind) -> bool {
+        if self.at(kind.clone()) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> PResult<Token> {
+        if self.at(kind.clone()) {
+            Ok(self.bump().clone())
+        } else {
+            Err(Diag::new(
+                self.line(),
+                format!("expected {what}, found {:?}", self.peek().kind),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> PResult<String> {
+        let t = self.expect(TokenKind::Ident, what)?;
+        Ok(t.text)
+    }
+
+    fn scalar_ty(&mut self) -> PResult<Ty> {
+        if self.eat(TokenKind::KwInt) {
+            Ok(Ty::Int)
+        } else if self.eat(TokenKind::KwFloat) {
+            Ok(Ty::Float)
+        } else {
+            Err(Diag::new(self.line(), "expected type `int` or `float`"))
+        }
+    }
+
+    // ---------------- expressions ----------------
+
+    fn primary(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        let kind = match self.peek().kind.clone() {
+            TokenKind::Int => {
+                let v = self.bump().int_val;
+                ExprKind::IntLit(v)
+            }
+            TokenKind::Float => {
+                let v = self.bump().float_val;
+                ExprKind::FloatLit(v)
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                return Ok(e);
+            }
+            // `int(e)` / `float(e)` casts.
+            TokenKind::KwInt => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(` after `int`")?;
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                ExprKind::CastInt(Box::new(e))
+            }
+            TokenKind::KwFloat => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(` after `float`")?;
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                ExprKind::CastFloat(Box::new(e))
+            }
+            TokenKind::Ident => {
+                let name = self.bump().text.clone();
+                if self.eat(TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.at(TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(TokenKind::RParen, "`)` after arguments")?;
+                    ExprKind::Call(name, args)
+                } else if self.eat(TokenKind::LBracket) {
+                    let idx = self.expr()?;
+                    self.expect(TokenKind::RBracket, "`]`")?;
+                    ExprKind::Index(name, Box::new(idx))
+                } else {
+                    ExprKind::Name(name)
+                }
+            }
+            other => {
+                return Err(Diag::new(
+                    line,
+                    format!("expected expression, found {other:?}"),
+                ))
+            }
+        };
+        Ok(Expr { kind, line })
+    }
+
+    fn unary(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        if self.eat(TokenKind::Minus) {
+            let e = self.unary()?;
+            return Ok(Expr {
+                kind: ExprKind::Un(UnOp::Neg, Box::new(e)),
+                line,
+            });
+        }
+        if self.eat(TokenKind::Not) {
+            let e = self.unary()?;
+            return Ok(Expr {
+                kind: ExprKind::Un(UnOp::Not, Box::new(e)),
+                line,
+            });
+        }
+        self.primary()
+    }
+
+    /// Binding power of a binary operator token (higher binds tighter),
+    /// Rust-style: `||` < `&&` < comparisons < `|` < `^` < `&` <
+    /// shifts < add < mul.
+    fn binop_of(kind: &TokenKind) -> Option<(BinOp, u8)> {
+        Some(match kind {
+            TokenKind::OrOr => (BinOp::LOr, 1),
+            TokenKind::AndAnd => (BinOp::LAnd, 2),
+            TokenKind::EqEq => (BinOp::Eq, 3),
+            TokenKind::NotEq => (BinOp::Ne, 3),
+            TokenKind::Lt => (BinOp::Lt, 3),
+            TokenKind::Le => (BinOp::Le, 3),
+            TokenKind::Gt => (BinOp::Gt, 3),
+            TokenKind::Ge => (BinOp::Ge, 3),
+            TokenKind::Pipe => (BinOp::Or, 4),
+            TokenKind::Caret => (BinOp::Xor, 5),
+            TokenKind::Amp => (BinOp::And, 6),
+            TokenKind::Shl => (BinOp::Shl, 7),
+            TokenKind::Shr => (BinOp::Shr, 7),
+            TokenKind::Plus => (BinOp::Add, 8),
+            TokenKind::Minus => (BinOp::Sub, 8),
+            TokenKind::Star => (BinOp::Mul, 9),
+            TokenKind::Slash => (BinOp::Div, 9),
+            TokenKind::Percent => (BinOp::Rem, 9),
+            _ => return None,
+        })
+    }
+
+    fn bin_expr(&mut self, min_bp: u8) -> PResult<Expr> {
+        let mut lhs = self.unary()?;
+        while let Some((op, bp)) = Self::binop_of(&self.peek().kind) {
+            if bp < min_bp {
+                break;
+            }
+            let line = self.line();
+            self.bump();
+            let rhs = self.bin_expr(bp + 1)?;
+            lhs = Expr {
+                kind: ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.bin_expr(0)
+    }
+
+    // ---------------- statements ----------------
+
+    fn block(&mut self) -> PResult<Vec<Stmt>> {
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while !self.at(TokenKind::RBrace) {
+            if self.at(TokenKind::Eof) {
+                return Err(Diag::new(self.line(), "unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(TokenKind::RBrace, "`}`")?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        match self.peek().kind.clone() {
+            TokenKind::KwVar => {
+                self.bump();
+                let name = self.ident("variable name")?;
+                self.expect(TokenKind::Colon, "`:`")?;
+                if self.eat(TokenKind::LBracket) {
+                    let ty = self.scalar_ty()?;
+                    self.expect(TokenKind::Semi, "`;` in array type")?;
+                    let len = self.expr()?;
+                    self.expect(TokenKind::RBracket, "`]`")?;
+                    self.expect(TokenKind::Semi, "`;` after declaration")?;
+                    Ok(Stmt::VarArray { name, ty, len, line })
+                } else {
+                    let ty = self.scalar_ty()?;
+                    self.expect(TokenKind::Assign, "`=` (locals must be initialized)")?;
+                    let init = self.expr()?;
+                    self.expect(TokenKind::Semi, "`;`")?;
+                    Ok(Stmt::Var { name, ty, init, line })
+                }
+            }
+            TokenKind::KwIf => {
+                self.bump();
+                let cond = self.expr()?;
+                let then_body = self.block()?;
+                let else_body = if self.eat(TokenKind::KwElse) {
+                    if self.at(TokenKind::KwIf) {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                })
+            }
+            TokenKind::KwWhile => {
+                self.bump();
+                let cond = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            TokenKind::KwFor => {
+                self.bump();
+                let name = self.ident("loop variable")?;
+                self.expect(TokenKind::KwIn, "`in`")?;
+                let lo = self.expr()?;
+                self.expect(TokenKind::DotDot, "`..`")?;
+                let hi = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt::For { name, lo, hi, body })
+            }
+            TokenKind::KwBreak => {
+                self.bump();
+                self.expect(TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Break(line))
+            }
+            TokenKind::KwContinue => {
+                self.bump();
+                self.expect(TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Continue(line))
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                if self.eat(TokenKind::Semi) {
+                    Ok(Stmt::Return(None, line))
+                } else {
+                    let e = self.expr()?;
+                    self.expect(TokenKind::Semi, "`;`")?;
+                    Ok(Stmt::Return(Some(e), line))
+                }
+            }
+            TokenKind::Ident => {
+                let name = self.peek().text.clone();
+                // out()/fout() builtins.
+                if (name == "out" || name == "fout") && self.peek2().kind == TokenKind::LParen {
+                    self.bump();
+                    self.bump();
+                    let e = self.expr()?;
+                    self.expect(TokenKind::RParen, "`)`")?;
+                    self.expect(TokenKind::Semi, "`;`")?;
+                    return Ok(if name == "out" {
+                        Stmt::Out(e)
+                    } else {
+                        Stmt::FOut(e)
+                    });
+                }
+                match self.peek2().kind {
+                    TokenKind::Assign => {
+                        self.bump();
+                        self.bump();
+                        let value = self.expr()?;
+                        self.expect(TokenKind::Semi, "`;`")?;
+                        Ok(Stmt::Assign { name, value, line })
+                    }
+                    TokenKind::LBracket => {
+                        // Could be `a[i] = e;` or an expression statement
+                        // starting with an index — only assignment is
+                        // useful, so commit to assignment.
+                        self.bump();
+                        self.bump();
+                        let index = self.expr()?;
+                        self.expect(TokenKind::RBracket, "`]`")?;
+                        self.expect(TokenKind::Assign, "`=`")?;
+                        let value = self.expr()?;
+                        self.expect(TokenKind::Semi, "`;`")?;
+                        Ok(Stmt::AssignIndex {
+                            name,
+                            index,
+                            value,
+                            line,
+                        })
+                    }
+                    _ => {
+                        let e = self.expr()?;
+                        self.expect(TokenKind::Semi, "`;`")?;
+                        Ok(Stmt::ExprStmt(e))
+                    }
+                }
+            }
+            other => Err(Diag::new(line, format!("expected statement, found {other:?}"))),
+        }
+    }
+
+    // ---------------- top level ----------------
+
+    fn global_def(&mut self) -> PResult<GlobalDef> {
+        let line = self.line();
+        self.expect(TokenKind::KwGlobal, "`global`")?;
+        let name = self.ident("global name")?;
+        self.expect(TokenKind::Colon, "`:`")?;
+        let (ty, len, is_array) = if self.eat(TokenKind::LBracket) {
+            let ty = self.scalar_ty()?;
+            self.expect(TokenKind::Semi, "`;` in array type")?;
+            let len = self.expr()?;
+            self.expect(TokenKind::RBracket, "`]`")?;
+            (ty, len, true)
+        } else {
+            let ty = self.scalar_ty()?;
+            (
+                ty,
+                Expr {
+                    kind: ExprKind::IntLit(1),
+                    line,
+                },
+                false,
+            )
+        };
+        let mut init = Vec::new();
+        if self.eat(TokenKind::Assign) {
+            if is_array {
+                self.expect(TokenKind::LBracket, "`[` starting initializer")?;
+                if !self.at(TokenKind::RBracket) {
+                    loop {
+                        init.push(self.expr()?);
+                        if !self.eat(TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(TokenKind::RBracket, "`]` ending initializer")?;
+            } else {
+                init.push(self.expr()?);
+            }
+        }
+        self.expect(TokenKind::Semi, "`;`")?;
+        Ok(GlobalDef {
+            name,
+            ty,
+            len,
+            is_array,
+            init,
+            line,
+        })
+    }
+
+    fn const_def(&mut self) -> PResult<ConstDef> {
+        let line = self.line();
+        self.expect(TokenKind::KwConst, "`const`")?;
+        let name = self.ident("const name")?;
+        self.expect(TokenKind::Colon, "`:`")?;
+        let ty = self.scalar_ty()?;
+        self.expect(TokenKind::Assign, "`=`")?;
+        let value = self.expr()?;
+        self.expect(TokenKind::Semi, "`;`")?;
+        Ok(ConstDef {
+            name,
+            ty,
+            value,
+            line,
+        })
+    }
+
+    fn fn_def(&mut self, is_lib: bool) -> PResult<FnDef> {
+        let line = self.line();
+        self.expect(TokenKind::KwFn, "`fn`")?;
+        let name = self.ident("function name")?;
+        self.expect(TokenKind::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !self.at(TokenKind::RParen) {
+            loop {
+                let pname = self.ident("parameter name")?;
+                self.expect(TokenKind::Colon, "`:`")?;
+                let ty = self.scalar_ty()?;
+                params.push(Param { name: pname, ty });
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen, "`)`")?;
+        let ret = if self.eat(TokenKind::Arrow) {
+            Some(self.scalar_ty()?)
+        } else {
+            None
+        };
+        let body = self.block()?;
+        Ok(FnDef {
+            name,
+            params,
+            ret,
+            body,
+            is_lib,
+            line,
+        })
+    }
+
+    fn program(&mut self) -> Result<Program, Vec<Diag>> {
+        let mut prog = Program::default();
+        let mut errs = Vec::new();
+        loop {
+            match self.peek().kind.clone() {
+                TokenKind::Eof => break,
+                TokenKind::KwGlobal => match self.global_def() {
+                    Ok(g) => prog.globals.push(g),
+                    Err(e) => {
+                        errs.push(e);
+                        self.recover();
+                    }
+                },
+                TokenKind::KwConst => match self.const_def() {
+                    Ok(c) => prog.consts.push(c),
+                    Err(e) => {
+                        errs.push(e);
+                        self.recover();
+                    }
+                },
+                TokenKind::KwLib => {
+                    self.bump();
+                    match self.fn_def(true) {
+                        Ok(f) => prog.functions.push(f),
+                        Err(e) => {
+                            errs.push(e);
+                            self.recover();
+                        }
+                    }
+                }
+                TokenKind::KwFn => match self.fn_def(false) {
+                    Ok(f) => prog.functions.push(f),
+                    Err(e) => {
+                        errs.push(e);
+                        self.recover();
+                    }
+                },
+                other => {
+                    errs.push(Diag::new(
+                        self.line(),
+                        format!("expected top-level item, found {other:?}"),
+                    ));
+                    self.recover();
+                }
+            }
+        }
+        if errs.is_empty() {
+            Ok(prog)
+        } else {
+            Err(errs)
+        }
+    }
+
+    /// Error recovery: skip to the next plausible top-level start.
+    fn recover(&mut self) {
+        loop {
+            match self.peek().kind {
+                TokenKind::Eof
+                | TokenKind::KwGlobal
+                | TokenKind::KwConst
+                | TokenKind::KwFn
+                | TokenKind::KwLib => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+}
+
+/// Parse a token stream into a [`Program`].
+pub fn parse(tokens: &[Token]) -> Result<Program, Vec<Diag>> {
+    Parser {
+        toks: tokens,
+        pos: 0,
+    }
+    .program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_functions_and_globals() {
+        let p = parse_src(
+            "global g: [int; 8];\nconst N: int = 3;\nfn main() -> int { return 0; }\nlib fn l(x: int) -> int { return x; }",
+        );
+        assert_eq!(p.globals.len(), 1);
+        assert_eq!(p.consts.len(), 1);
+        assert_eq!(p.functions.len(), 2);
+        assert!(p.function("l").unwrap().is_lib);
+        assert!(!p.function("main").unwrap().is_lib);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse_src("fn main() -> int { return 1 + 2 * 3; }");
+        let body = &p.functions[0].body;
+        match &body[0] {
+            Stmt::Return(Some(e), _) => match &e.kind {
+                ExprKind::Bin(BinOp::Add, _, rhs) => {
+                    assert!(matches!(rhs.kind, ExprKind::Bin(BinOp::Mul, _, _)));
+                }
+                other => panic!("expected add at top, got {other:?}"),
+            },
+            _ => panic!("expected return"),
+        }
+    }
+
+    #[test]
+    fn comparison_below_bitwise() {
+        // `a & 1 == 0` parses as `a & (1 == 0)`? No — Rust-style:
+        // comparisons bind *looser* than `&`, so it is `(a & 1) == 0`...
+        // our table gives cmp bp 3 < `&` bp 6, so `&` binds tighter.
+        let p = parse_src("fn main() -> int { if a & 1 == 0 { return 1; } return 0; }");
+        match &p.functions[0].body[0] {
+            Stmt::If { cond, .. } => {
+                assert!(matches!(cond.kind, ExprKind::Bin(BinOp::Eq, _, _)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let p = parse_src(
+            "fn main() { var x: int = 0; while x < 10 { x = x + 1; if x == 5 { break; } else { continue; } } for i in 0..4 { out(i); } }",
+        );
+        assert_eq!(p.functions[0].body.len(), 3);
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let p = parse_src(
+            "fn main() { if a == 1 { out(1); } else if a == 2 { out(2); } else { out(3); } }",
+        );
+        match &p.functions[0].body[0] {
+            Stmt::If { else_body, .. } => {
+                assert_eq!(else_body.len(), 1);
+                assert!(matches!(else_body[0], Stmt::If { .. }));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_casts_and_calls() {
+        let p = parse_src("fn main() { var x: float = float(3); var y: int = int(x) + f(1, 2); }");
+        assert_eq!(p.functions[0].body.len(), 2);
+    }
+
+    #[test]
+    fn parses_array_initializer() {
+        let p = parse_src("global q: [int; 4] = [1, 2, 3, 4];");
+        assert_eq!(p.globals[0].init.len(), 4);
+    }
+
+    #[test]
+    fn reports_error_with_line() {
+        let errs = parse(&lex("fn main() {\n  var = 3;\n}").unwrap()).unwrap_err();
+        assert_eq!(errs[0].line, 2);
+    }
+
+    #[test]
+    fn recovers_to_next_function() {
+        let errs = parse(&lex("fn broken( { }\nfn ok() { return; }").unwrap()).unwrap_err();
+        assert_eq!(errs.len(), 1); // only one error reported, second fn fine
+    }
+}

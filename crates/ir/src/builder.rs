@@ -1,0 +1,265 @@
+//! Convenience builder for constructing IR functions.
+//!
+//! Used by the MiniC front-end's code generator and by tests/examples
+//! that assemble IR directly (e.g. the motivating example of the paper's
+//! Fig. 2/3).
+
+use crate::func::{Block, BlockId, Function};
+use crate::insn::{Insn, InsnId, Operand, Provenance};
+use crate::op::{CmpKind, Opcode};
+use crate::reg::{Reg, RegClass};
+
+/// Builder that appends instructions to a current block of a function
+/// under construction.
+pub struct FunctionBuilder {
+    func: Function,
+    /// Block currently being appended to.
+    pub cur: BlockId,
+    /// Provenance stamped on every instruction pushed; the front-end
+    /// switches this to [`Provenance::LibraryCode`] while inlining
+    /// library routines.
+    pub prov: Provenance,
+}
+
+impl FunctionBuilder {
+    /// Start building a function named `name`; the entry block is
+    /// current.
+    pub fn new(name: impl Into<String>) -> Self {
+        let func = Function::new(name);
+        let cur = func.entry;
+        FunctionBuilder {
+            func,
+            cur,
+            prov: Provenance::Original,
+        }
+    }
+
+    /// Allocate a fresh virtual register.
+    pub fn new_reg(&mut self, class: RegClass) -> Reg {
+        self.func.new_reg(class)
+    }
+
+    /// Create a new block (does not switch to it).
+    pub fn new_block(&mut self, name: impl Into<String>) -> BlockId {
+        self.func.add_block(name)
+    }
+
+    /// Switch the current insertion point to `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.cur = block;
+    }
+
+    /// Whether the current block already ends in a terminator.
+    pub fn is_terminated(&self) -> bool {
+        self.func.terminator(self.cur).is_some()
+    }
+
+    /// Push a raw instruction into the current block.
+    pub fn push_insn(&mut self, insn: Insn) -> InsnId {
+        let id = self.func.add_insn(insn);
+        let cur = self.cur;
+        self.func.block_mut(cur).insns.push(id);
+        id
+    }
+
+    /// Push `op defs, uses` with the builder's current provenance.
+    pub fn push(&mut self, op: Opcode, defs: Vec<Reg>, uses: Vec<Operand>) -> InsnId {
+        let insn = Insn::new(op, defs, uses).with_prov(self.prov);
+        self.push_insn(insn)
+    }
+
+    /// Push a binary GP ALU op and return the fresh destination register.
+    pub fn binop(&mut self, op: Opcode, a: Operand, b: Operand) -> Reg {
+        let d = self.new_reg(RegClass::Gp);
+        self.push(op, vec![d], vec![a, b]);
+        d
+    }
+
+    /// Push a binary FP op and return the fresh destination register.
+    pub fn fbinop(&mut self, op: Opcode, a: Operand, b: Operand) -> Reg {
+        let d = self.new_reg(RegClass::Fp);
+        self.push(op, vec![d], vec![a, b]);
+        d
+    }
+
+    /// Materialize an integer constant.
+    pub fn imm(&mut self, v: i64) -> Reg {
+        let d = self.new_reg(RegClass::Gp);
+        self.push(Opcode::MovI, vec![d], vec![Operand::Imm(v)]);
+        d
+    }
+
+    /// Materialize a float constant.
+    pub fn fimm(&mut self, v: f64) -> Reg {
+        let d = self.new_reg(RegClass::Fp);
+        self.push(Opcode::FMovI, vec![d], vec![Operand::FImm(v)]);
+        d
+    }
+
+    /// Push an integer compare and return the fresh predicate register.
+    pub fn cmp(&mut self, kind: CmpKind, a: Operand, b: Operand) -> Reg {
+        let p = self.new_reg(RegClass::Pr);
+        self.push(Opcode::Cmp(kind), vec![p], vec![a, b]);
+        p
+    }
+
+    /// Push a float compare and return the fresh predicate register.
+    pub fn fcmp(&mut self, kind: CmpKind, a: Operand, b: Operand) -> Reg {
+        let p = self.new_reg(RegClass::Pr);
+        self.push(Opcode::FCmp(kind), vec![p], vec![a, b]);
+        p
+    }
+
+    /// Push an integer load from `base + offset` and return the value.
+    pub fn load(&mut self, base: Reg, offset: i64) -> Reg {
+        let d = self.new_reg(RegClass::Gp);
+        let insn = Insn::new(Opcode::Load, vec![d], vec![Operand::Reg(base)])
+            .with_imm(offset)
+            .with_prov(self.prov);
+        self.push_insn(insn);
+        d
+    }
+
+    /// Push a float load from `base + offset` and return the value.
+    pub fn fload(&mut self, base: Reg, offset: i64) -> Reg {
+        let d = self.new_reg(RegClass::Fp);
+        let insn = Insn::new(Opcode::FLoad, vec![d], vec![Operand::Reg(base)])
+            .with_imm(offset)
+            .with_prov(self.prov);
+        self.push_insn(insn);
+        d
+    }
+
+    /// Push an integer store `mem[base + offset] = value`.
+    pub fn store(&mut self, base: Reg, offset: i64, value: Operand) -> InsnId {
+        let insn = Insn::new(Opcode::Store, vec![], vec![Operand::Reg(base), value])
+            .with_imm(offset)
+            .with_prov(self.prov);
+        self.push_insn(insn)
+    }
+
+    /// Push a float store `mem[base + offset] = value`.
+    pub fn fstore(&mut self, base: Reg, offset: i64, value: Operand) -> InsnId {
+        let insn = Insn::new(Opcode::FStore, vec![], vec![Operand::Reg(base), value])
+            .with_imm(offset)
+            .with_prov(self.prov);
+        self.push_insn(insn)
+    }
+
+    /// Push an unconditional branch to `target`, terminating the block.
+    pub fn br(&mut self, target: BlockId) -> InsnId {
+        let mut insn = Insn::new(Opcode::Br, vec![], vec![]).with_prov(self.prov);
+        insn.target = Some(target);
+        self.push_insn(insn)
+    }
+
+    /// Push a conditional branch on predicate `p`: to `taken` if true,
+    /// `fallthrough` otherwise. Terminates the block.
+    pub fn br_cond(&mut self, p: Reg, taken: BlockId, fallthrough: BlockId) -> InsnId {
+        let mut insn = Insn::new(Opcode::BrCond, vec![], vec![Operand::Reg(p)]).with_prov(self.prov);
+        insn.target = Some(taken);
+        insn.target2 = Some(fallthrough);
+        self.push_insn(insn)
+    }
+
+    /// Push `halt` with register exit code, terminating the block.
+    pub fn halt(&mut self, code: Operand) -> InsnId {
+        self.push(Opcode::Halt, vec![], vec![code])
+    }
+
+    /// Push `halt` with an immediate exit code.
+    pub fn halt_imm(&mut self, code: i64) -> InsnId {
+        self.halt(Operand::Imm(code))
+    }
+
+    /// Push `out value` (append to the observable output stream).
+    pub fn out(&mut self, value: Operand) -> InsnId {
+        self.push(Opcode::Out, vec![], vec![value])
+    }
+
+    /// Push `fout value`.
+    pub fn fout(&mut self, value: Operand) -> InsnId {
+        self.push(Opcode::FOut, vec![], vec![value])
+    }
+
+    /// Peek at the function under construction.
+    pub fn func(&self) -> &Function {
+        &self.func
+    }
+
+    /// Mutable access to the function under construction.
+    pub fn func_mut(&mut self) -> &mut Function {
+        &mut self.func
+    }
+
+    /// Finish, returning the built function. Unterminated non-empty
+    /// blocks are an error left to the verifier to report; a completely
+    /// empty entry gets a `halt 0` so trivial builders stay valid.
+    pub fn finish(mut self) -> Function {
+        if self.func.blocks.len() == 1 && self.func.block(self.func.entry).insns.is_empty() {
+            self.halt_imm(0);
+        }
+        self.func
+    }
+
+    /// Access a block being built.
+    pub fn block(&self, id: BlockId) -> &Block {
+        self.func.block(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_straightline_code() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.imm(5);
+        let y = b.binop(Opcode::Add, Operand::Reg(x), Operand::Imm(2));
+        b.out(Operand::Reg(y));
+        b.halt_imm(0);
+        let f = b.finish();
+        assert_eq!(f.static_size(), 4);
+        assert!(f.terminator(f.entry).is_some());
+    }
+
+    #[test]
+    fn builds_diamond_cfg() {
+        let mut b = FunctionBuilder::new("f");
+        let t = b.new_block("then");
+        let e = b.new_block("else");
+        let j = b.new_block("join");
+        let x = b.imm(1);
+        let p = b.cmp(CmpKind::Gt, Operand::Reg(x), Operand::Imm(0));
+        b.br_cond(p, t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        b.halt_imm(0);
+        let f = b.finish();
+        assert_eq!(f.successors(f.entry), vec![t, e]);
+        assert_eq!(f.successors(t), vec![j]);
+        assert_eq!(f.successors(e), vec![j]);
+    }
+
+    #[test]
+    fn empty_builder_finishes_valid() {
+        let f = FunctionBuilder::new("f").finish();
+        assert!(f.terminator(f.entry).is_some());
+    }
+
+    #[test]
+    fn provenance_is_stamped() {
+        let mut b = FunctionBuilder::new("f");
+        b.prov = Provenance::LibraryCode;
+        let x = b.imm(1);
+        let id = b.out(Operand::Reg(x));
+        assert_eq!(b.func().insn(id).prov, Provenance::LibraryCode);
+        b.prov = Provenance::Original;
+        let id2 = b.halt_imm(0);
+        assert_eq!(b.func().insn(id2).prov, Provenance::Original);
+    }
+}

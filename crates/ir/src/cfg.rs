@@ -1,0 +1,334 @@
+//! Control-flow-graph utilities: predecessors, reachability, orderings.
+
+use crate::func::{BlockId, Function};
+
+/// Predecessor lists for every block of `func`.
+pub fn predecessors(func: &Function) -> Vec<Vec<BlockId>> {
+    let mut preds = vec![Vec::new(); func.blocks.len()];
+    for (bid, _) in func.iter_blocks() {
+        for succ in func.successors(bid) {
+            preds[succ.index()].push(bid);
+        }
+    }
+    preds
+}
+
+/// Reverse post-order over the CFG starting at the entry block.
+/// Unreachable blocks are excluded.
+pub fn reverse_postorder(func: &Function) -> Vec<BlockId> {
+    let n = func.blocks.len();
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS with an explicit stack of (block, next-successor).
+    let mut stack: Vec<(BlockId, usize)> = vec![(func.entry, 0)];
+    visited[func.entry.index()] = true;
+    while let Some(&mut (bid, ref mut next)) = stack.last_mut() {
+        let succs = func.successors(bid);
+        if *next < succs.len() {
+            let s = succs[*next];
+            *next += 1;
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(bid);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Blocks reachable from entry.
+pub fn reachable(func: &Function) -> Vec<bool> {
+    let mut r = vec![false; func.blocks.len()];
+    for b in reverse_postorder(func) {
+        r[b.index()] = true;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::insn::Operand;
+    use crate::op::CmpKind;
+
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("f");
+        let t = b.new_block("t");
+        let e = b.new_block("e");
+        let j = b.new_block("j");
+        let x = b.imm(1);
+        let p = b.cmp(CmpKind::Gt, Operand::Reg(x), Operand::Imm(0));
+        b.br_cond(p, t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        b.halt_imm(0);
+        b.finish()
+    }
+
+    #[test]
+    fn preds_of_diamond() {
+        let f = diamond();
+        let preds = predecessors(&f);
+        // join has two predecessors.
+        assert_eq!(preds[3].len(), 2);
+        // entry has none.
+        assert!(preds[0].is_empty());
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let f = diamond();
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo[0], f.entry);
+        assert_eq!(rpo.len(), 4);
+        // join must come after both branches.
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
+        assert!(pos(BlockId(3)) > pos(BlockId(1)));
+        assert!(pos(BlockId(3)) > pos(BlockId(2)));
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded() {
+        let mut b = FunctionBuilder::new("f");
+        let dead = b.new_block("dead");
+        b.halt_imm(0);
+        b.switch_to(dead);
+        b.halt_imm(1);
+        let f = b.finish();
+        let r = reachable(&f);
+        assert!(r[0]);
+        assert!(!r[dead.index()]);
+    }
+
+    #[test]
+    fn loop_rpo_terminates() {
+        let mut b = FunctionBuilder::new("f");
+        let body = b.new_block("body");
+        let done = b.new_block("done");
+        b.br(body);
+        b.switch_to(body);
+        let x = b.imm(1);
+        let p = b.cmp(CmpKind::Gt, Operand::Reg(x), Operand::Imm(0));
+        b.br_cond(p, body, done);
+        b.switch_to(done);
+        b.halt_imm(0);
+        let f = b.finish();
+        assert_eq!(reverse_postorder(&f).len(), 3);
+    }
+}
+
+/// Immediate dominators (Cooper–Harvey–Kennedy iterative algorithm).
+/// `idom[entry] == entry`; unreachable blocks map to `None`.
+pub fn immediate_dominators(func: &Function) -> Vec<Option<BlockId>> {
+    let rpo = reverse_postorder(func);
+    let n = func.blocks.len();
+    let mut rpo_pos = vec![usize::MAX; n];
+    for (i, &b) in rpo.iter().enumerate() {
+        rpo_pos[b.index()] = i;
+    }
+    let preds = predecessors(func);
+    let mut idom: Vec<Option<BlockId>> = vec![None; n];
+    idom[func.entry.index()] = Some(func.entry);
+
+    let intersect = |idom: &Vec<Option<BlockId>>, rpo_pos: &Vec<usize>, mut a: BlockId, mut b: BlockId| {
+        while a != b {
+            while rpo_pos[a.index()] > rpo_pos[b.index()] {
+                a = idom[a.index()].unwrap();
+            }
+            while rpo_pos[b.index()] > rpo_pos[a.index()] {
+                b = idom[b.index()].unwrap();
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &preds[b.index()] {
+                if idom[p.index()].is_none() {
+                    continue; // not yet processed / unreachable
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &rpo_pos, cur, p),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b.index()] != Some(ni) {
+                    idom[b.index()] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+/// True if `a` dominates `b`.
+pub fn dominates(idom: &[Option<BlockId>], a: BlockId, b: BlockId) -> bool {
+    let mut cur = b;
+    loop {
+        if cur == a {
+            return true;
+        }
+        match idom[cur.index()] {
+            Some(d) if d != cur => cur = d,
+            _ => return false,
+        }
+    }
+}
+
+/// Loop-nesting depth per block, from natural loops: for every back
+/// edge `u -> v` (where `v` dominates `u`), every block of the natural
+/// loop `{v} ∪ {blocks reaching u without passing v}` gains one level.
+pub fn loop_depths(func: &Function) -> Vec<u32> {
+    let idom = immediate_dominators(func);
+    let preds = predecessors(func);
+    let n = func.blocks.len();
+    let mut depth = vec![0u32; n];
+    for (u, _) in func.iter_blocks() {
+        if idom[u.index()].is_none() {
+            continue;
+        }
+        for v in func.successors(u) {
+            if !dominates(&idom, v, u) {
+                continue; // not a back edge
+            }
+            // Natural loop body: reverse reachability from u, stopping
+            // at the header v.
+            let mut body = vec![false; n];
+            body[v.index()] = true;
+            let mut stack = vec![u];
+            while let Some(b) = stack.pop() {
+                if body[b.index()] {
+                    continue;
+                }
+                body[b.index()] = true;
+                for &p in &preds[b.index()] {
+                    stack.push(p);
+                }
+            }
+            for (i, &inb) in body.iter().enumerate() {
+                if inb {
+                    depth[i] += 1;
+                }
+            }
+        }
+    }
+    depth
+}
+
+/// Rough static execution-frequency estimate: `8^depth`, capped.
+pub fn frequency_estimate(func: &Function) -> Vec<u64> {
+    loop_depths(func)
+        .into_iter()
+        .map(|d| 8u64.saturating_pow(d.min(6)))
+        .collect()
+}
+
+#[cfg(test)]
+mod loop_tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::insn::Operand;
+    use crate::op::CmpKind;
+
+    /// entry -> head <-> body(if/else diamond) -> exit
+    fn loop_with_diamond() -> Function {
+        let mut b = FunctionBuilder::new("f");
+        let head = b.new_block("head");
+        let body = b.new_block("body");
+        let t = b.new_block("t");
+        let e = b.new_block("e");
+        let latch = b.new_block("latch");
+        let exit = b.new_block("exit");
+        let i = b.imm(0);
+        b.br(head);
+        b.switch_to(head);
+        let p = b.cmp(CmpKind::Lt, Operand::Reg(i), Operand::Imm(10));
+        b.br_cond(p, body, exit);
+        b.switch_to(body);
+        let q = b.cmp(CmpKind::Eq, Operand::Reg(i), Operand::Imm(5));
+        b.br_cond(q, t, e);
+        b.switch_to(t);
+        b.br(latch);
+        b.switch_to(e);
+        b.br(latch);
+        b.switch_to(latch);
+        let i2 = b.binop(crate::Opcode::Add, Operand::Reg(i), Operand::Imm(1));
+        b.push(crate::Opcode::MovI, vec![i], vec![Operand::Reg(i2)]);
+        b.br(head);
+        b.switch_to(exit);
+        b.halt_imm(0);
+        b.finish()
+    }
+
+    #[test]
+    fn idom_of_structured_loop() {
+        let f = loop_with_diamond();
+        let idom = immediate_dominators(&f);
+        // head is dominated by entry; body by head; t and e by body;
+        // latch by body; exit by head.
+        assert_eq!(idom[1], Some(BlockId(0))); // head <- entry
+        assert_eq!(idom[2], Some(BlockId(1))); // body <- head
+        assert_eq!(idom[3], Some(BlockId(2))); // t <- body
+        assert_eq!(idom[4], Some(BlockId(2))); // e <- body
+        assert_eq!(idom[5], Some(BlockId(2))); // latch <- body
+        assert_eq!(idom[6], Some(BlockId(1))); // exit <- head
+    }
+
+    #[test]
+    fn loop_depth_covers_both_diamond_arms() {
+        let f = loop_with_diamond();
+        let d = loop_depths(&f);
+        assert_eq!(d[0], 0, "entry not in loop");
+        assert_eq!(d[6], 0, "exit not in loop");
+        for blk in [1usize, 2, 3, 4, 5] {
+            assert_eq!(d[blk], 1, "block {blk} should be loop depth 1: {d:?}");
+        }
+    }
+
+    #[test]
+    fn nested_loop_depth_is_two() {
+        let mut b = FunctionBuilder::new("f");
+        let oh = b.new_block("outer_head");
+        let ih = b.new_block("inner_head");
+        let ib = b.new_block("inner_body");
+        let ol = b.new_block("outer_latch");
+        let exit = b.new_block("exit");
+        let i = b.imm(0);
+        b.br(oh);
+        b.switch_to(oh);
+        let p = b.cmp(CmpKind::Lt, Operand::Reg(i), Operand::Imm(3));
+        b.br_cond(p, ih, exit);
+        b.switch_to(ih);
+        let q = b.cmp(CmpKind::Lt, Operand::Reg(i), Operand::Imm(2));
+        b.br_cond(q, ib, ol);
+        b.switch_to(ib);
+        b.br(ih);
+        b.switch_to(ol);
+        b.br(oh);
+        b.switch_to(exit);
+        b.halt_imm(0);
+        let f = b.finish();
+        let d = loop_depths(&f);
+        assert_eq!(d[ib.index()], 2);
+        assert_eq!(d[ih.index()], 2);
+        assert_eq!(d[ol.index()], 1);
+        assert_eq!(d[oh.index()], 1);
+        assert_eq!(d[exit.index()], 0);
+        let freq = frequency_estimate(&f);
+        assert_eq!(freq[ib.index()], 64);
+    }
+}

@@ -1,0 +1,370 @@
+//! Per-block data-flow graph (DFG) with latency-weighted edges.
+//!
+//! Both the BUG cluster-assignment algorithm (paper Algorithm 2) and the
+//! VLIW list scheduler consume this graph. Edges are classified as
+//!
+//! * **Data** (read-after-write through a register): weight is the
+//!   producer's result latency; the scheduler additionally charges the
+//!   inter-cluster delay when producer and consumer land on different
+//!   clusters — the quantity CASTED's placement minimizes.
+//! * **Order** (anti/output dependences, conservative memory ordering,
+//!   the commit chain through store-class instructions and detection
+//!   branches, and block-exit edges into the terminator): fixed weight,
+//!   never charged inter-cluster delay, because the clusters run in
+//!   lockstep and share control flow.
+//!
+//! The commit chain is what makes check-dense code sequential: every
+//! `br.detect` is ordered before the next store-class instruction, so —
+//! exactly as the paper observes for h263enc — the more checks the code
+//! has, "the more sequential the code becomes".
+
+use crate::func::{BlockId, Function};
+use crate::insn::InsnId;
+use crate::machine::LatencyConfig;
+use crate::op::Opcode;
+use crate::reg::Reg;
+use std::collections::HashMap;
+
+/// Kind of a dependence edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepKind {
+    /// True (RAW) dependence through this register: the consumer reads
+    /// the producer's result. Crossing clusters costs the inter-cluster
+    /// delay on top of the edge weight.
+    Data(Reg),
+    /// Ordering-only dependence (WAR/WAW/memory/commit/terminator).
+    Order,
+}
+
+/// A dependence edge to node index `to` with minimum issue-distance
+/// `weight` (in cycles).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Target node index within the block's node list.
+    pub to: usize,
+    /// Edge kind.
+    pub kind: DepKind,
+    /// Minimum cycles between the issue of the source and of the target.
+    pub weight: u32,
+}
+
+/// Data-flow graph of a single basic block.
+#[derive(Clone, Debug)]
+pub struct BlockDfg {
+    /// Instruction ids in program order; node `i` is `nodes[i]`.
+    pub nodes: Vec<InsnId>,
+    /// Forward edges per node.
+    pub succs: Vec<Vec<DepEdge>>,
+    /// Backward edges per node (mirrors `succs`).
+    pub preds: Vec<Vec<DepEdge>>,
+    /// Critical-path height per node: the longest latency-weighted path
+    /// from the node to the end of the block, including the node's own
+    /// latency. BUG visits instructions "giving preference to the
+    /// critical path" — i.e. in decreasing height.
+    pub height: Vec<u32>,
+}
+
+impl BlockDfg {
+    /// Build the DFG for `block` of `func` under latency config `lat`.
+    pub fn build(func: &Function, block: BlockId, lat: &LatencyConfig) -> Self {
+        let nodes: Vec<InsnId> = func.block(block).insns.clone();
+        let n = nodes.len();
+        let mut succs: Vec<Vec<DepEdge>> = vec![Vec::new(); n];
+
+        // Per-register state: last definition and uses since it.
+        let mut last_def: HashMap<Reg, usize> = HashMap::new();
+        let mut uses_since_def: HashMap<Reg, Vec<usize>> = HashMap::new();
+        // Memory ordering state.
+        let mut last_store: Option<usize> = None;
+        let mut loads_since_store: Vec<usize> = Vec::new();
+        // Commit chain state (store-class + detect branches).
+        let mut last_commit: Option<usize> = None;
+
+        let add = |succs: &mut Vec<Vec<DepEdge>>, from: usize, to: usize, kind: DepKind, weight: u32| {
+            debug_assert!(from < to, "DFG edges must be forward in program order");
+            // Avoid exact duplicates to keep the graph small.
+            if !succs[from]
+                .iter()
+                .any(|e| e.to == to && e.kind == kind && e.weight >= weight)
+            {
+                succs[from].push(DepEdge { to, kind, weight });
+            }
+        };
+
+        for (i, &id) in nodes.iter().enumerate() {
+            let insn = func.insn(id);
+
+            // RAW edges from the producing definition of each used reg.
+            for r in insn.reg_uses() {
+                if let Some(&d) = last_def.get(&r) {
+                    let w = func.insn(nodes[d]).op.latency(lat);
+                    add(&mut succs, d, i, DepKind::Data(r), w);
+                }
+                uses_since_def.entry(r).or_default().push(i);
+            }
+
+            // WAR/WAW edges for each definition.
+            for &r in &insn.defs {
+                if let Some(users) = uses_since_def.get(&r) {
+                    for &u in users {
+                        if u != i {
+                            add(&mut succs, u, i, DepKind::Order, 0);
+                        }
+                    }
+                }
+                if let Some(&d) = last_def.get(&r) {
+                    add(&mut succs, d, i, DepKind::Order, 1);
+                }
+                last_def.insert(r, i);
+                uses_since_def.insert(r, Vec::new());
+            }
+
+            // Conservative memory ordering (no alias analysis): loads
+            // may reorder with loads, nothing reorders across a store.
+            if insn.op.is_load() {
+                if let Some(s) = last_store {
+                    add(&mut succs, s, i, DepKind::Order, 1);
+                }
+                loads_since_store.push(i);
+            } else if insn.op.is_mem_store() {
+                if let Some(s) = last_store {
+                    add(&mut succs, s, i, DepKind::Order, 1);
+                }
+                for &l in &loads_since_store {
+                    add(&mut succs, l, i, DepKind::Order, 1);
+                }
+                loads_since_store.clear();
+                last_store = Some(i);
+            }
+
+            // Commit chain: store-class instructions, detect branches
+            // and the terminator retire strictly in program order. A
+            // detect branch must resolve before the next (potentially
+            // guarded) side effect commits.
+            let in_commit_chain =
+                insn.op.is_store_class()
+                || insn.op == Opcode::DetectBr
+                || insn.op == Opcode::ChkNe
+                || insn.op.is_terminator();
+            if in_commit_chain {
+                if let Some(c) = last_commit {
+                    let w = if insn.op.is_terminator() { 0 } else { 1 };
+                    add(&mut succs, c, i, DepKind::Order, w);
+                }
+                last_commit = Some(i);
+            }
+
+            // The terminator issues no earlier than anything else.
+            if insn.op.is_terminator() {
+                for j in 0..i {
+                    add(&mut succs, j, i, DepKind::Order, 0);
+                }
+            }
+        }
+
+        // Mirror edges.
+        let mut preds: Vec<Vec<DepEdge>> = vec![Vec::new(); n];
+        for (from, es) in succs.iter().enumerate() {
+            for e in es {
+                preds[e.to].push(DepEdge {
+                    to: from,
+                    kind: e.kind,
+                    weight: e.weight,
+                });
+            }
+        }
+
+        // Heights by reverse program order (all edges are forward).
+        let mut height = vec![0u32; n];
+        for i in (0..n).rev() {
+            let own = func.insn(nodes[i]).op.latency(lat);
+            let mut h = own;
+            for e in &succs[i] {
+                h = h.max(e.weight + height[e.to]);
+            }
+            height[i] = h;
+        }
+
+        BlockDfg {
+            nodes,
+            succs,
+            preds,
+            height,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the block is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The critical-path length of the whole block (max node height).
+    pub fn critical_path(&self) -> u32 {
+        self.height.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Node indices sorted by decreasing height (BUG's visit priority),
+    /// ties broken by program order for determinism.
+    pub fn priority_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by(|&a, &b| self.height[b].cmp(&self.height[a]).then(a.cmp(&b)));
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::insn::Operand;
+    use crate::op::CmpKind;
+
+    fn lat() -> LatencyConfig {
+        LatencyConfig::default()
+    }
+
+    #[test]
+    fn raw_edge_carries_latency() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.imm(1);
+        let y = b.binop(Opcode::Mul, Operand::Reg(x), Operand::Imm(3));
+        let _z = b.binop(Opcode::Add, Operand::Reg(y), Operand::Imm(1));
+        b.halt_imm(0);
+        let f = b.finish();
+        let dfg = BlockDfg::build(&f, f.entry, &lat());
+        // mul (node 1) -> add (node 2) with mul latency.
+        let e = dfg.succs[1]
+            .iter()
+            .find(|e| e.to == 2 && matches!(e.kind, DepKind::Data(_)))
+            .unwrap();
+        assert_eq!(e.weight, lat().mul);
+    }
+
+    #[test]
+    fn war_edge_orders_use_before_redef() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.imm(1);
+        let _y = b.binop(Opcode::Add, Operand::Reg(x), Operand::Imm(1)); // use of x (node 1)
+        b.push(Opcode::MovI, vec![x], vec![Operand::Imm(9)]); // redef of x (node 2)
+        b.halt_imm(0);
+        let f = b.finish();
+        let dfg = BlockDfg::build(&f, f.entry, &lat());
+        assert!(dfg.succs[1]
+            .iter()
+            .any(|e| e.to == 2 && e.kind == DepKind::Order && e.weight == 0));
+    }
+
+    #[test]
+    fn waw_edge_orders_defs() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.imm(1); // node 0 defines x
+        b.push(Opcode::MovI, vec![x], vec![Operand::Imm(2)]); // node 1 redefines x
+        b.halt_imm(0);
+        let f = b.finish();
+        let dfg = BlockDfg::build(&f, f.entry, &lat());
+        assert!(dfg.succs[0]
+            .iter()
+            .any(|e| e.to == 1 && e.kind == DepKind::Order && e.weight == 1));
+    }
+
+    #[test]
+    fn loads_reorder_but_not_across_stores() {
+        let mut b = FunctionBuilder::new("f");
+        let base = b.imm(4096);
+        let _l1 = b.load(base, 0); // node 1
+        let _l2 = b.load(base, 8); // node 2
+        b.store(base, 0, Operand::Imm(1)); // node 3
+        let _l3 = b.load(base, 16); // node 4
+        b.halt_imm(0);
+        let f = b.finish();
+        let dfg = BlockDfg::build(&f, f.entry, &lat());
+        // No edge between the two loads.
+        assert!(!dfg.succs[1].iter().any(|e| e.to == 2));
+        // Both loads ordered before the store; store before later load.
+        assert!(dfg.succs[1].iter().any(|e| e.to == 3));
+        assert!(dfg.succs[2].iter().any(|e| e.to == 3));
+        assert!(dfg.succs[3].iter().any(|e| e.to == 4));
+    }
+
+    #[test]
+    fn detect_br_orders_before_next_store() {
+        let mut b = FunctionBuilder::new("f");
+        let base = b.imm(4096);
+        let p = b.cmp(CmpKind::Ne, Operand::Reg(base), Operand::Reg(base));
+        b.push(Opcode::DetectBr, vec![], vec![Operand::Reg(p)]); // node 2
+        b.store(base, 0, Operand::Imm(1)); // node 3
+        b.halt_imm(0);
+        let f = b.finish();
+        let dfg = BlockDfg::build(&f, f.entry, &lat());
+        assert!(dfg.succs[2]
+            .iter()
+            .any(|e| e.to == 3 && e.kind == DepKind::Order && e.weight == 1));
+    }
+
+    #[test]
+    fn terminator_depends_on_everything() {
+        let mut b = FunctionBuilder::new("f");
+        let _x = b.imm(1);
+        let _y = b.imm(2);
+        b.halt_imm(0);
+        let f = b.finish();
+        let dfg = BlockDfg::build(&f, f.entry, &lat());
+        let term = dfg.len() - 1;
+        for j in 0..term {
+            assert!(dfg.succs[j].iter().any(|e| e.to == term));
+        }
+    }
+
+    #[test]
+    fn heights_reflect_critical_path() {
+        // mov -> mul -> add chain: height(mov) = 1 + 3 + 1 = 5.
+        let mut b = FunctionBuilder::new("f");
+        let x = b.imm(1);
+        let y = b.binop(Opcode::Mul, Operand::Reg(x), Operand::Imm(3));
+        let _z = b.binop(Opcode::Add, Operand::Reg(y), Operand::Imm(1));
+        b.halt_imm(0);
+        let f = b.finish();
+        let dfg = BlockDfg::build(&f, f.entry, &lat());
+        assert_eq!(dfg.height[0], 1 + lat().mul + lat().alu.max(1));
+        assert!(dfg.critical_path() >= dfg.height[0]);
+    }
+
+    #[test]
+    fn priority_order_is_by_decreasing_height() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.imm(1);
+        let _dead_cheap = b.imm(2);
+        let y = b.binop(Opcode::Mul, Operand::Reg(x), Operand::Imm(3));
+        let _z = b.binop(Opcode::Add, Operand::Reg(y), Operand::Imm(1));
+        b.halt_imm(0);
+        let f = b.finish();
+        let dfg = BlockDfg::build(&f, f.entry, &lat());
+        let order = dfg.priority_order();
+        for w in order.windows(2) {
+            assert!(dfg.height[w[0]] >= dfg.height[w[1]]);
+        }
+        // The long chain head comes before the independent cheap mov.
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(0) < pos(1));
+    }
+
+    #[test]
+    fn preds_mirror_succs() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.imm(1);
+        let _y = b.binop(Opcode::Add, Operand::Reg(x), Operand::Imm(1));
+        b.halt_imm(0);
+        let f = b.finish();
+        let dfg = BlockDfg::build(&f, f.entry, &lat());
+        let fwd: usize = dfg.succs.iter().map(|v| v.len()).sum();
+        let bwd: usize = dfg.preds.iter().map(|v| v.len()).sum();
+        assert_eq!(fwd, bwd);
+    }
+}

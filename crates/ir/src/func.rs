@@ -1,0 +1,377 @@
+//! Functions, basic blocks, globals and modules.
+//!
+//! A [`Function`] owns an instruction arena (stable [`InsnId`]s) and a
+//! list of [`Block`]s that order a subset of those instructions. Passes
+//! transform functions by appending instructions to the arena and
+//! rebuilding block orderings — instruction ids never change meaning,
+//! which is what the error-detection pass's side tables (paper Fig. 4)
+//! rely on.
+//!
+//! A [`Module`] owns functions and global arrays. Because the front-end
+//! fully inlines user and library functions (MiniC forbids recursion),
+//! the executed artifact is a single entry function; other functions are
+//! retained for inspection and testing.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::insn::{Insn, InsnId};
+use crate::reg::{Reg, RegClass};
+
+/// Dense basic-block id within a function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Dense function id within a module.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Dense global id within a module.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GlobalId(pub u32);
+
+/// A basic block: an ordered list of instruction ids. The last
+/// instruction must be a terminator (`br`, `br.cond`, or `halt`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Block {
+    /// Debug label.
+    pub name: String,
+    /// Ordered instruction ids; indices into [`Function::insns`].
+    pub insns: Vec<InsnId>,
+}
+
+/// A function: instruction arena + blocks + virtual register counters.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Debug name.
+    pub name: String,
+    /// Instruction arena. `InsnId(i)` indexes this vector. Instructions
+    /// removed from blocks remain in the arena (dead) — blocks are the
+    /// source of truth for program order.
+    pub insns: Vec<Insn>,
+    /// Basic blocks; `BlockId(i)` indexes this vector.
+    pub blocks: Vec<Block>,
+    /// Entry block.
+    pub entry: BlockId,
+    /// Next free virtual register index per class.
+    next_reg: [u32; 3],
+}
+
+impl Function {
+    /// Create an empty function with a single (empty) entry block.
+    pub fn new(name: impl Into<String>) -> Self {
+        Function {
+            name: name.into(),
+            insns: Vec::new(),
+            blocks: vec![Block {
+                name: "entry".into(),
+                insns: Vec::new(),
+            }],
+            entry: BlockId(0),
+            next_reg: [0; 3],
+        }
+    }
+
+    /// Allocate a fresh virtual register of `class`.
+    pub fn new_reg(&mut self, class: RegClass) -> Reg {
+        let idx = self.next_reg[class.index()];
+        self.next_reg[class.index()] += 1;
+        Reg::new(class, idx)
+    }
+
+    /// Number of virtual registers allocated so far for `class`.
+    #[inline]
+    pub fn reg_count(&self, class: RegClass) -> u32 {
+        self.next_reg[class.index()]
+    }
+
+    /// Append `insn` to the arena (without placing it in any block) and
+    /// return its id.
+    pub fn add_insn(&mut self, insn: Insn) -> InsnId {
+        let id = InsnId(self.insns.len() as u32);
+        self.insns.push(insn);
+        id
+    }
+
+    /// Append a new (empty) block and return its id.
+    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block {
+            name: name.into(),
+            insns: Vec::new(),
+        });
+        id
+    }
+
+    /// Immutable access to an instruction.
+    #[inline]
+    pub fn insn(&self, id: InsnId) -> &Insn {
+        &self.insns[id.index()]
+    }
+
+    /// Mutable access to an instruction.
+    #[inline]
+    pub fn insn_mut(&mut self, id: InsnId) -> &mut Insn {
+        &mut self.insns[id.index()]
+    }
+
+    /// Immutable access to a block.
+    #[inline]
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    #[inline]
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Iterate `(BlockId, &Block)` in layout order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Total number of instructions currently placed in blocks (the
+    /// static code size — the paper reports ED code growing >2x).
+    pub fn static_size(&self) -> usize {
+        self.blocks.iter().map(|b| b.insns.len()).sum()
+    }
+
+    /// The terminator instruction id of `block`, if the block is
+    /// non-empty and properly terminated.
+    pub fn terminator(&self, block: BlockId) -> Option<InsnId> {
+        let last = *self.block(block).insns.last()?;
+        self.insn(last).op.is_terminator().then_some(last)
+    }
+
+    /// Successor blocks of `block` in CFG order (taken target first).
+    pub fn successors(&self, block: BlockId) -> Vec<BlockId> {
+        match self.terminator(block) {
+            None => vec![],
+            Some(t) => {
+                let i = self.insn(t);
+                let mut out = Vec::with_capacity(2);
+                if let Some(b) = i.target {
+                    out.push(b);
+                }
+                if let Some(b) = i.target2 {
+                    if Some(b) != i.target {
+                        out.push(b);
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Element type of a global array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GlobalClass {
+    /// Array of `i64`.
+    Int,
+    /// Array of `f64`.
+    Float,
+}
+
+/// A statically allocated global array (MiniC `global` declaration, or a
+/// local array promoted to static storage by the inliner).
+#[derive(Clone, Debug)]
+pub struct Global {
+    /// Debug name.
+    pub name: String,
+    /// Element type.
+    pub class: GlobalClass,
+    /// Number of 8-byte elements.
+    pub len: usize,
+    /// Byte address assigned at module layout time (64-byte aligned so
+    /// arrays start on cache-line boundaries).
+    pub addr: i64,
+    /// Initial integer values (raw bits for float globals); zero-filled
+    /// to `len` at simulation start.
+    pub init: Vec<i64>,
+}
+
+/// Base address of the global data segment. Addresses below this are a
+/// trap page: any access raises a simulator exception, so wild pointers
+/// produced by bit flips in address registers surface as the paper's
+/// `Exceptions` outcome class.
+pub const DATA_BASE: i64 = 4096;
+
+/// A module: functions + globals + designated entry function.
+#[derive(Clone, Debug)]
+pub struct Module {
+    /// Debug name.
+    pub name: String,
+    /// Functions; `FuncId(i)` indexes this vector.
+    pub functions: Vec<Function>,
+    /// Global arrays.
+    pub globals: Vec<Global>,
+    /// Entry function executed by the interpreter / simulator.
+    pub entry: Option<FuncId>,
+    /// Name → function id map.
+    pub func_by_name: HashMap<String, FuncId>,
+    next_addr: i64,
+}
+
+impl Module {
+    /// Create an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+            globals: Vec::new(),
+            entry: None,
+            func_by_name: HashMap::new(),
+            next_addr: DATA_BASE,
+        }
+    }
+
+    /// Add a function; returns its id.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        let id = FuncId(self.functions.len() as u32);
+        self.func_by_name.insert(f.name.clone(), id);
+        self.functions.push(f);
+        id
+    }
+
+    /// Add a global array of `len` elements; assigns a 64-byte-aligned
+    /// address and returns `(id, byte_address)`.
+    pub fn add_global(
+        &mut self,
+        name: impl Into<String>,
+        class: GlobalClass,
+        len: usize,
+        init: Vec<i64>,
+    ) -> (GlobalId, i64) {
+        assert!(init.len() <= len, "initializer longer than global");
+        let addr = self.next_addr;
+        self.next_addr += ((len * 8 + 63) / 64 * 64) as i64;
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(Global {
+            name: name.into(),
+            class,
+            len,
+            addr,
+            init,
+        });
+        (id, addr)
+    }
+
+    /// One-past-the-end byte address of the data segment; the simulator
+    /// sizes memory as `data_end() + heap slack`.
+    #[inline]
+    pub fn data_end(&self) -> i64 {
+        self.next_addr
+    }
+
+    /// The entry function, panicking if unset.
+    pub fn entry_fn(&self) -> &Function {
+        &self.functions[self.entry.expect("module has no entry function").index()]
+    }
+
+    /// Mutable entry function.
+    pub fn entry_fn_mut(&mut self) -> &mut Function {
+        let e = self.entry.expect("module has no entry function");
+        &mut self.functions[e.index()]
+    }
+
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.func_by_name.get(name).map(|id| &self.functions[id.index()])
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::print::print_module(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::Operand;
+    use crate::op::Opcode;
+
+    #[test]
+    fn fresh_regs_are_distinct_per_class() {
+        let mut f = Function::new("t");
+        let a = f.new_reg(RegClass::Gp);
+        let b = f.new_reg(RegClass::Gp);
+        let c = f.new_reg(RegClass::Fp);
+        assert_ne!(a, b);
+        assert_eq!(c.index, 0);
+        assert_eq!(f.reg_count(RegClass::Gp), 2);
+        assert_eq!(f.reg_count(RegClass::Fp), 1);
+        assert_eq!(f.reg_count(RegClass::Pr), 0);
+    }
+
+    #[test]
+    fn global_addresses_are_aligned_and_disjoint() {
+        let mut m = Module::new("t");
+        let (_, a0) = m.add_global("a", GlobalClass::Int, 3, vec![]);
+        let (_, a1) = m.add_global("b", GlobalClass::Int, 100, vec![]);
+        let (_, a2) = m.add_global("c", GlobalClass::Float, 1, vec![]);
+        assert_eq!(a0, DATA_BASE);
+        assert_eq!(a0 % 64, 0);
+        assert_eq!(a1 % 64, 0);
+        assert_eq!(a2 % 64, 0);
+        assert!(a1 >= a0 + 24);
+        assert!(a2 >= a1 + 800);
+        assert!(m.data_end() >= a2 + 8);
+    }
+
+    #[test]
+    fn successors_of_cond_branch() {
+        let mut f = Function::new("t");
+        let b1 = f.add_block("b1");
+        let b2 = f.add_block("b2");
+        let p = f.new_reg(RegClass::Pr);
+        let mut br = Insn::new(Opcode::BrCond, vec![], vec![Operand::Reg(p)]);
+        br.target = Some(b1);
+        br.target2 = Some(b2);
+        let id = f.add_insn(br);
+        f.block_mut(f.entry).insns.push(id);
+        assert_eq!(f.successors(f.entry), vec![b1, b2]);
+        assert_eq!(f.successors(b1), Vec::<BlockId>::new());
+    }
+
+    #[test]
+    fn static_size_counts_placed_insns_only() {
+        let mut f = Function::new("t");
+        let i1 = f.add_insn(Insn::new(Opcode::Nop, vec![], vec![]));
+        let _dead = f.add_insn(Insn::new(Opcode::Nop, vec![], vec![]));
+        f.block_mut(f.entry).insns.push(i1);
+        assert_eq!(f.static_size(), 1);
+    }
+
+    #[test]
+    fn function_lookup_by_name() {
+        let mut m = Module::new("t");
+        let f = Function::new("dct");
+        m.add_function(f);
+        assert!(m.function("dct").is_some());
+        assert!(m.function("missing").is_none());
+    }
+}

@@ -1,0 +1,243 @@
+//! Instructions: opcode + defs + uses + provenance.
+
+use crate::func::BlockId;
+use crate::op::Opcode;
+use crate::reg::Reg;
+
+/// Dense instruction id within a [`crate::Function`]'s arena. Ids are
+/// stable across pass transformations (passes append new instructions
+/// and rebuild block orderings), which is what lets the error-detection
+/// pass keep its "replicated instructions table" (paper Fig. 4a) keyed
+/// by instruction id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InsnId(pub u32);
+
+impl InsnId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A register-or-immediate operand.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Operand {
+    /// A virtual register read.
+    Reg(Reg),
+    /// An integer immediate.
+    Imm(i64),
+    /// A float immediate.
+    FImm(f64),
+}
+
+impl Operand {
+    /// The register read, if this operand is a register.
+    #[inline]
+    pub fn reg(&self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+/// Where an instruction came from — the provenance classes the
+/// error-detection pass and the DCED placement policy dispatch on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Provenance {
+    /// Ordinary program instruction emitted by the front-end.
+    Original,
+    /// Exact duplicate of an original instruction, emitted by the
+    /// error-detection pass (shown in blue in the paper's figures).
+    Duplicate,
+    /// A compare emitted by the check-insertion step: compares an
+    /// original register against its renamed redundant copy.
+    CheckCmp,
+    /// The fault-detection branch paired with a [`Provenance::CheckCmp`].
+    CheckBr,
+    /// A copy instruction inserted during register renaming for values
+    /// that are live into the redundant code but have no duplicate
+    /// producer (Algorithm 1, `rename_writes_and_uses`, the
+    /// "no duplicates" arm).
+    IsolationCopy,
+    /// Compiler-generated instruction (spill/reload code, scaffolding).
+    /// Never replicated (paper §III-B, category 3).
+    CompilerGen,
+    /// Instruction belonging to an unprotected library routine linked
+    /// into the program. Never replicated: the paper notes CASTED "does
+    /// not replicate the code of the library functions linked into the
+    /// output when these libraries are supplied as binaries" — faults
+    /// striking these instructions are the source of the residual
+    /// undetected-corruption tail in Fig. 9.
+    LibraryCode,
+}
+
+impl Provenance {
+    /// True for instructions that belong to the redundant (replicated +
+    /// checking) code stream — the stream DCED pins to the second core.
+    #[inline]
+    pub fn is_redundant_stream(self) -> bool {
+        matches!(
+            self,
+            Provenance::Duplicate
+                | Provenance::CheckCmp
+                | Provenance::CheckBr
+                | Provenance::IsolationCopy
+        )
+    }
+}
+
+/// One IR instruction.
+///
+/// `defs` holds at most one register in the current opcode set, but is a
+/// vector to keep pass code uniform. Branch targets live in `target` /
+/// `target2` so that register operands stay positional.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Insn {
+    /// Opcode.
+    pub op: Opcode,
+    /// Registers written (0 or 1).
+    pub defs: Vec<Reg>,
+    /// Operand list; register reads in positional order.
+    pub uses: Vec<Operand>,
+    /// Address offset for memory instructions (`mem[base + imm]`).
+    pub imm: i64,
+    /// Primary branch target (taken side for `BrCond`).
+    pub target: Option<BlockId>,
+    /// Secondary branch target (fall-through side for `BrCond`).
+    pub target2: Option<BlockId>,
+    /// Provenance class.
+    pub prov: Provenance,
+}
+
+impl Insn {
+    /// Build a plain (non-branch) instruction with `Original` provenance.
+    pub fn new(op: Opcode, defs: Vec<Reg>, uses: Vec<Operand>) -> Self {
+        Insn {
+            op,
+            defs,
+            uses,
+            imm: 0,
+            target: None,
+            target2: None,
+            prov: Provenance::Original,
+        }
+    }
+
+    /// Set the memory offset immediate, builder-style.
+    pub fn with_imm(mut self, imm: i64) -> Self {
+        self.imm = imm;
+        self
+    }
+
+    /// Set the provenance, builder-style.
+    pub fn with_prov(mut self, prov: Provenance) -> Self {
+        self.prov = prov;
+        self
+    }
+
+    /// The single defined register, if any.
+    #[inline]
+    pub fn def(&self) -> Option<Reg> {
+        self.defs.first().copied()
+    }
+
+    /// Iterate over the registers this instruction reads.
+    pub fn reg_uses(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.uses.iter().filter_map(|o| o.reg())
+    }
+
+    /// True if the instruction is eligible for replication by the
+    /// error-detection pass: its opcode is replicable *and* it is an
+    /// original program instruction (not compiler-generated, not
+    /// unprotected library code, not already part of the redundant
+    /// stream).
+    #[inline]
+    pub fn is_replicable(&self) -> bool {
+        self.op.is_replicable() && self.prov == Provenance::Original
+    }
+
+    /// True if this instruction is "non-replicated" in the paper's sense
+    /// — a store-class or control-flow instruction that must have its
+    /// register operands checked before execution.
+    #[inline]
+    pub fn needs_operand_checks(&self) -> bool {
+        (self.op.is_store_class() || self.op.is_terminator())
+            && !matches!(self.prov, Provenance::LibraryCode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::CmpKind;
+    use crate::reg::Reg;
+
+    #[test]
+    fn def_and_uses() {
+        let i = Insn::new(
+            Opcode::Add,
+            vec![Reg::gp(2)],
+            vec![Operand::Reg(Reg::gp(0)), Operand::Reg(Reg::gp(1))],
+        );
+        assert_eq!(i.def(), Some(Reg::gp(2)));
+        let uses: Vec<_> = i.reg_uses().collect();
+        assert_eq!(uses, vec![Reg::gp(0), Reg::gp(1)]);
+    }
+
+    #[test]
+    fn imm_operands_are_not_reg_uses() {
+        let i = Insn::new(
+            Opcode::Add,
+            vec![Reg::gp(1)],
+            vec![Operand::Reg(Reg::gp(0)), Operand::Imm(7)],
+        );
+        assert_eq!(i.reg_uses().count(), 1);
+    }
+
+    #[test]
+    fn replicability_respects_provenance() {
+        let orig = Insn::new(Opcode::Add, vec![Reg::gp(1)], vec![Operand::Imm(1)]);
+        assert!(orig.is_replicable());
+        let dup = orig.clone().with_prov(Provenance::Duplicate);
+        assert!(!dup.is_replicable());
+        let lib = orig.clone().with_prov(Provenance::LibraryCode);
+        assert!(!lib.is_replicable());
+        let cg = orig.with_prov(Provenance::CompilerGen);
+        assert!(!cg.is_replicable());
+    }
+
+    #[test]
+    fn store_needs_operand_checks() {
+        let st = Insn::new(
+            Opcode::Store,
+            vec![],
+            vec![Operand::Reg(Reg::gp(0)), Operand::Reg(Reg::gp(1))],
+        );
+        assert!(st.needs_operand_checks());
+        let lib_st = st.clone().with_prov(Provenance::LibraryCode);
+        assert!(!lib_st.needs_operand_checks());
+    }
+
+    #[test]
+    fn redundant_stream_classes() {
+        assert!(Provenance::Duplicate.is_redundant_stream());
+        assert!(Provenance::CheckCmp.is_redundant_stream());
+        assert!(Provenance::CheckBr.is_redundant_stream());
+        assert!(Provenance::IsolationCopy.is_redundant_stream());
+        assert!(!Provenance::Original.is_redundant_stream());
+        assert!(!Provenance::LibraryCode.is_redundant_stream());
+        assert!(!Provenance::CompilerGen.is_redundant_stream());
+    }
+
+    #[test]
+    fn cmp_defines_predicate() {
+        let i = Insn::new(
+            Opcode::Cmp(CmpKind::Ne),
+            vec![Reg::pr(0)],
+            vec![Operand::Reg(Reg::gp(0)), Operand::Reg(Reg::gp(1))],
+        );
+        assert_eq!(i.def().unwrap().class, crate::RegClass::Pr);
+    }
+}

@@ -1,0 +1,66 @@
+//! # casted-ir — the intermediate representation of the CASTED reproduction
+//!
+//! This crate defines the two program representations shared by the whole
+//! workspace:
+//!
+//! 1. **The virtual-register IR** ([`Module`], [`Function`], [`Insn`]):
+//!    a low-level, three-address, register-class-typed code representation
+//!    playing the role GCC's RTL plays in the paper. The error-detection
+//!    pass (Algorithm 1 of the paper) and the Bottom-Up-Greedy cluster
+//!    assignment (Algorithm 2) both run on it.
+//! 2. **The machine-level scheduled form** ([`vliw::ScheduledProgram`]):
+//!    code placed into per-cycle VLIW bundles, with every instruction
+//!    assigned to a cluster. The cycle-accurate simulator
+//!    (`casted-sim`) executes this form.
+//!
+//! The IR deliberately models only what the paper's argument depends on:
+//! register classes (general-purpose, floating-point, predicate — the
+//! Itanium-style `64GP/64FL/32PR` files of Table I), instruction
+//! latencies, the replicable/non-replicable instruction distinction
+//! (stores and control flow are never replicated), and def/use
+//! information precise enough for register renaming and data-flow-graph
+//! construction.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use casted_ir::{Module, FunctionBuilder, Opcode, RegClass, Operand};
+//!
+//! let mut module = Module::new("demo");
+//! let mut b = FunctionBuilder::new("main");
+//! let r = b.new_reg(RegClass::Gp);
+//! b.push(Opcode::MovI, vec![r], vec![Operand::Imm(21)]);
+//! let r2 = b.new_reg(RegClass::Gp);
+//! b.push(Opcode::Add, vec![r2], vec![Operand::Reg(r), Operand::Reg(r)]);
+//! b.push(Opcode::Out, vec![], vec![Operand::Reg(r2)]);
+//! b.halt_imm(0);
+//! let f = b.finish();
+//! let fid = module.add_function(f);
+//! module.entry = Some(fid);
+//!
+//! let out = casted_ir::interp::run(&module, 1_000).unwrap();
+//! assert_eq!(out.stream, vec![casted_ir::interp::OutVal::Int(42)]);
+//! ```
+
+pub mod builder;
+pub mod cfg;
+pub mod dfg;
+pub mod func;
+pub mod insn;
+pub mod interp;
+pub mod liveness;
+pub mod machine;
+pub mod op;
+pub mod print;
+pub mod reg;
+pub mod semantics;
+pub mod testgen;
+pub mod verify;
+pub mod vliw;
+
+pub use builder::FunctionBuilder;
+pub use func::{Block, BlockId, Function, FuncId, Global, GlobalId, Module};
+pub use insn::{Insn, InsnId, Operand, Provenance};
+pub use machine::{CacheLevelConfig, Cluster, LatencyConfig, MachineConfig};
+pub use op::{CmpKind, Opcode};
+pub use reg::{Reg, RegClass};

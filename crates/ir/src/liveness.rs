@@ -1,0 +1,147 @@
+//! Classic backward liveness analysis over virtual registers.
+//!
+//! Used by the register-pressure limiting (spilling) pass and the final
+//! physical-register assignment in `casted-passes`.
+
+use std::collections::HashSet;
+
+use crate::func::Function;
+use crate::reg::Reg;
+
+/// Live-in / live-out register sets per block.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// Registers live at block entry, indexed by block.
+    pub live_in: Vec<HashSet<Reg>>,
+    /// Registers live at block exit, indexed by block.
+    pub live_out: Vec<HashSet<Reg>>,
+}
+
+impl Liveness {
+    /// Run the fixed-point dataflow analysis on `func`.
+    pub fn analyze(func: &Function) -> Self {
+        let n = func.blocks.len();
+        // Per-block use (upward-exposed) and def sets.
+        let mut use_set: Vec<HashSet<Reg>> = vec![HashSet::new(); n];
+        let mut def_set: Vec<HashSet<Reg>> = vec![HashSet::new(); n];
+        for (bid, block) in func.iter_blocks() {
+            let (u, d) = (&mut use_set[bid.index()], &mut def_set[bid.index()]);
+            for &iid in &block.insns {
+                let insn = func.insn(iid);
+                for r in insn.reg_uses() {
+                    if !d.contains(&r) {
+                        u.insert(r);
+                    }
+                }
+                for &r in &insn.defs {
+                    d.insert(r);
+                }
+            }
+        }
+
+        let mut live_in: Vec<HashSet<Reg>> = vec![HashSet::new(); n];
+        let mut live_out: Vec<HashSet<Reg>> = vec![HashSet::new(); n];
+        // Iterate to fixed point (blocks in reverse layout order gives
+        // fast convergence for reducible CFGs).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in (0..n).rev() {
+                let bid = crate::func::BlockId(i as u32);
+                let mut out: HashSet<Reg> = HashSet::new();
+                for s in func.successors(bid) {
+                    out.extend(live_in[s.index()].iter().copied());
+                }
+                let mut inn: HashSet<Reg> = use_set[i].clone();
+                for &r in &out {
+                    if !def_set[i].contains(&r) {
+                        inn.insert(r);
+                    }
+                }
+                if out != live_out[i] {
+                    live_out[i] = out;
+                    changed = true;
+                }
+                if inn != live_in[i] {
+                    live_in[i] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::insn::Operand;
+    use crate::op::{CmpKind, Opcode};
+
+    #[test]
+    fn straightline_liveness_is_empty_at_boundaries() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.imm(1);
+        let _y = b.binop(Opcode::Add, Operand::Reg(x), Operand::Imm(1));
+        b.halt_imm(0);
+        let f = b.finish();
+        let l = Liveness::analyze(&f);
+        assert!(l.live_in[0].is_empty());
+        assert!(l.live_out[0].is_empty());
+    }
+
+    #[test]
+    fn loop_carried_register_is_live_around_backedge() {
+        let mut b = FunctionBuilder::new("f");
+        let body = b.new_block("body");
+        let done = b.new_block("done");
+        let i = b.imm(0);
+        b.br(body);
+        b.switch_to(body);
+        let i1 = b.binop(Opcode::Add, Operand::Reg(i), Operand::Imm(1));
+        b.push(Opcode::MovI, vec![i], vec![Operand::Reg(i1)]);
+        let p = b.cmp(CmpKind::Lt, Operand::Reg(i), Operand::Imm(10));
+        b.br_cond(p, body, done);
+        b.switch_to(done);
+        b.out(Operand::Reg(i));
+        b.halt_imm(0);
+        let f = b.finish();
+        let l = Liveness::analyze(&f);
+        // `i` is live into and out of the loop body.
+        assert!(l.live_in[body.index()].contains(&i));
+        assert!(l.live_out[body.index()].contains(&i));
+        // `i` is live into the exit block (it is printed there).
+        assert!(l.live_in[done.index()].contains(&i));
+        // the loop-local temp is not live anywhere across blocks.
+        assert!(!l.live_in[body.index()].contains(&i1));
+    }
+
+    #[test]
+    fn value_defined_in_one_branch_used_at_join() {
+        let mut b = FunctionBuilder::new("f");
+        let t = b.new_block("t");
+        let e = b.new_block("e");
+        let j = b.new_block("j");
+        let x = b.imm(5);
+        let v = b.new_reg(crate::RegClass::Gp);
+        let p = b.cmp(CmpKind::Gt, Operand::Reg(x), Operand::Imm(0));
+        b.br_cond(p, t, e);
+        b.switch_to(t);
+        b.push(Opcode::MovI, vec![v], vec![Operand::Imm(1)]);
+        b.br(j);
+        b.switch_to(e);
+        b.push(Opcode::MovI, vec![v], vec![Operand::Imm(2)]);
+        b.br(j);
+        b.switch_to(j);
+        b.out(Operand::Reg(v));
+        b.halt_imm(0);
+        let f = b.finish();
+        let l = Liveness::analyze(&f);
+        assert!(l.live_in[j.index()].contains(&v));
+        assert!(l.live_out[t.index()].contains(&v));
+        assert!(l.live_out[e.index()].contains(&v));
+        // v is not live into entry (defined before use along all paths).
+        assert!(!l.live_in[0].contains(&v));
+    }
+}

@@ -1,0 +1,273 @@
+//! Machine model configuration (Table I of the paper).
+//!
+//! The target is a 2-cluster VLIW in lockstep, with configurable issue
+//! width per cluster and configurable inter-cluster communication
+//! latency — the two axes the paper sweeps (issue width 1–4 × delay
+//! 1–4). Each cluster owns a register file; reading a value whose home
+//! register file is the *other* cluster costs `inter_cluster_delay`
+//! extra cycles, which is the cost CASTED's placement tries to hide.
+
+use std::fmt;
+
+/// Identifier of a cluster (core). The paper evaluates 2 clusters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cluster(pub u8);
+
+impl Cluster {
+    /// Cluster 0: the "main" cluster executing the original code in the
+    /// DCED placement.
+    pub const MAIN: Cluster = Cluster(0);
+    /// Cluster 1: the "checker" cluster in the DCED placement.
+    pub const REDUNDANT: Cluster = Cluster(1);
+
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The other cluster of a 2-cluster machine.
+    #[inline]
+    pub fn other(self) -> Cluster {
+        Cluster(1 - self.0)
+    }
+}
+
+impl fmt::Display for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Instruction result latencies in cycles (configurable per Table I:
+/// "Instruction Latencies: configurable"). Defaults are Itanium-2-like.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyConfig {
+    /// Simple integer ALU (add/sub/logic/shift/move/select).
+    pub alu: u32,
+    /// Integer multiply.
+    pub mul: u32,
+    /// Integer divide / remainder.
+    pub div: u32,
+    /// Integer compare writing a predicate.
+    pub cmp: u32,
+    /// Float compare writing a predicate.
+    pub fcmp: u32,
+    /// FP add/sub/move.
+    pub fadd: u32,
+    /// FP multiply.
+    pub fmul: u32,
+    /// FP divide.
+    pub fdiv: u32,
+    /// Int<->float conversion.
+    pub fcvt: u32,
+    /// Load-use latency on an L1 hit.
+    pub load_hit: u32,
+    /// Store issue latency.
+    pub store: u32,
+    /// Branch issue latency (branch prediction is perfect, Table I).
+    pub branch: u32,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig {
+            alu: 1,
+            mul: 3,
+            div: 16,
+            cmp: 1,
+            fcmp: 1,
+            fadd: 4,
+            fmul: 4,
+            fdiv: 24,
+            fcvt: 4,
+            load_hit: 1,
+            store: 1,
+            branch: 1,
+        }
+    }
+}
+
+/// One level of the cache hierarchy (Table I).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheLevelConfig {
+    /// Human-readable level name ("L1", "L2", "L3").
+    pub name: &'static str,
+    /// Total size in bytes.
+    pub size_bytes: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// Associativity (ways).
+    pub ways: usize,
+    /// Access latency in cycles when the access *hits* at this level.
+    pub latency: u32,
+}
+
+impl CacheLevelConfig {
+    /// Number of sets implied by size/line/ways.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.line_bytes * self.ways)
+    }
+}
+
+/// Full machine configuration: the processor of Table I.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Number of clusters; the paper evaluates 2.
+    pub clusters: usize,
+    /// Issue width *per cluster* (paper sweeps 1–4).
+    pub issue_width: usize,
+    /// Inter-cluster register-file access delay in cycles (paper sweeps
+    /// 1–4): extra cycles for a cluster to read a value whose home
+    /// register file belongs to the other cluster.
+    pub inter_cluster_delay: u32,
+    /// Instruction latencies.
+    pub latency: LatencyConfig,
+    /// Cache hierarchy, ordered from L1 outward. Empty = perfect memory.
+    pub cache_levels: Vec<CacheLevelConfig>,
+    /// Main-memory access latency in cycles (Table I: 150).
+    pub memory_latency: u32,
+    /// Maximum simultaneously outstanding cache misses before the
+    /// machine stalls on issue of a further miss (non-blocking caches).
+    pub mshr_entries: usize,
+}
+
+impl MachineConfig {
+    /// The paper's processor (Table I) with a given issue width and
+    /// inter-cluster delay: 2 clusters; L1 16K/64B/4-way/1cy; L2
+    /// 256K/128B/8-way/5cy; L3 3M/128B/12-way/12cy; memory 150cy;
+    /// non-blocking caches; perfect branch prediction (branch latency 1).
+    pub fn itanium2_like(issue_width: usize, inter_cluster_delay: u32) -> Self {
+        MachineConfig {
+            clusters: 2,
+            issue_width,
+            inter_cluster_delay,
+            latency: LatencyConfig::default(),
+            cache_levels: vec![
+                CacheLevelConfig {
+                    name: "L1",
+                    size_bytes: 16 * 1024,
+                    line_bytes: 64,
+                    ways: 4,
+                    latency: 1,
+                },
+                CacheLevelConfig {
+                    name: "L2",
+                    size_bytes: 256 * 1024,
+                    line_bytes: 128,
+                    ways: 8,
+                    latency: 5,
+                },
+                CacheLevelConfig {
+                    name: "L3",
+                    size_bytes: 3 * 1024 * 1024,
+                    line_bytes: 128,
+                    ways: 12,
+                    latency: 12,
+                },
+            ],
+            memory_latency: 150,
+            mshr_entries: 8,
+        }
+    }
+
+    /// A configuration with no cache hierarchy (every access hits in
+    /// `load_hit` cycles). Useful for unit tests and the motivating
+    /// examples of Fig. 2/3, which reason about pure schedules.
+    pub fn perfect_memory(issue_width: usize, inter_cluster_delay: u32) -> Self {
+        let mut m = Self::itanium2_like(issue_width, inter_cluster_delay);
+        m.cache_levels.clear();
+        m.memory_latency = 0;
+        m
+    }
+
+    /// Iterator over all cluster ids of this machine.
+    pub fn cluster_ids(&self) -> impl Iterator<Item = Cluster> {
+        (0..self.clusters as u8).map(Cluster)
+    }
+
+    /// Extra operand latency for cluster `reader` consuming a value
+    /// homed in cluster `home`.
+    #[inline]
+    pub fn cross_delay(&self, home: Cluster, reader: Cluster) -> u32 {
+        if home == reader {
+            0
+        } else {
+            self.inter_cluster_delay
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::itanium2_like(2, 2)
+    }
+}
+
+impl fmt::Display for MachineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Processor: clustered VLIW")?;
+        writeln!(f, "  Clusters:           {}", self.clusters)?;
+        writeln!(f, "  Issue width:        {} per cluster", self.issue_width)?;
+        writeln!(f, "  Inter-core delay:   {} cycles", self.inter_cluster_delay)?;
+        writeln!(f, "  Register file:      (64GP, 64FL, 32PR) per cluster")?;
+        writeln!(f, "  Branch prediction:  perfect")?;
+        for l in &self.cache_levels {
+            writeln!(
+                f,
+                "  {}: {} KB, {}B lines, {}-way, {} cy, non-blocking",
+                l.name,
+                l.size_bytes / 1024,
+                l.line_bytes,
+                l.ways,
+                l.latency
+            )?;
+        }
+        writeln!(f, "  Memory latency:     {} cycles", self.memory_latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_parameters() {
+        let m = MachineConfig::itanium2_like(2, 1);
+        assert_eq!(m.clusters, 2);
+        assert_eq!(m.cache_levels.len(), 3);
+        let l1 = &m.cache_levels[0];
+        assert_eq!((l1.size_bytes, l1.line_bytes, l1.ways, l1.latency), (16384, 64, 4, 1));
+        let l2 = &m.cache_levels[1];
+        assert_eq!((l2.size_bytes, l2.line_bytes, l2.ways, l2.latency), (262144, 128, 8, 5));
+        let l3 = &m.cache_levels[2];
+        assert_eq!(
+            (l3.size_bytes, l3.line_bytes, l3.ways, l3.latency),
+            (3 * 1024 * 1024, 128, 12, 12)
+        );
+        assert_eq!(m.memory_latency, 150);
+    }
+
+    #[test]
+    fn cache_sets_are_power_of_two() {
+        let m = MachineConfig::itanium2_like(1, 1);
+        for l in &m.cache_levels {
+            let sets = l.sets();
+            assert!(sets.is_power_of_two(), "{}: {} sets", l.name, sets);
+        }
+    }
+
+    #[test]
+    fn cross_delay() {
+        let m = MachineConfig::itanium2_like(2, 3);
+        assert_eq!(m.cross_delay(Cluster(0), Cluster(0)), 0);
+        assert_eq!(m.cross_delay(Cluster(0), Cluster(1)), 3);
+        assert_eq!(m.cross_delay(Cluster(1), Cluster(0)), 3);
+    }
+
+    #[test]
+    fn cluster_other() {
+        assert_eq!(Cluster(0).other(), Cluster(1));
+        assert_eq!(Cluster(1).other(), Cluster(0));
+    }
+}

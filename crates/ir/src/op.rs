@@ -1,0 +1,390 @@
+//! Instruction opcodes and their static properties.
+//!
+//! The opcode set is a generic load/store three-address ISA with the
+//! Itanium-2 flavour the paper targets: integer ALU ops, FP ops,
+//! compares that write *predicate registers*, predicated branches, and
+//! explicit `Out`/`FOut` instructions standing in for writes to the
+//! program's observable output (the benchmark's output file in the
+//! paper's methodology).
+//!
+//! The properties that drive the error-detection pass (Algorithm 1) are
+//! encoded here: [`Opcode::is_store_class`], [`Opcode::is_control_flow`]
+//! and [`Opcode::is_replicable`] implement the paper's taxonomy of
+//! non-replicated instructions (§III-B): control flow, stores, and
+//! special compiler-generated instructions are never replicated; the
+//! operands of store-class instructions are *checked* instead.
+
+use std::fmt;
+
+use crate::machine::LatencyConfig;
+
+/// Comparison predicates shared by [`Opcode::Cmp`] and [`Opcode::FCmp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpKind {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl CmpKind {
+    /// Evaluate the predicate over two ordered integer values.
+    #[inline]
+    pub fn eval_int(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpKind::Eq => a == b,
+            CmpKind::Ne => a != b,
+            CmpKind::Lt => a < b,
+            CmpKind::Le => a <= b,
+            CmpKind::Gt => a > b,
+            CmpKind::Ge => a >= b,
+        }
+    }
+
+    /// Evaluate the predicate over two floats (IEEE semantics; all
+    /// comparisons with NaN are false except `Ne`).
+    #[inline]
+    pub fn eval_float(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpKind::Eq => a == b,
+            CmpKind::Ne => a != b,
+            CmpKind::Lt => a < b,
+            CmpKind::Le => a <= b,
+            CmpKind::Gt => a > b,
+            CmpKind::Ge => a >= b,
+        }
+    }
+
+    /// Mnemonic suffix (`eq`, `ne`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpKind::Eq => "eq",
+            CmpKind::Ne => "ne",
+            CmpKind::Lt => "lt",
+            CmpKind::Le => "le",
+            CmpKind::Gt => "gt",
+            CmpKind::Ge => "ge",
+        }
+    }
+}
+
+/// The opcode of an [`crate::Insn`].
+///
+/// Operand conventions are documented per variant; `def` is the defined
+/// register (at most one per instruction), `a`/`b` are register-or-
+/// immediate operands (see [`crate::Operand`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    // ------------------------- integer ALU -------------------------
+    /// `def = a + b` (wrapping).
+    Add,
+    /// `def = a - b` (wrapping).
+    Sub,
+    /// `def = a * b` (wrapping).
+    Mul,
+    /// `def = a / b` (signed; division by zero raises a simulator
+    /// exception, the paper's `Exceptions` fault-outcome class).
+    Div,
+    /// `def = a % b` (signed; modulo by zero raises an exception).
+    Rem,
+    /// `def = a & b`.
+    And,
+    /// `def = a | b`.
+    Or,
+    /// `def = a ^ b`.
+    Xor,
+    /// `def = a << (b & 63)`.
+    Shl,
+    /// `def = ((a as u64) >> (b & 63)) as i64` — logical right shift.
+    Shr,
+    /// `def = a >> (b & 63)` — arithmetic right shift.
+    Sra,
+    /// `def = a` where `a` is an immediate or register; integer move /
+    /// load-immediate. Also used for materialised global addresses.
+    MovI,
+    /// `def = p ? a : b` — integer select on a predicate register `p`
+    /// (first use), used for branch-free clipping/saturation.
+    Sel,
+
+    // ------------------------- compares ----------------------------
+    /// `def(pr) = cmp(a, b)` over integers.
+    Cmp(CmpKind),
+    /// `def(pr) = cmp(a, b)` over floats.
+    FCmp(CmpKind),
+
+    // ------------------------- floating point ----------------------
+    /// `def = a + b` (f64).
+    FAdd,
+    /// `def = a - b` (f64).
+    FSub,
+    /// `def = a * b` (f64).
+    FMul,
+    /// `def = a / b` (f64; IEEE — produces inf/NaN rather than trapping).
+    FDiv,
+    /// `def = a` — float move / load-float-immediate.
+    FMovI,
+    /// `def = float(a)` — integer to float conversion.
+    I2F,
+    /// `def = int(a)` — float to integer conversion (saturating,
+    /// NaN maps to 0).
+    F2I,
+
+    // ------------------------- memory ------------------------------
+    /// `def(gp) = mem[a + imm]` — 8-byte integer load. The memory
+    /// subsystem is inside its own sphere of replication (ECC) per the
+    /// paper, so loads ARE replicated by the error-detection pass.
+    Load,
+    /// `def(fp) = mem[a + imm]` — 8-byte float load.
+    FLoad,
+    /// `mem[a + imm] = b` — integer store. Never replicated; its
+    /// operands are checked instead (SWIFT rule).
+    Store,
+    /// `mem[a + imm] = b` — float store. Never replicated.
+    FStore,
+
+    // ------------------------- observable output -------------------
+    /// Append the integer value `a` to the program output stream. This
+    /// models the benchmark writing its output file; it is store-class
+    /// (checked, never replicated).
+    Out,
+    /// Append the float value `a` to the program output stream.
+    FOut,
+
+    // ------------------------- control flow ------------------------
+    /// Unconditional branch to `target`. Block terminator.
+    Br,
+    /// Conditional branch: if predicate `a` is true go to `target`,
+    /// else to `target2`. Block terminator.
+    BrCond,
+    /// Fault-detection branch emitted by the error-detection pass: if
+    /// predicate `a` is true, the executing machine jumps to the fault
+    /// handler and the run terminates with the `Detected` outcome.
+    /// *Not* a block terminator (architecturally it is a branch to a
+    /// shared handler; we model the handler as a terminal state).
+    DetectBr,
+    /// Fused compare-and-detect (ablation): compares `a` against `b`
+    /// bitwise and diverts to the fault handler on mismatch, in a
+    /// single issue slot. The paper's checks are explicit
+    /// compare + branch *pairs*; this opcode exists to quantify what
+    /// that choice costs (see the `ablation` bench binary).
+    ChkNe,
+    /// Stop the program with exit code `a`. Block terminator.
+    Halt,
+
+    /// No operation (alignment / placeholder).
+    Nop,
+}
+
+impl Opcode {
+    /// True for instructions that transfer control: branches and halt.
+    /// Control-flow instructions are never replicated (paper §III-B,
+    /// category 1): "the control flow is followed by only one of the
+    /// cores".
+    #[inline]
+    pub fn is_control_flow(self) -> bool {
+        matches!(
+            self,
+            Opcode::Br | Opcode::BrCond | Opcode::DetectBr | Opcode::ChkNe | Opcode::Halt
+        )
+    }
+
+    /// True for instructions that must end a basic block.
+    #[inline]
+    pub fn is_terminator(self) -> bool {
+        matches!(self, Opcode::Br | Opcode::BrCond | Opcode::Halt)
+    }
+
+    /// True for store-class instructions: memory stores and output
+    /// writes. These are never replicated (paper §III-B, category 2);
+    /// their register operands are compared against the redundant copy
+    /// right before execution.
+    #[inline]
+    pub fn is_store_class(self) -> bool {
+        matches!(
+            self,
+            Opcode::Store | Opcode::FStore | Opcode::Out | Opcode::FOut
+        )
+    }
+
+    /// True if the instruction accesses memory (used for conservative
+    /// memory-ordering edges in the DFG).
+    #[inline]
+    pub fn is_memory(self) -> bool {
+        matches!(
+            self,
+            Opcode::Load | Opcode::FLoad | Opcode::Store | Opcode::FStore
+        )
+    }
+
+    /// True if the instruction reads memory.
+    #[inline]
+    pub fn is_load(self) -> bool {
+        matches!(self, Opcode::Load | Opcode::FLoad)
+    }
+
+    /// True if the instruction writes memory.
+    #[inline]
+    pub fn is_mem_store(self) -> bool {
+        matches!(self, Opcode::Store | Opcode::FStore)
+    }
+
+    /// The paper's replicability rule: everything except control flow,
+    /// store-class instructions and `Nop` gets an exact duplicate
+    /// emitted just before it by the error-detection pass.
+    ///
+    /// Note this is a property of the *opcode*; the pass additionally
+    /// skips instructions whose [`crate::Provenance`] marks them as
+    /// compiler-generated or as unprotected library code.
+    #[inline]
+    pub fn is_replicable(self) -> bool {
+        !self.is_control_flow() && !self.is_store_class() && self != Opcode::Nop
+    }
+
+    /// Result latency in cycles under the given latency configuration.
+    /// For loads this is the *hit* latency; the cache hierarchy adds
+    /// miss penalties dynamically in the simulator.
+    #[inline]
+    pub fn latency(self, lat: &LatencyConfig) -> u32 {
+        match self {
+            Opcode::Add
+            | Opcode::Sub
+            | Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Shl
+            | Opcode::Shr
+            | Opcode::Sra
+            | Opcode::MovI
+            | Opcode::Sel
+            | Opcode::Nop => lat.alu,
+            Opcode::Mul => lat.mul,
+            Opcode::Div | Opcode::Rem => lat.div,
+            Opcode::Cmp(_) => lat.cmp,
+            Opcode::FCmp(_) => lat.fcmp,
+            Opcode::FAdd | Opcode::FSub | Opcode::FMovI => lat.fadd,
+            Opcode::FMul => lat.fmul,
+            Opcode::FDiv => lat.fdiv,
+            Opcode::I2F | Opcode::F2I => lat.fcvt,
+            Opcode::Load | Opcode::FLoad => lat.load_hit,
+            Opcode::Store | Opcode::FStore => lat.store,
+            Opcode::Out | Opcode::FOut => lat.store,
+            Opcode::Br | Opcode::BrCond | Opcode::DetectBr | Opcode::ChkNe | Opcode::Halt => {
+                lat.branch
+            }
+        }
+    }
+
+    /// Assembly-style mnemonic used by the IR printer.
+    pub fn mnemonic(self) -> String {
+        match self {
+            Opcode::Add => "add".into(),
+            Opcode::Sub => "sub".into(),
+            Opcode::Mul => "mul".into(),
+            Opcode::Div => "div".into(),
+            Opcode::Rem => "rem".into(),
+            Opcode::And => "and".into(),
+            Opcode::Or => "or".into(),
+            Opcode::Xor => "xor".into(),
+            Opcode::Shl => "shl".into(),
+            Opcode::Shr => "shr".into(),
+            Opcode::Sra => "sra".into(),
+            Opcode::MovI => "mov".into(),
+            Opcode::Sel => "sel".into(),
+            Opcode::Cmp(k) => format!("cmp.{}", k.mnemonic()),
+            Opcode::FCmp(k) => format!("fcmp.{}", k.mnemonic()),
+            Opcode::FAdd => "fadd".into(),
+            Opcode::FSub => "fsub".into(),
+            Opcode::FMul => "fmul".into(),
+            Opcode::FDiv => "fdiv".into(),
+            Opcode::FMovI => "fmov".into(),
+            Opcode::I2F => "i2f".into(),
+            Opcode::F2I => "f2i".into(),
+            Opcode::Load => "ld8".into(),
+            Opcode::FLoad => "ldf8".into(),
+            Opcode::Store => "st8".into(),
+            Opcode::FStore => "stf8".into(),
+            Opcode::Out => "out".into(),
+            Opcode::FOut => "fout".into(),
+            Opcode::Br => "br".into(),
+            Opcode::BrCond => "br.cond".into(),
+            Opcode::DetectBr => "br.detect".into(),
+            Opcode::ChkNe => "chk.ne".into(),
+            Opcode::Halt => "halt".into(),
+            Opcode::Nop => "nop".into(),
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_class_is_not_replicable() {
+        for op in [Opcode::Store, Opcode::FStore, Opcode::Out, Opcode::FOut] {
+            assert!(op.is_store_class());
+            assert!(!op.is_replicable(), "{op} must not be replicable");
+        }
+    }
+
+    #[test]
+    fn control_flow_is_not_replicable() {
+        for op in [Opcode::Br, Opcode::BrCond, Opcode::DetectBr, Opcode::Halt] {
+            assert!(op.is_control_flow());
+            assert!(!op.is_replicable(), "{op} must not be replicable");
+        }
+    }
+
+    #[test]
+    fn loads_are_replicable() {
+        // SWIFT / CASTED replicate loads: memory is ECC-protected, so
+        // both copies read the same (correct) value.
+        assert!(Opcode::Load.is_replicable());
+        assert!(Opcode::FLoad.is_replicable());
+    }
+
+    #[test]
+    fn alu_is_replicable() {
+        for op in [Opcode::Add, Opcode::Mul, Opcode::FAdd, Opcode::Cmp(CmpKind::Lt)] {
+            assert!(op.is_replicable());
+        }
+    }
+
+    #[test]
+    fn detect_br_is_control_flow_but_not_terminator() {
+        assert!(Opcode::DetectBr.is_control_flow());
+        assert!(!Opcode::DetectBr.is_terminator());
+    }
+
+    #[test]
+    fn cmp_eval() {
+        assert!(CmpKind::Lt.eval_int(1, 2));
+        assert!(!CmpKind::Lt.eval_int(2, 1));
+        assert!(CmpKind::Ne.eval_float(f64::NAN, 0.0));
+        assert!(!CmpKind::Eq.eval_float(f64::NAN, f64::NAN));
+        assert!(CmpKind::Ge.eval_int(3, 3));
+    }
+
+    #[test]
+    fn latencies_follow_config() {
+        let lat = LatencyConfig::default();
+        assert_eq!(Opcode::Add.latency(&lat), lat.alu);
+        assert_eq!(Opcode::Mul.latency(&lat), lat.mul);
+        assert_eq!(Opcode::FDiv.latency(&lat), lat.fdiv);
+        assert_eq!(Opcode::Load.latency(&lat), lat.load_hit);
+    }
+}

@@ -1,0 +1,134 @@
+//! Human-readable printing of IR and schedules.
+
+use std::fmt;
+
+use crate::func::{Function, Module};
+use crate::insn::{Insn, Operand, Provenance};
+
+/// Format one operand.
+pub fn format_operand(op: &Operand) -> String {
+    match op {
+        Operand::Reg(r) => r.to_string(),
+        Operand::Imm(v) => v.to_string(),
+        Operand::FImm(v) => format!("{v:?}"),
+    }
+}
+
+/// Format one instruction as `mnemonic defs = uses [targets] ; prov`.
+pub fn format_insn(func: &Function, insn: &Insn) -> String {
+    let mut s = insn.op.mnemonic();
+    if let Some(d) = insn.def() {
+        s.push_str(&format!(" {d} ="));
+    }
+    let mut parts: Vec<String> = insn.uses.iter().map(format_operand).collect();
+    if insn.op.is_memory() {
+        // Render address as [base + off].
+        let base = parts.remove(0);
+        let addr = if insn.imm == 0 {
+            format!("[{base}]")
+        } else {
+            format!("[{base}+{}]", insn.imm)
+        };
+        parts.insert(0, addr);
+    }
+    if !parts.is_empty() {
+        s.push(' ');
+        s.push_str(&parts.join(", "));
+    }
+    if let Some(t) = insn.target {
+        s.push_str(&format!(" -> {}", func.block(t).name));
+    }
+    if let Some(t) = insn.target2 {
+        s.push_str(&format!(" / {}", func.block(t).name));
+    }
+    match insn.prov {
+        Provenance::Original => {}
+        Provenance::Duplicate => s.push_str("  ; dup"),
+        Provenance::CheckCmp => s.push_str("  ; check"),
+        Provenance::CheckBr => s.push_str("  ; check-br"),
+        Provenance::IsolationCopy => s.push_str("  ; iso-copy"),
+        Provenance::CompilerGen => s.push_str("  ; cg"),
+        Provenance::LibraryCode => s.push_str("  ; lib"),
+    }
+    s
+}
+
+/// Print a whole function.
+pub fn print_function(func: &Function, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    writeln!(f, "fn {} {{", func.name)?;
+    for (bid, block) in func.iter_blocks() {
+        writeln!(f, "{}:  ; b{}", block.name, bid.0)?;
+        for &iid in &block.insns {
+            writeln!(f, "    {}", format_insn(func, func.insn(iid)))?;
+        }
+    }
+    writeln!(f, "}}")
+}
+
+/// Print a whole module.
+pub fn print_module(module: &Module, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    writeln!(f, "module {} {{", module.name)?;
+    for g in &module.globals {
+        writeln!(
+            f,
+            "  global {}: [{}; {}] @ {:#x}",
+            g.name,
+            match g.class {
+                crate::func::GlobalClass::Int => "int",
+                crate::func::GlobalClass::Float => "float",
+            },
+            g.len,
+            g.addr
+        )?;
+    }
+    for func in &module.functions {
+        print_function(func, f)?;
+    }
+    writeln!(f, "}}")
+}
+
+/// Wrapper giving a `Display` for a function.
+pub struct FuncDisplay<'a>(pub &'a Function);
+
+impl fmt::Display for FuncDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        print_function(self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::op::Opcode;
+
+    #[test]
+    fn formats_instructions() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.imm(7);
+        let y = b.binop(Opcode::Add, Operand::Reg(x), Operand::Imm(1));
+        let v = b.load(y, 8);
+        b.store(y, 0, Operand::Reg(v));
+        b.halt_imm(0);
+        let f = b.finish();
+        let texts: Vec<String> = f.block(f.entry).insns.iter()
+            .map(|&i| format_insn(&f, f.insn(i)))
+            .collect();
+        assert_eq!(texts[0], "mov r0 = 7");
+        assert_eq!(texts[1], "add r1 = r0, 1");
+        assert!(texts[2].starts_with("ld8 r2 = [r1+8]"));
+        assert!(texts[3].starts_with("st8 [r1], r2"));
+    }
+
+    #[test]
+    fn module_display_does_not_panic() {
+        let mut m = crate::Module::new("m");
+        m.add_global("g", crate::func::GlobalClass::Int, 4, vec![1]);
+        let b = FunctionBuilder::new("main");
+        let id = m.add_function(b.finish());
+        m.entry = Some(id);
+        let s = m.to_string();
+        assert!(s.contains("global g"));
+        assert!(s.contains("fn main"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Register classes and virtual registers.
+//!
+//! The target machine (a 2-cluster VLIW with an Itanium-2-style register
+//! file, Table I of the paper) has three architectural register classes
+//! per cluster: 64 general-purpose integer registers, 64 floating-point
+//! registers, and 32 one-bit predicate registers. Compiler passes operate
+//! on an unbounded supply of *virtual* registers of each class; the
+//! register-pressure-limiting pass in `casted-passes` guarantees that the
+//! per-cluster, per-class pressure never exceeds the architectural file
+//! size, and a final linear-scan mapping assigns physical indices.
+
+use std::fmt;
+
+/// The architectural register class of a value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// 64-bit general purpose integer register (`r0..r63` per cluster).
+    Gp,
+    /// 64-bit floating point register (`f0..f63` per cluster).
+    Fp,
+    /// 1-bit predicate register (`p0..p31` per cluster), written by
+    /// compare instructions and read by conditional branches — including
+    /// the fault-detection branches emitted by the error-detection pass.
+    Pr,
+}
+
+impl RegClass {
+    /// All register classes, in a fixed order usable for indexing.
+    pub const ALL: [RegClass; 3] = [RegClass::Gp, RegClass::Fp, RegClass::Pr];
+
+    /// A dense index for per-class tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            RegClass::Gp => 0,
+            RegClass::Fp => 1,
+            RegClass::Pr => 2,
+        }
+    }
+
+    /// Number of architectural registers of this class in one cluster's
+    /// register file (Table I: 64 GP, 64 FL, 32 PR per cluster).
+    #[inline]
+    pub fn file_size(self) -> usize {
+        match self {
+            RegClass::Gp => 64,
+            RegClass::Fp => 64,
+            RegClass::Pr => 32,
+        }
+    }
+
+    /// Single-letter prefix used when printing registers of this class.
+    pub fn prefix(self) -> char {
+        match self {
+            RegClass::Gp => 'r',
+            RegClass::Fp => 'f',
+            RegClass::Pr => 'p',
+        }
+    }
+
+    /// Width of the register in bits — the number of distinct single-bit
+    /// fault-injection targets it exposes.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        match self {
+            RegClass::Gp | RegClass::Fp => 64,
+            RegClass::Pr => 1,
+        }
+    }
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Gp => write!(f, "gp"),
+            RegClass::Fp => write!(f, "fp"),
+            RegClass::Pr => write!(f, "pr"),
+        }
+    }
+}
+
+/// A virtual register: a class plus a per-function, per-class index.
+///
+/// Virtual registers are unbounded; physical register indices are only
+/// assigned after scheduling (see `casted-passes::regalloc`). Identity is
+/// `(class, index)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg {
+    /// Register class of the value held.
+    pub class: RegClass,
+    /// Per-function dense index within the class.
+    pub index: u32,
+}
+
+impl Reg {
+    /// Construct a register of `class` with index `index`.
+    #[inline]
+    pub fn new(class: RegClass, index: u32) -> Self {
+        Reg { class, index }
+    }
+
+    /// Convenience constructor for a general-purpose register.
+    #[inline]
+    pub fn gp(index: u32) -> Self {
+        Reg::new(RegClass::Gp, index)
+    }
+
+    /// Convenience constructor for a floating-point register.
+    #[inline]
+    pub fn fp(index: u32) -> Self {
+        Reg::new(RegClass::Fp, index)
+    }
+
+    /// Convenience constructor for a predicate register.
+    #[inline]
+    pub fn pr(index: u32) -> Self {
+        Reg::new(RegClass::Pr, index)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.class.prefix(), self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_sizes_match_table_i() {
+        assert_eq!(RegClass::Gp.file_size(), 64);
+        assert_eq!(RegClass::Fp.file_size(), 64);
+        assert_eq!(RegClass::Pr.file_size(), 32);
+    }
+
+    #[test]
+    fn class_indices_are_dense_and_distinct() {
+        let mut seen = [false; 3];
+        for c in RegClass::ALL {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg::gp(3).to_string(), "r3");
+        assert_eq!(Reg::fp(0).to_string(), "f0");
+        assert_eq!(Reg::pr(31).to_string(), "p31");
+    }
+
+    #[test]
+    fn reg_identity() {
+        assert_eq!(Reg::gp(1), Reg::new(RegClass::Gp, 1));
+        assert_ne!(Reg::gp(1), Reg::fp(1));
+        assert_ne!(Reg::gp(1), Reg::gp(2));
+    }
+
+    #[test]
+    fn bit_widths() {
+        assert_eq!(RegClass::Gp.bits(), 64);
+        assert_eq!(RegClass::Fp.bits(), 64);
+        assert_eq!(RegClass::Pr.bits(), 1);
+    }
+}

@@ -1,0 +1,416 @@
+//! Structural and type verifier for IR functions.
+//!
+//! Run after the front-end and after every pass in debug builds and in
+//! tests; catches malformed blocks, dangling branch targets and
+//! register-class violations before they become mysterious simulator
+//! behaviour.
+
+use crate::func::{Function, Module};
+use crate::insn::{Insn, Operand};
+use crate::op::Opcode;
+use crate::reg::RegClass;
+
+/// Accumulated verification errors (empty = valid).
+pub type VerifyResult = Result<(), Vec<String>>;
+
+fn operand_class(op: &Operand) -> Option<RegClass> {
+    match op {
+        Operand::Reg(r) => Some(r.class),
+        Operand::Imm(_) => Some(RegClass::Gp),
+        Operand::FImm(_) => Some(RegClass::Fp),
+    }
+}
+
+fn expect_use(errs: &mut Vec<String>, ctx: &str, insn: &Insn, idx: usize, class: RegClass) {
+    match insn.uses.get(idx) {
+        None => errs.push(format!("{ctx}: missing operand {idx}")),
+        Some(o) => {
+            if operand_class(o) != Some(class) {
+                errs.push(format!(
+                    "{ctx}: operand {idx} must be {class}, got {o:?}"
+                ));
+            }
+        }
+    }
+}
+
+fn expect_def(errs: &mut Vec<String>, ctx: &str, insn: &Insn, class: RegClass) {
+    match insn.def() {
+        None => errs.push(format!("{ctx}: missing def")),
+        Some(d) => {
+            if d.class != class {
+                errs.push(format!("{ctx}: def must be {class}, got {d}"));
+            }
+        }
+    }
+    if insn.defs.len() > 1 {
+        errs.push(format!("{ctx}: more than one def"));
+    }
+}
+
+fn expect_no_def(errs: &mut Vec<String>, ctx: &str, insn: &Insn) {
+    if !insn.defs.is_empty() {
+        errs.push(format!("{ctx}: unexpected def"));
+    }
+}
+
+fn expect_use_count(errs: &mut Vec<String>, ctx: &str, insn: &Insn, n: usize) {
+    if insn.uses.len() != n {
+        errs.push(format!(
+            "{ctx}: expected {n} operands, got {}",
+            insn.uses.len()
+        ));
+    }
+}
+
+fn verify_insn(errs: &mut Vec<String>, func: &Function, ctx: &str, insn: &Insn) {
+    use Opcode::*;
+    match insn.op {
+        Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Sra => {
+            expect_def(errs, ctx, insn, RegClass::Gp);
+            expect_use_count(errs, ctx, insn, 2);
+            expect_use(errs, ctx, insn, 0, RegClass::Gp);
+            expect_use(errs, ctx, insn, 1, RegClass::Gp);
+        }
+        MovI => {
+            expect_def(errs, ctx, insn, RegClass::Gp);
+            expect_use_count(errs, ctx, insn, 1);
+            expect_use(errs, ctx, insn, 0, RegClass::Gp);
+        }
+        Sel => {
+            expect_def(errs, ctx, insn, RegClass::Gp);
+            expect_use_count(errs, ctx, insn, 3);
+            expect_use(errs, ctx, insn, 0, RegClass::Pr);
+            expect_use(errs, ctx, insn, 1, RegClass::Gp);
+            expect_use(errs, ctx, insn, 2, RegClass::Gp);
+        }
+        Cmp(_) => {
+            // Polymorphic: both operands of the same class (GP, FP, or
+            // PR) — check code compares renamed copies of any class.
+            expect_def(errs, ctx, insn, RegClass::Pr);
+            expect_use_count(errs, ctx, insn, 2);
+            let a = insn.uses.first().and_then(operand_class);
+            let b = insn.uses.get(1).and_then(operand_class);
+            if a != b {
+                errs.push(format!("{ctx}: cmp operand classes differ: {a:?} vs {b:?}"));
+            }
+        }
+        FCmp(_) => {
+            expect_def(errs, ctx, insn, RegClass::Pr);
+            expect_use_count(errs, ctx, insn, 2);
+            expect_use(errs, ctx, insn, 0, RegClass::Fp);
+            expect_use(errs, ctx, insn, 1, RegClass::Fp);
+        }
+        FAdd | FSub | FMul | FDiv => {
+            expect_def(errs, ctx, insn, RegClass::Fp);
+            expect_use_count(errs, ctx, insn, 2);
+            expect_use(errs, ctx, insn, 0, RegClass::Fp);
+            expect_use(errs, ctx, insn, 1, RegClass::Fp);
+        }
+        FMovI => {
+            expect_def(errs, ctx, insn, RegClass::Fp);
+            expect_use_count(errs, ctx, insn, 1);
+            expect_use(errs, ctx, insn, 0, RegClass::Fp);
+        }
+        I2F => {
+            expect_def(errs, ctx, insn, RegClass::Fp);
+            expect_use_count(errs, ctx, insn, 1);
+            expect_use(errs, ctx, insn, 0, RegClass::Gp);
+        }
+        F2I => {
+            expect_def(errs, ctx, insn, RegClass::Gp);
+            expect_use_count(errs, ctx, insn, 1);
+            expect_use(errs, ctx, insn, 0, RegClass::Fp);
+        }
+        Load => {
+            expect_def(errs, ctx, insn, RegClass::Gp);
+            expect_use_count(errs, ctx, insn, 1);
+            expect_use(errs, ctx, insn, 0, RegClass::Gp);
+        }
+        FLoad => {
+            expect_def(errs, ctx, insn, RegClass::Fp);
+            expect_use_count(errs, ctx, insn, 1);
+            expect_use(errs, ctx, insn, 0, RegClass::Gp);
+        }
+        Store => {
+            expect_no_def(errs, ctx, insn);
+            expect_use_count(errs, ctx, insn, 2);
+            expect_use(errs, ctx, insn, 0, RegClass::Gp);
+            expect_use(errs, ctx, insn, 1, RegClass::Gp);
+        }
+        FStore => {
+            expect_no_def(errs, ctx, insn);
+            expect_use_count(errs, ctx, insn, 2);
+            expect_use(errs, ctx, insn, 0, RegClass::Gp);
+            expect_use(errs, ctx, insn, 1, RegClass::Fp);
+        }
+        Out | Halt => {
+            expect_no_def(errs, ctx, insn);
+            expect_use_count(errs, ctx, insn, 1);
+            expect_use(errs, ctx, insn, 0, RegClass::Gp);
+        }
+        FOut => {
+            expect_no_def(errs, ctx, insn);
+            expect_use_count(errs, ctx, insn, 1);
+            expect_use(errs, ctx, insn, 0, RegClass::Fp);
+        }
+        Br => {
+            expect_no_def(errs, ctx, insn);
+            expect_use_count(errs, ctx, insn, 0);
+            if insn.target.is_none() {
+                errs.push(format!("{ctx}: br without target"));
+            }
+        }
+        BrCond => {
+            expect_no_def(errs, ctx, insn);
+            expect_use_count(errs, ctx, insn, 1);
+            expect_use(errs, ctx, insn, 0, RegClass::Pr);
+            if insn.target.is_none() || insn.target2.is_none() {
+                errs.push(format!("{ctx}: br.cond needs both targets"));
+            }
+        }
+        DetectBr => {
+            expect_no_def(errs, ctx, insn);
+            expect_use_count(errs, ctx, insn, 1);
+            expect_use(errs, ctx, insn, 0, RegClass::Pr);
+        }
+        ChkNe => {
+            expect_no_def(errs, ctx, insn);
+            expect_use_count(errs, ctx, insn, 2);
+            let a = insn.uses.first().and_then(operand_class);
+            let b = insn.uses.get(1).and_then(operand_class);
+            if a != b {
+                errs.push(format!("{ctx}: chk.ne operand classes differ: {a:?} vs {b:?}"));
+            }
+        }
+        Nop => {
+            expect_no_def(errs, ctx, insn);
+            expect_use_count(errs, ctx, insn, 0);
+        }
+    }
+    // Branch targets must be valid blocks.
+    for t in [insn.target, insn.target2].into_iter().flatten() {
+        if t.index() >= func.blocks.len() {
+            errs.push(format!("{ctx}: dangling branch target b{}", t.0));
+        }
+    }
+    // Register indices must be in range of the function's allocator.
+    for r in insn.defs.iter().copied().chain(insn.reg_uses()) {
+        if r.index >= func.reg_count(r.class) {
+            errs.push(format!("{ctx}: register {r} out of allocated range"));
+        }
+    }
+}
+
+/// Verify one function.
+pub fn verify_function(func: &Function) -> VerifyResult {
+    let mut errs = Vec::new();
+    if func.entry.index() >= func.blocks.len() {
+        errs.push(format!("{}: entry block out of range", func.name));
+    }
+    for (bid, block) in func.iter_blocks() {
+        if block.insns.is_empty() {
+            errs.push(format!("{}: block b{} is empty", func.name, bid.0));
+            continue;
+        }
+        for (pos, &iid) in block.insns.iter().enumerate() {
+            if iid.index() >= func.insns.len() {
+                errs.push(format!("{}: b{} references missing insn", func.name, bid.0));
+                continue;
+            }
+            let insn = func.insn(iid);
+            let ctx = format!("{}:b{}:{}", func.name, bid.0, pos);
+            let is_last = pos + 1 == block.insns.len();
+            if is_last && !insn.op.is_terminator() {
+                errs.push(format!("{ctx}: block does not end in a terminator"));
+            }
+            if !is_last && insn.op.is_terminator() {
+                errs.push(format!("{ctx}: terminator in the middle of a block"));
+            }
+            verify_insn(&mut errs, func, &ctx, insn);
+        }
+        // No instruction may appear twice across all blocks (checked
+        // globally below).
+    }
+    // Global duplicate placement check.
+    let mut seen = vec![false; func.insns.len()];
+    for (_, block) in func.iter_blocks() {
+        for &iid in &block.insns {
+            if iid.index() < seen.len() {
+                if seen[iid.index()] {
+                    errs.push(format!(
+                        "{}: insn {} placed more than once",
+                        func.name,
+                        iid.0
+                    ));
+                }
+                seen[iid.index()] = true;
+            }
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+/// Verify every function of a module plus module-level invariants.
+pub fn verify_module(module: &Module) -> VerifyResult {
+    let mut errs = Vec::new();
+    if module.entry.is_none() {
+        errs.push("module has no entry function".to_string());
+    }
+    for func in &module.functions {
+        if let Err(mut e) = verify_function(func) {
+            errs.append(&mut e);
+        }
+    }
+    // Globals must not overlap.
+    let mut ranges: Vec<(i64, i64, &str)> = module
+        .globals
+        .iter()
+        .map(|g| (g.addr, g.addr + (g.len * 8) as i64, g.name.as_str()))
+        .collect();
+    ranges.sort();
+    for w in ranges.windows(2) {
+        if w[0].1 > w[1].0 {
+            errs.push(format!("globals {} and {} overlap", w[0].2, w[1].2));
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::insn::Insn;
+    use crate::op::CmpKind;
+    use crate::reg::Reg;
+
+    #[test]
+    fn valid_function_passes() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.imm(1);
+        let p = b.cmp(CmpKind::Lt, Operand::Reg(x), Operand::Imm(2));
+        b.push(Opcode::DetectBr, vec![], vec![Operand::Reg(p)]);
+        b.out(Operand::Reg(x));
+        b.halt_imm(0);
+        assert!(verify_function(&b.finish()).is_ok());
+    }
+
+    #[test]
+    fn unterminated_block_fails() {
+        let mut b = FunctionBuilder::new("f");
+        b.imm(1);
+        let f = b.func().clone();
+        let errs = verify_function(&f).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("terminator")));
+    }
+
+    #[test]
+    fn class_mismatch_fails() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.imm(1);
+        // FAdd over GP registers is a class error.
+        let d = b.new_reg(RegClass::Fp);
+        b.push(Opcode::FAdd, vec![d], vec![Operand::Reg(x), Operand::Reg(x)]);
+        b.halt_imm(0);
+        let errs = verify_function(&b.finish()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("must be fp")));
+    }
+
+    #[test]
+    fn cmp_may_compare_predicates_and_floats() {
+        let mut b = FunctionBuilder::new("f");
+        let p1 = b.cmp(CmpKind::Lt, Operand::Imm(1), Operand::Imm(2));
+        let p2 = b.cmp(CmpKind::Lt, Operand::Imm(1), Operand::Imm(2));
+        let pc = b.new_reg(RegClass::Pr);
+        b.push(
+            Opcode::Cmp(CmpKind::Ne),
+            vec![pc],
+            vec![Operand::Reg(p1), Operand::Reg(p2)],
+        );
+        let f1 = b.fimm(1.0);
+        let fc = b.new_reg(RegClass::Pr);
+        b.push(
+            Opcode::Cmp(CmpKind::Ne),
+            vec![fc],
+            vec![Operand::Reg(f1), Operand::Reg(f1)],
+        );
+        b.halt_imm(0);
+        assert!(verify_function(&b.finish()).is_ok());
+    }
+
+    #[test]
+    fn cmp_mixed_classes_fail() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.imm(1);
+        let y = b.fimm(1.0);
+        let p = b.new_reg(RegClass::Pr);
+        b.push(
+            Opcode::Cmp(CmpKind::Eq),
+            vec![p],
+            vec![Operand::Reg(x), Operand::Reg(y)],
+        );
+        b.halt_imm(0);
+        let errs = verify_function(&b.finish()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("classes differ")));
+    }
+
+    #[test]
+    fn dangling_target_fails() {
+        let mut f = Function::new("f");
+        let mut br = Insn::new(Opcode::Br, vec![], vec![]);
+        br.target = Some(crate::func::BlockId(99));
+        let id = f.add_insn(br);
+        f.block_mut(f.entry).insns.push(id);
+        let errs = verify_function(&f).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("dangling")));
+    }
+
+    #[test]
+    fn out_of_range_register_fails() {
+        let mut f = Function::new("f");
+        // r5 was never allocated via new_reg.
+        let id = f.add_insn(Insn::new(
+            Opcode::Halt,
+            vec![],
+            vec![Operand::Reg(Reg::gp(5))],
+        ));
+        f.block_mut(f.entry).insns.push(id);
+        let errs = verify_function(&f).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("out of allocated range")));
+    }
+
+    #[test]
+    fn double_placement_fails() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.imm(1);
+        let _ = x;
+        let id = *b.func().block(b.cur).insns.last().unwrap();
+        b.func_mut().block_mut(crate::func::BlockId(0)).insns.push(id);
+        b.halt_imm(0);
+        let errs = verify_function(&b.finish()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("more than once")));
+    }
+
+    #[test]
+    fn module_overlapping_globals_detected() {
+        let mut m = Module::new("m");
+        m.add_global("a", crate::func::GlobalClass::Int, 8, vec![]);
+        m.add_global("b", crate::func::GlobalClass::Int, 8, vec![]);
+        // Corrupt an address to force overlap.
+        m.globals[1].addr = m.globals[0].addr;
+        let b = FunctionBuilder::new("main");
+        let id = m.add_function(b.finish());
+        m.entry = Some(id);
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("overlap")));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests over the IR core: generated random programs
+//! must verify, terminate, and behave deterministically; structural
+//! analyses must uphold their invariants.
+
+use casted_ir::testgen::{random_module, GenOptions};
+use casted_ir::{dfg::BlockDfg, interp, liveness::Liveness, LatencyConfig};
+use proptest::prelude::*;
+
+fn opts() -> GenOptions {
+    GenOptions {
+        body_ops: 30,
+        iterations: 5,
+        globals: 2,
+        with_float: true,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_programs_verify_and_halt(seed in any::<u64>()) {
+        let m = random_module(seed, &opts());
+        prop_assert!(casted_ir::verify::verify_module(&m).is_ok());
+        let r = interp::run(&m, 2_000_000).unwrap();
+        prop_assert_eq!(r.stop, interp::StopReason::Halt(0));
+    }
+
+    #[test]
+    fn interpreter_is_deterministic(seed in any::<u64>()) {
+        let m = random_module(seed, &opts());
+        let a = interp::run(&m, 2_000_000).unwrap();
+        let b = interp::run(&m, 2_000_000).unwrap();
+        prop_assert_eq!(a.stream.len(), b.stream.len());
+        for (x, y) in a.stream.iter().zip(&b.stream) {
+            prop_assert!(x.bit_eq(y));
+        }
+        prop_assert_eq!(a.dyn_insns, b.dyn_insns);
+    }
+
+    #[test]
+    fn dfg_edges_are_forward_and_heights_monotone(seed in any::<u64>()) {
+        let m = random_module(seed, &opts());
+        let f = m.entry_fn();
+        let lat = LatencyConfig::default();
+        for (bid, _) in f.iter_blocks() {
+            let dfg = BlockDfg::build(f, bid, &lat);
+            for (i, es) in dfg.succs.iter().enumerate() {
+                for e in es {
+                    prop_assert!(e.to > i, "edge must be forward");
+                    // Height of a node is at least weight + height of succ.
+                    prop_assert!(dfg.height[i] >= e.weight + dfg.height[e.to]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn liveness_no_dead_values_at_exit(seed in any::<u64>()) {
+        let m = random_module(seed, &opts());
+        let f = m.entry_fn();
+        let live = Liveness::analyze(f);
+        // A block ending in halt has empty live-out.
+        for (bid, block) in f.iter_blocks() {
+            let last = *block.insns.last().unwrap();
+            if f.insn(last).op == casted_ir::Opcode::Halt {
+                prop_assert!(live.live_out[bid.index()].is_empty());
+            }
+            // Every live-in register of a reachable block is of a
+            // valid allocated index.
+            for r in &live.live_in[bid.index()] {
+                prop_assert!(r.index < f.reg_count(r.class));
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_is_an_involution(v in any::<i64>(), bit in 0u32..64) {
+        use casted_ir::semantics::Val;
+        let x = Val::I(v);
+        prop_assert_eq!(x.flip_bit(bit).flip_bit(bit), x);
+        let f = Val::F(f64::from_bits(v as u64));
+        let back = f.flip_bit(bit).flip_bit(bit);
+        match (f, back) {
+            (Val::F(a), Val::F(b)) => prop_assert_eq!(a.to_bits(), b.to_bits()),
+            _ => prop_assert!(false),
+        }
+    }
+
+    #[test]
+    fn eval_pure_never_panics_on_int_ops(a in any::<i64>(), b in any::<i64>()) {
+        use casted_ir::semantics::{eval_pure, Val};
+        use casted_ir::Opcode::*;
+        for op in [Add, Sub, Mul, And, Or, Xor, Shl, Shr, Sra] {
+            let _ = eval_pure(op, &[Val::I(a), Val::I(b)]).unwrap();
+        }
+        // Division is total except for zero.
+        let r = eval_pure(Div, &[Val::I(a), Val::I(b)]);
+        prop_assert_eq!(r.is_err(), b == 0);
+    }
+
+    #[test]
+    fn memory_roundtrips(addr_word in 512usize..1000, v in any::<i64>()) {
+        let m = casted_ir::Module::new("t");
+        let mut mem = interp::Memory::for_module(&m);
+        // Memory::for_module gives HEAP_SLACK past data_end (=4096).
+        let addr = (addr_word * 8) as i64;
+        if (addr_word) < mem.len_words() {
+            mem.store_int(addr, v).unwrap();
+            prop_assert_eq!(mem.load_int(addr).unwrap(), v);
+            let f = f64::from_bits(v as u64);
+            mem.store_float(addr, f).unwrap();
+            prop_assert_eq!(mem.load_float(addr).unwrap().to_bits(), f.to_bits());
+        }
+    }
+}

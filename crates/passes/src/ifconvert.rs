@@ -1,0 +1,532 @@
+//! If-conversion: turn small branch diamonds/triangles into straight-
+//! line predicated code using the `sel` instruction.
+//!
+//! Clustered VLIWs live and die by basic-block size — the paper's
+//! schedulers (both the fixed baselines and BUG) only exploit ILP
+//! inside a block. Production VLIW compilers therefore if-convert
+//! small conditionals; this pass does the same for MiniC's branchy
+//! kernels (`clip`, saturation, accept/reject logic):
+//!
+//! ```text
+//! P:  p = cmp ...            P:  p = cmp ...
+//!     br.cond p -> T / F         t' = <T body, renamed>
+//! T:  r = eT;  br J     =>       f' = <F body, renamed>
+//! F:  r = eF;  br J              r  = sel p, t', f'
+//! J:  use r                      br J
+//! ```
+//!
+//! Conversion criteria (conservative):
+//! * both arms have the convert-point block as their only predecessor,
+//! * both arms end in an unconditional branch to the same join block,
+//! * arm bodies contain only pure, non-memory, GP/PR-defining
+//!   instructions (loads/stores/outs/detects never move across a
+//!   control decision),
+//! * arm bodies are short (≤ [`MAX_ARM_INSNS`] instructions each).
+//!
+//! The pass runs before error detection: the converted code is then
+//! replicated and checked like any other straight-line code, and the
+//! branch that disappeared no longer needs its predicate checked —
+//! if-conversion trades a control-flow vulnerability for a data-flow
+//! one that the checks cover.
+
+use std::collections::HashMap;
+
+use casted_ir::cfg::predecessors;
+use casted_ir::{Function, Insn, InsnId, Module, Opcode, Operand, Provenance, Reg, RegClass};
+
+/// Maximum instructions per converted arm.
+pub const MAX_ARM_INSNS: usize = 8;
+
+/// True if the instruction may be speculated (executed regardless of
+/// the branch direction): pure, register-only, single GP def.
+fn speculable(insn: &Insn) -> bool {
+    insn.op.is_replicable()
+        && !insn.op.is_memory()
+        && insn.defs.len() == 1
+        && insn
+            .defs
+            .iter()
+            .all(|d| d.class == RegClass::Gp || d.class == RegClass::Pr)
+        // Library code may be speculated like any other pure code (it
+        // keeps its provenance, so it stays outside the sphere of
+        // replication); only pass-generated code is off-limits, since
+        // the pass must run before error detection.
+        && matches!(insn.prov, Provenance::Original | Provenance::LibraryCode)
+}
+
+/// An arm eligible for conversion: its body (without the terminator)
+/// and the join block it branches to.
+fn eligible_arm(func: &Function, block: casted_ir::BlockId) -> Option<(Vec<InsnId>, casted_ir::BlockId)> {
+    let insns = &func.block(block).insns;
+    if insns.is_empty() || insns.len() > MAX_ARM_INSNS + 1 {
+        return None;
+    }
+    let (&term, body) = insns.split_last()?;
+    let t = func.insn(term);
+    if t.op != Opcode::Br {
+        return None;
+    }
+    if !body.iter().all(|&i| speculable(func.insn(i))) {
+        return None;
+    }
+    Some((body.to_vec(), t.target?))
+}
+
+/// Copy `body` into the end of `into`, renaming every definition to a
+/// fresh register; returns the final renaming (original reg -> last
+/// fresh reg holding its arm-local value).
+fn splice_renamed(func: &mut Function, into: casted_ir::BlockId, body: &[InsnId]) -> HashMap<Reg, Reg> {
+    let mut map: HashMap<Reg, Reg> = HashMap::new();
+    for &iid in body {
+        let mut insn = func.insn(iid).clone();
+        for u in insn.uses.iter_mut() {
+            if let Operand::Reg(r) = u {
+                if let Some(nr) = map.get(r) {
+                    *u = Operand::Reg(*nr);
+                }
+            }
+        }
+        let d = insn.defs[0];
+        let fresh = func.new_reg(d.class);
+        insn.defs[0] = fresh;
+        map.insert(d, fresh);
+        let id = func.add_insn(insn);
+        func.block_mut(into).insns.push(id);
+    }
+    map
+}
+
+/// Try to convert the diamond/triangle hanging off `block`'s
+/// conditional terminator. Returns true on success.
+fn convert_at(func: &mut Function, block: casted_ir::BlockId) -> bool {
+    let Some(term) = func.terminator(block) else {
+        return false;
+    };
+    let ti = func.insn(term);
+    if ti.op != Opcode::BrCond {
+        return false;
+    }
+    let pred_reg = match ti.uses[0] {
+        Operand::Reg(r) => r,
+        _ => return false,
+    };
+    let term_prov = ti.prov;
+    let (t_blk, f_blk) = (ti.target.unwrap(), ti.target2.unwrap());
+    if t_blk == f_blk || t_blk == block || f_blk == block {
+        return false;
+    }
+
+    let preds = predecessors(func);
+    let single_pred =
+        |b: casted_ir::BlockId| preds[b.index()].len() == 1 && preds[b.index()][0] == block;
+
+    // Diamond: both arms join at the same block. Triangle: the taken
+    // arm joins at the fall-through block (or vice versa).
+    let t_arm = single_pred(t_blk).then(|| eligible_arm(func, t_blk)).flatten();
+    let f_arm = single_pred(f_blk).then(|| eligible_arm(func, f_blk)).flatten();
+
+    enum Shape {
+        Diamond {
+            t_body: Vec<InsnId>,
+            f_body: Vec<InsnId>,
+            join: casted_ir::BlockId,
+        },
+        TriangleTaken {
+            t_body: Vec<InsnId>,
+            join: casted_ir::BlockId,
+        },
+        TriangleFall {
+            f_body: Vec<InsnId>,
+            join: casted_ir::BlockId,
+        },
+    }
+
+    let shape = match (&t_arm, &f_arm) {
+        (Some((tb, tj)), Some((fb, fj))) if tj == fj => Shape::Diamond {
+            t_body: tb.clone(),
+            f_body: fb.clone(),
+            join: *tj,
+        },
+        (Some((tb, tj)), _) if *tj == f_blk => Shape::TriangleTaken {
+            t_body: tb.clone(),
+            join: f_blk,
+        },
+        (_, Some((fb, fj))) if *fj == t_blk => Shape::TriangleFall {
+            f_body: fb.clone(),
+            join: t_blk,
+        },
+        _ => return false,
+    };
+
+    // Only GP-defined registers can be merged with `sel`.
+    let gp_defs_only = |body: &[InsnId], func: &Function| {
+        body.iter().all(|&i| {
+            let d = func.insn(i).defs[0];
+            // Predicate defs inside arms are fine as long as their
+            // value is arm-local (they get fresh names); but a PR that
+            // escapes can't be sel-merged. Conservative: require that
+            // PR defs are only used inside the arm itself.
+            d.class == RegClass::Gp || !escapes(func, body, d)
+        })
+    };
+    fn escapes(func: &Function, body: &[InsnId], d: Reg) -> bool {
+        // Used anywhere outside the arm?
+        for (_, block) in func.iter_blocks() {
+            for &iid in &block.insns {
+                if body.contains(&iid) {
+                    continue;
+                }
+                if func.insn(iid).reg_uses().any(|r| r == d) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    // Drop the conditional terminator; splice arms; emit sels; branch
+    // to the join.
+    let (t_map, f_map, join) = match &shape {
+        Shape::Diamond { t_body, f_body, join } => {
+            if !gp_defs_only(t_body, func) || !gp_defs_only(f_body, func) {
+                return false;
+            }
+            func.block_mut(block).insns.pop();
+            let t_map = splice_renamed(func, block, t_body);
+            let f_map = splice_renamed(func, block, f_body);
+            (t_map, f_map, *join)
+        }
+        Shape::TriangleTaken { t_body, join } => {
+            if !gp_defs_only(t_body, func) {
+                return false;
+            }
+            func.block_mut(block).insns.pop();
+            let t_map = splice_renamed(func, block, t_body);
+            (t_map, HashMap::new(), *join)
+        }
+        Shape::TriangleFall { f_body, join } => {
+            if !gp_defs_only(f_body, func) {
+                return false;
+            }
+            func.block_mut(block).insns.pop();
+            let f_map = splice_renamed(func, block, f_body);
+            (HashMap::new(), f_map, *join)
+        }
+    };
+
+    // The arm blocks are now unreachable; shrink them to a lone
+    // terminator so they stay verifier-valid without bloating the
+    // scheduler's work.
+    let mut shrink = |b: casted_ir::BlockId| {
+        let term = *func.block(b).insns.last().unwrap();
+        func.block_mut(b).insns = vec![term];
+    };
+    match &shape {
+        Shape::Diamond { .. } => {
+            shrink(t_blk);
+            shrink(f_blk);
+        }
+        Shape::TriangleTaken { .. } => shrink(t_blk),
+        Shape::TriangleFall { .. } => shrink(f_blk),
+    }
+
+    // Merge every register either arm assigned: R = sel p, T-value,
+    // F-value (falling back to the pre-branch value of R).
+    let mut merged: Vec<Reg> = t_map.keys().chain(f_map.keys()).copied().collect();
+    merged.sort();
+    merged.dedup();
+    for r in merged {
+        if r.class != RegClass::Gp {
+            continue; // arm-local predicate, fully renamed away
+        }
+        let tv = t_map.get(&r).copied().unwrap_or(r);
+        let fv = f_map.get(&r).copied().unwrap_or(r);
+        if tv == fv {
+            continue;
+        }
+        let sel = Insn::new(
+            Opcode::Sel,
+            vec![r],
+            vec![Operand::Reg(pred_reg), Operand::Reg(tv), Operand::Reg(fv)],
+        )
+        .with_prov(term_prov);
+        let id = func.add_insn(sel);
+        func.block_mut(block).insns.push(id);
+    }
+    let mut br = Insn::new(Opcode::Br, vec![], vec![]).with_prov(term_prov);
+    br.target = Some(join);
+    let id = func.add_insn(br);
+    func.block_mut(block).insns.push(id);
+    true
+}
+
+/// Run if-conversion to a fixed point over the module's entry
+/// function. Returns the number of conversions performed.
+pub fn if_convert(module: &mut Module) -> usize {
+    let func = module.entry_fn_mut();
+    let mut total = 0;
+    loop {
+        let mut changed = false;
+        for b in 0..func.blocks.len() {
+            if convert_at(func, casted_ir::BlockId(b as u32)) {
+                total += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    debug_assert!(
+        casted_ir::verify::verify_function(func).is_ok(),
+        "if-conversion produced invalid IR"
+    );
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casted_ir::interp::{self, OutVal};
+    use casted_ir::{CmpKind, FunctionBuilder, Module};
+
+    /// out(clip-like): if x < 0 { r = 0 } else { r = x } ; out(r)
+    fn diamond_module(x: i64) -> Module {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main");
+        let t = b.new_block("t");
+        let e = b.new_block("e");
+        let j = b.new_block("j");
+        let x_reg = b.imm(x);
+        let r = b.imm(-1);
+        let p = b.cmp(CmpKind::Lt, Operand::Reg(x_reg), Operand::Imm(0));
+        b.br_cond(p, t, e);
+        b.switch_to(t);
+        b.push(Opcode::MovI, vec![r], vec![Operand::Imm(0)]);
+        b.br(j);
+        b.switch_to(e);
+        b.push(Opcode::MovI, vec![r], vec![Operand::Reg(x_reg)]);
+        b.br(j);
+        b.switch_to(j);
+        b.out(Operand::Reg(r));
+        b.halt_imm(0);
+        let id = m.add_function(b.finish());
+        m.entry = Some(id);
+        m
+    }
+
+    #[test]
+    fn converts_diamond_and_preserves_semantics() {
+        for x in [-5i64, 0, 7] {
+            let mut m = diamond_module(x);
+            let golden = interp::run(&m, 1000).unwrap();
+            let n = if_convert(&mut m);
+            assert_eq!(n, 1, "x={x}: expected one conversion");
+            casted_ir::verify::verify_module(&m).unwrap();
+            let r = interp::run(&m, 1000).unwrap();
+            assert_eq!(r.stream, golden.stream, "x={x}");
+            // The entry block must now contain a sel and no br.cond.
+            let f = m.entry_fn();
+            let entry = f.block(f.entry);
+            assert!(entry.insns.iter().any(|&i| f.insn(i).op == Opcode::Sel));
+            assert!(!entry.insns.iter().any(|&i| f.insn(i).op == Opcode::BrCond));
+        }
+    }
+
+    #[test]
+    fn triangle_conversion() {
+        // if x > 10 { r = 10 } ; out(r)   (taken arm only)
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main");
+        let t = b.new_block("t");
+        let j = b.new_block("j");
+        let x = b.imm(42);
+        let r = b.binop(Opcode::Add, Operand::Reg(x), Operand::Imm(0));
+        let p = b.cmp(CmpKind::Gt, Operand::Reg(x), Operand::Imm(10));
+        b.br_cond(p, t, j);
+        b.switch_to(t);
+        b.push(Opcode::MovI, vec![r], vec![Operand::Imm(10)]);
+        b.br(j);
+        b.switch_to(j);
+        b.out(Operand::Reg(r));
+        b.halt_imm(0);
+        let id = m.add_function(b.finish());
+        m.entry = Some(id);
+        let golden = interp::run(&m, 1000).unwrap();
+        assert_eq!(if_convert(&mut m), 1);
+        let rr = interp::run(&m, 1000).unwrap();
+        assert_eq!(rr.stream, golden.stream);
+        assert_eq!(rr.stream, vec![OutVal::Int(10)]);
+    }
+
+    #[test]
+    fn refuses_memory_in_arms() {
+        let mut m = Module::new("t");
+        let (_, addr) = m.add_global("g", casted_ir::func::GlobalClass::Int, 2, vec![]);
+        let mut b = FunctionBuilder::new("main");
+        let t = b.new_block("t");
+        let e = b.new_block("e");
+        let j = b.new_block("j");
+        let x = b.imm(1);
+        let p = b.cmp(CmpKind::Gt, Operand::Reg(x), Operand::Imm(0));
+        b.br_cond(p, t, e);
+        b.switch_to(t);
+        let base = b.imm(addr);
+        b.store(base, 0, Operand::Imm(1)); // side effect: must not speculate
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        b.halt_imm(0);
+        let id = m.add_function(b.finish());
+        m.entry = Some(id);
+        assert_eq!(if_convert(&mut m), 0);
+    }
+
+    #[test]
+    fn refuses_arms_with_other_predecessors() {
+        // The "then" arm has a second predecessor outside the diamond,
+        // so neither a diamond nor a triangle may form around it.
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main");
+        let p_blk = b.new_block("p");
+        let t = b.new_block("t");
+        let e = b.new_block("e");
+        let j = b.new_block("j");
+        let x = b.imm(1);
+        let r = b.imm(0);
+        let q = b.cmp(CmpKind::Gt, Operand::Reg(x), Operand::Imm(5));
+        b.br_cond(q, t, p_blk); // entry is t's second predecessor
+        b.switch_to(p_blk);
+        let p = b.cmp(CmpKind::Gt, Operand::Reg(x), Operand::Imm(0));
+        b.br_cond(p, t, e);
+        b.switch_to(t);
+        b.push(Opcode::MovI, vec![r], vec![Operand::Imm(1)]);
+        b.br(j);
+        b.switch_to(e);
+        b.push(Opcode::MovI, vec![r], vec![Operand::Imm(2)]);
+        b.br(j);
+        b.switch_to(j);
+        b.out(Operand::Reg(r));
+        b.halt_imm(0);
+        let id = m.add_function(b.finish());
+        m.entry = Some(id);
+        let golden = interp::run(&m, 1000).unwrap();
+        assert_eq!(if_convert(&mut m), 0);
+        let rr = interp::run(&m, 1000).unwrap();
+        assert_eq!(rr.stream, golden.stream);
+    }
+
+    #[test]
+    fn empty_else_arm_folds_the_branch_away() {
+        // if p { } else { } style CFG with an empty arm: the branch is
+        // legitimately folded even when the taken side has other
+        // predecessors, because nothing needs merging.
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main");
+        let t = b.new_block("t");
+        let e = b.new_block("e");
+        let j = b.new_block("j");
+        let x = b.imm(1);
+        let r = b.imm(0);
+        let p = b.cmp(CmpKind::Gt, Operand::Reg(x), Operand::Imm(0));
+        b.br_cond(p, t, e);
+        b.switch_to(t);
+        b.push(Opcode::MovI, vec![r], vec![Operand::Imm(1)]);
+        b.br(j);
+        b.switch_to(e);
+        b.br(t); // empty arm straight to t
+        b.switch_to(j);
+        b.out(Operand::Reg(r));
+        b.halt_imm(0);
+        let id = m.add_function(b.finish());
+        m.entry = Some(id);
+        let golden = interp::run(&m, 1000).unwrap();
+        assert_eq!(if_convert(&mut m), 1);
+        casted_ir::verify::verify_module(&m).unwrap();
+        let rr = interp::run(&m, 1000).unwrap();
+        assert_eq!(rr.stream, golden.stream);
+        assert_eq!(rr.stream, vec![OutVal::Int(1)]);
+    }
+
+    #[test]
+    fn nested_diamonds_convert_to_fixpoint() {
+        // if a { if b { r=1 } else { r=2 } } else { r=3 }
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main");
+        let outer_t = b.new_block("ot");
+        let outer_e = b.new_block("oe");
+        let inner_t = b.new_block("it");
+        let inner_e = b.new_block("ie");
+        let inner_j = b.new_block("ij");
+        let j = b.new_block("j");
+        let a = b.imm(1);
+        let c = b.imm(0);
+        let r = b.imm(0);
+        let pa = b.cmp(CmpKind::Gt, Operand::Reg(a), Operand::Imm(0));
+        b.br_cond(pa, outer_t, outer_e);
+        b.switch_to(outer_t);
+        let pb = b.cmp(CmpKind::Gt, Operand::Reg(c), Operand::Imm(0));
+        b.br_cond(pb, inner_t, inner_e);
+        b.switch_to(inner_t);
+        b.push(Opcode::MovI, vec![r], vec![Operand::Imm(1)]);
+        b.br(inner_j);
+        b.switch_to(inner_e);
+        b.push(Opcode::MovI, vec![r], vec![Operand::Imm(2)]);
+        b.br(inner_j);
+        b.switch_to(inner_j);
+        b.br(j);
+        b.switch_to(outer_e);
+        b.push(Opcode::MovI, vec![r], vec![Operand::Imm(3)]);
+        b.br(j);
+        b.switch_to(j);
+        b.out(Operand::Reg(r));
+        b.halt_imm(0);
+        let id = m.add_function(b.finish());
+        m.entry = Some(id);
+        let golden = interp::run(&m, 1000).unwrap();
+        let n = if_convert(&mut m);
+        assert!(n >= 1, "expected at least the inner diamond to convert");
+        casted_ir::verify::verify_module(&m).unwrap();
+        let rr = interp::run(&m, 1000).unwrap();
+        assert_eq!(rr.stream, golden.stream);
+        assert_eq!(rr.stream, vec![OutVal::Int(2)]);
+    }
+
+    #[test]
+    fn random_programs_survive_if_conversion() {
+        for seed in 0..15u64 {
+            let mut m = casted_ir::testgen::random_module(
+                seed,
+                &casted_ir::testgen::GenOptions::default(),
+            );
+            let golden = interp::run(&m, 2_000_000).unwrap();
+            if_convert(&mut m);
+            casted_ir::verify::verify_module(&m)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            let r = interp::run(&m, 2_000_000).unwrap();
+            assert_eq!(r.stream, golden.stream, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn converted_code_still_protected_by_error_detection() {
+        let mut m = diamond_module(7);
+        if_convert(&mut m);
+        let golden = interp::run(&m, 1000).unwrap();
+        crate::errordetect::error_detection(&mut m);
+        let r = interp::run(&m, 1000).unwrap();
+        assert_eq!(r.stream, golden.stream);
+        // The sel must have been replicated (it is a pure instruction).
+        let f = m.entry_fn();
+        let sel_dups = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insns)
+            .filter(|&&i| {
+                f.insn(i).op == Opcode::Sel && f.insn(i).prov == Provenance::Duplicate
+            })
+            .count();
+        assert!(sel_dups >= 1, "sel not replicated");
+    }
+}

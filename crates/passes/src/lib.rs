@@ -1,0 +1,42 @@
+//! # casted-passes — the CASTED compiler back-end passes
+//!
+//! This crate implements the paper's two back-end algorithms plus the
+//! supporting machinery a real back-end needs around them:
+//!
+//! * [`errordetect`] — **Algorithm 1**, the SWIFT-style single-threaded
+//!   error-detection transformation: instruction replication, register
+//!   renaming (redundant-stream isolation), and check insertion before
+//!   every non-replicated instruction.
+//! * [`schedule`] — the unified cluster-assignment + list-scheduling
+//!   engine. Under a *fixed* placement policy it reproduces the SCED
+//!   (all on one core) and DCED (original on core 0, redundant on
+//!   core 1) baselines; under the *adaptive* policy it is **Algorithm
+//!   2**, the Bottom-Up-Greedy (BUG) completion-cycle heuristic that
+//!   gives CASTED its adaptivity.
+//! * [`ifconvert`] — if-conversion of small branch diamonds into
+//!   predicated `sel` code (opt-in; enlarges scheduling regions the way
+//!   production VLIW compilers do).
+//! * [`opt`] — constant folding, local value numbering and DCE, used by
+//!   the §IV-A methodology experiment (`opt_impact`).
+//! * [`spill`] — register-pressure limiting so the code respects the
+//!   per-cluster 64GP/64FL/32PR register files (the paper attributes
+//!   part of SCED's slowdown variation to the extra spilling its
+//!   doubled register pressure causes).
+//! * [`physreg`] — final linear-scan mapping of virtual registers to
+//!   physical per-cluster register indices (a validation artifact; the
+//!   simulator executes on virtual registers with home clusters).
+//! * [`pipeline`] — the end-to-end driver: [`pipeline::Scheme`] selects
+//!   NOED / SCED / DCED / CASTED and [`pipeline::prepare`] produces a
+//!   simulator-ready [`casted_ir::vliw::ScheduledProgram`].
+
+pub mod errordetect;
+pub mod ifconvert;
+pub mod opt;
+pub mod physreg;
+pub mod pipeline;
+pub mod schedule;
+pub mod spill;
+
+pub use errordetect::{error_detection, EdStats};
+pub use pipeline::{prepare, PrepareOptions, Prepared, Scheme};
+pub use schedule::{schedule_function, Placement};

@@ -1,0 +1,467 @@
+//! Classic scalar optimizations: constant folding, local value
+//! numbering (CSE), and dead-code elimination.
+//!
+//! These exist to validate the paper's §IV-A methodology note: "We
+//! turned off the late stages of the Common Subexpression Elimination
+//! (CSE) and Dead Code Elimination (DCE) optimizations that get called
+//! after the CASTED passes. This is common practice ([SWIFT]) to
+//! prevent these optimizations from removing the replicated code."
+//!
+//! Running [`local_cse`] *after* error detection merges each duplicate
+//! with its original through the isolation copies (`NEW = OLD` gives
+//! both streams the same value numbers), collapsing the two redundant
+//! data flows into one — the checks then compare a value against
+//! itself and can no longer detect anything. The `opt_impact` bench
+//! binary demonstrates exactly this coverage collapse, and measures
+//! the (small) performance cost of keeping the late optimizations off.
+
+use std::collections::{HashMap, HashSet};
+
+use casted_ir::{CmpKind, Function, Insn, InsnId, Module, Opcode, Operand, Reg};
+
+/// Statistics from one optimization run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Instructions removed by dead-code elimination.
+    pub dce_removed: usize,
+    /// Instructions replaced with copies by value numbering.
+    pub cse_replaced: usize,
+    /// Instructions folded to constants.
+    pub folded: usize,
+}
+
+/// True if the instruction has an observable effect and must never be
+/// removed: memory writes, output, control flow, detection.
+fn has_side_effect(op: Opcode) -> bool {
+    op.is_store_class() || op.is_control_flow()
+}
+
+/// Dead-code elimination over the whole function: removes pure
+/// instructions whose results are never (transitively) used by a
+/// side-effecting instruction. Conservative for multi-definition
+/// registers: if a register is needed anywhere, all its definitions
+/// stay.
+pub fn dce(func: &mut Function) -> usize {
+    // Registers needed by side-effecting roots, propagated backwards.
+    let mut needed: HashSet<Reg> = HashSet::new();
+    for (_, block) in func.iter_blocks() {
+        for &iid in &block.insns {
+            let insn = func.insn(iid);
+            if has_side_effect(insn.op) {
+                needed.extend(insn.reg_uses());
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for (_, block) in func.iter_blocks() {
+            for &iid in &block.insns {
+                let insn = func.insn(iid);
+                if insn.defs.iter().any(|d| needed.contains(d)) {
+                    for r in insn.reg_uses() {
+                        changed |= needed.insert(r);
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut removed = 0;
+    for b in 0..func.blocks.len() {
+        let old = std::mem::take(&mut func.blocks[b].insns);
+        let kept: Vec<InsnId> = old
+            .into_iter()
+            .filter(|&iid| {
+                let insn = func.insn(iid);
+                let live = has_side_effect(insn.op)
+                    || insn.defs.is_empty()
+                    || insn.defs.iter().any(|d| needed.contains(d));
+                if !live {
+                    removed += 1;
+                }
+                live
+            })
+            .collect();
+        func.blocks[b].insns = kept;
+    }
+    removed
+}
+
+/// A value number.
+type Vn = u32;
+
+/// Local value numbering (block-scoped CSE): identical pure
+/// computations over identical value numbers are replaced by a copy of
+/// the first computation's result.
+///
+/// **Deliberately unsafe after error detection** — see module docs.
+pub fn local_cse(func: &mut Function) -> usize {
+    let mut replaced = 0;
+    for b in 0..func.blocks.len() {
+        let list = func.blocks[b].insns.clone();
+        // Current value number of each register.
+        let mut vn_of_reg: HashMap<Reg, Vn> = HashMap::new();
+        let mut next_vn: Vn = 0;
+        let fresh = |vn_of_reg: &mut HashMap<Reg, Vn>, r: Reg, next_vn: &mut Vn| {
+            let v = *next_vn;
+            *next_vn += 1;
+            vn_of_reg.insert(r, v);
+            v
+        };
+        // Expression table: (op-key, operand vns, imm) -> (vn, rep reg).
+        let mut exprs: HashMap<(String, Vec<Vn>, i64), (Vn, Reg)> = HashMap::new();
+        // Memory epoch: any store invalidates prior load availability
+        // (redundant-load elimination, as real CSE stages perform).
+        let mut mem_epoch: i64 = 0;
+
+        for iid in list {
+            let insn = func.insn(iid).clone();
+            // Operand value numbers (immediates get stable pseudo-vns
+            // via a hash of their bits, folded into the key below).
+            let mut key_vns: Vec<Vn> = Vec::with_capacity(insn.uses.len());
+            let mut key_imms: i64 = insn.imm;
+            for u in &insn.uses {
+                match u {
+                    Operand::Reg(r) => {
+                        let v = match vn_of_reg.get(r) {
+                            Some(&v) => v,
+                            None => fresh(&mut vn_of_reg, *r, &mut next_vn),
+                        };
+                        key_vns.push(v);
+                    }
+                    Operand::Imm(v) => {
+                        key_vns.push(u32::MAX);
+                        key_imms = key_imms.wrapping_mul(31).wrapping_add(*v);
+                    }
+                    Operand::FImm(v) => {
+                        key_vns.push(u32::MAX - 1);
+                        key_imms = key_imms
+                            .wrapping_mul(31)
+                            .wrapping_add(v.to_bits() as i64);
+                    }
+                }
+            }
+            if insn.op.is_mem_store() {
+                mem_epoch += 1;
+            }
+            let is_load = insn.op.is_load();
+            if is_load {
+                // Redundant-load elimination: a load is available until
+                // the next store (conservative, no alias analysis).
+                key_imms = key_imms.wrapping_mul(31).wrapping_add(mem_epoch);
+            }
+            let pure = (insn.op.is_replicable() && !insn.op.is_memory() || is_load)
+                && insn.defs.len() == 1;
+            if !pure {
+                for &d in &insn.defs {
+                    fresh(&mut vn_of_reg, d, &mut next_vn);
+                }
+                continue;
+            }
+
+            let d = insn.defs[0];
+            // Copies: destination takes the source's value number.
+            if matches!(insn.op, Opcode::MovI | Opcode::FMovI) {
+                if let Operand::Reg(src) = insn.uses[0] {
+                    let v = match vn_of_reg.get(&src) {
+                        Some(&v) => v,
+                        None => fresh(&mut vn_of_reg, src, &mut next_vn),
+                    };
+                    vn_of_reg.insert(d, v);
+                    continue;
+                }
+            }
+
+            let key = (insn.op.mnemonic(), key_vns, key_imms);
+            match exprs.get(&key) {
+                // The representative must still hold the value it was
+                // numbered with (it may have been redefined since).
+                Some(&(v, rep)) if rep != d && vn_of_reg.get(&rep) == Some(&v) => {
+                    // Same value already available in `rep`: replace the
+                    // computation with a copy.
+                    let mov_op = if d.class == casted_ir::RegClass::Fp {
+                        Opcode::FMovI
+                    } else if d.class == casted_ir::RegClass::Pr {
+                        // No predicate copy instruction: keep the compare.
+                        for &dd in &insn.defs {
+                            fresh(&mut vn_of_reg, dd, &mut next_vn);
+                        }
+                        continue;
+                    } else {
+                        Opcode::MovI
+                    };
+                    *func.insn_mut(iid) =
+                        Insn::new(mov_op, vec![d], vec![Operand::Reg(rep)]).with_prov(insn.prov);
+                    vn_of_reg.insert(d, v);
+                    replaced += 1;
+                }
+                _ => {
+                    let v = fresh(&mut vn_of_reg, d, &mut next_vn);
+                    exprs.insert(key, (v, d));
+                }
+            }
+        }
+    }
+    replaced
+}
+
+/// Fold pure integer operations whose operands are all immediates into
+/// `mov` instructions.
+pub fn const_fold(func: &mut Function) -> usize {
+    use casted_ir::semantics::{eval_pure, Val};
+    let mut folded = 0;
+    for b in 0..func.blocks.len() {
+        let list = func.blocks[b].insns.clone();
+        for iid in list {
+            let insn = func.insn(iid);
+            if !insn.op.is_replicable() || insn.op.is_memory() || insn.defs.len() != 1 {
+                continue;
+            }
+            if matches!(insn.op, Opcode::MovI | Opcode::FMovI) {
+                continue;
+            }
+            let vals: Option<Vec<Val>> = insn
+                .uses
+                .iter()
+                .map(|u| match u {
+                    Operand::Imm(v) => Some(Val::I(*v)),
+                    Operand::FImm(v) => Some(Val::F(*v)),
+                    Operand::Reg(_) => None,
+                })
+                .collect();
+            let Some(vals) = vals else { continue };
+            let Ok(v) = eval_pure(insn.op, &vals) else { continue };
+            let prov = insn.prov;
+            let d = insn.defs[0];
+            let new = match v {
+                Val::I(x) => Insn::new(Opcode::MovI, vec![d], vec![Operand::Imm(x)]),
+                Val::F(x) => Insn::new(Opcode::FMovI, vec![d], vec![Operand::FImm(x)]),
+                Val::B(x) => {
+                    // Predicates have no immediate form; synthesize via
+                    // a constant compare.
+                    Insn::new(
+                        Opcode::Cmp(if x { CmpKind::Eq } else { CmpKind::Ne }),
+                        vec![d],
+                        vec![Operand::Imm(0), Operand::Imm(0)],
+                    )
+                }
+            };
+            *func.insn_mut(iid) = new.with_prov(prov);
+            folded += 1;
+        }
+    }
+    folded
+}
+
+/// Run the full optimization pipeline (fold → CSE → DCE) on the entry
+/// function, as a front-end `-O1` stand-in. Safe **before** error
+/// detection; destructive **after** it (see module docs).
+pub fn optimize(module: &mut Module) -> OptStats {
+    let func = module.entry_fn_mut();
+    let folded = const_fold(func);
+    let cse_replaced = local_cse(func);
+    let dce_removed = dce(func);
+    debug_assert!(casted_ir::verify::verify_function(func).is_ok());
+    OptStats {
+        dce_removed,
+        cse_replaced,
+        folded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casted_ir::interp::{self, OutVal};
+    use casted_ir::{FunctionBuilder, Module};
+
+    fn run(m: &Module) -> Vec<OutVal> {
+        interp::run(m, 1_000_000).unwrap().stream
+    }
+
+    #[test]
+    fn dce_removes_dead_chain_keeps_live() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main");
+        let live = b.imm(3);
+        let dead1 = b.imm(10);
+        let _dead2 = b.binop(Opcode::Mul, Operand::Reg(dead1), Operand::Imm(5));
+        let out = b.binop(Opcode::Add, Operand::Reg(live), Operand::Imm(1));
+        b.out(Operand::Reg(out));
+        b.halt_imm(0);
+        let id = m.add_function(b.finish());
+        m.entry = Some(id);
+        let before = run(&m);
+        let removed = dce(m.entry_fn_mut());
+        assert_eq!(removed, 2);
+        casted_ir::verify::verify_module(&m).unwrap();
+        assert_eq!(run(&m), before);
+    }
+
+    #[test]
+    fn cse_merges_identical_computations() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main");
+        let x = b.imm(6);
+        let a = b.binop(Opcode::Mul, Operand::Reg(x), Operand::Imm(7));
+        let c = b.binop(Opcode::Mul, Operand::Reg(x), Operand::Imm(7)); // same expr
+        let s = b.binop(Opcode::Add, Operand::Reg(a), Operand::Reg(c));
+        b.out(Operand::Reg(s));
+        b.halt_imm(0);
+        let id = m.add_function(b.finish());
+        m.entry = Some(id);
+        let before = run(&m);
+        let replaced = local_cse(m.entry_fn_mut());
+        assert_eq!(replaced, 1);
+        casted_ir::verify::verify_module(&m).unwrap();
+        assert_eq!(run(&m), before);
+        // The second mul became a copy.
+        let f = m.entry_fn();
+        let muls = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insns)
+            .filter(|&&i| f.insn(i).op == Opcode::Mul)
+            .count();
+        assert_eq!(muls, 1);
+    }
+
+    #[test]
+    fn cse_respects_redefinitions() {
+        // x redefined between the two identical expressions: no merge.
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main");
+        let x = b.imm(6);
+        let a = b.binop(Opcode::Mul, Operand::Reg(x), Operand::Imm(7));
+        b.push(Opcode::MovI, vec![x], vec![Operand::Imm(8)]);
+        let c = b.binop(Opcode::Mul, Operand::Reg(x), Operand::Imm(7));
+        let s = b.binop(Opcode::Add, Operand::Reg(a), Operand::Reg(c));
+        b.out(Operand::Reg(s));
+        b.halt_imm(0);
+        let id = m.add_function(b.finish());
+        m.entry = Some(id);
+        let before = run(&m);
+        let replaced = local_cse(m.entry_fn_mut());
+        assert_eq!(replaced, 0);
+        assert_eq!(run(&m), before);
+        assert_eq!(before, vec![OutVal::Int(42 + 56)]);
+    }
+
+    #[test]
+    fn const_fold_folds_immediates() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main");
+        let d = b.binop(Opcode::Mul, Operand::Imm(6), Operand::Imm(7));
+        b.out(Operand::Reg(d));
+        b.halt_imm(0);
+        let id = m.add_function(b.finish());
+        m.entry = Some(id);
+        assert_eq!(const_fold(m.entry_fn_mut()), 1);
+        casted_ir::verify::verify_module(&m).unwrap();
+        assert_eq!(run(&m), vec![OutVal::Int(42)]);
+    }
+
+    #[test]
+    fn optimize_preserves_benchmark_semantics() {
+        for w in casted_workloads_like_source() {
+            let mut m = w;
+            let before = run(&m);
+            let stats = optimize(&mut m);
+            casted_ir::verify::verify_module(&m).unwrap();
+            assert_eq!(run(&m), before);
+            let _ = stats;
+        }
+    }
+
+    /// A couple of structured programs built directly (the workloads
+    /// crate depends on this one, so we can't use it here).
+    fn casted_workloads_like_source() -> Vec<Module> {
+        let mut out = Vec::new();
+        for seed in [3u64, 17, 99] {
+            out.push(casted_ir::testgen::random_module(
+                seed,
+                &casted_ir::testgen::GenOptions::default(),
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn cse_after_error_detection_destroys_redundancy() {
+        // The §IV-A rationale, demonstrated: CSE after ED merges the
+        // duplicate stream into the original, so an injected fault in
+        // the shared computation reaches the store unchecked.
+        let mut m = Module::new("t");
+        let (_, addr) = m.add_global("g", casted_ir::func::GlobalClass::Int, 2, vec![]);
+        let mut b = FunctionBuilder::new("main");
+        let x = b.imm(6);
+        let y = b.binop(Opcode::Mul, Operand::Reg(x), Operand::Imm(7));
+        let base = b.imm(addr);
+        b.store(base, 0, Operand::Reg(y));
+        b.halt_imm(0);
+        let id = m.add_function(b.finish());
+        m.entry = Some(id);
+
+        crate::errordetect::error_detection(&mut m);
+        let replaced = local_cse(m.entry_fn_mut());
+        assert!(replaced > 0, "CSE should find duplicate computations");
+        // Count surviving *computations* of the mul: only one remains.
+        let f = m.entry_fn();
+        let muls = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insns)
+            .filter(|&&i| f.insn(i).op == Opcode::Mul)
+            .count();
+        assert_eq!(muls, 1, "redundant computation must have been merged away");
+    }
+}
+
+#[cfg(test)]
+mod lvn_safety_tests {
+    use super::*;
+    use casted_ir::interp::{self, OutVal};
+    use casted_ir::{FunctionBuilder, Module};
+
+    #[test]
+    fn cse_skips_redefined_representative() {
+        // a = x*7; a = 0; c = x*7  -> c must be recomputed, not copied
+        // from the clobbered a.
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main");
+        let x = b.imm(6);
+        let a = b.binop(Opcode::Mul, Operand::Reg(x), Operand::Imm(7));
+        b.push(Opcode::MovI, vec![a], vec![Operand::Imm(0)]);
+        let c = b.binop(Opcode::Mul, Operand::Reg(x), Operand::Imm(7));
+        b.out(Operand::Reg(a));
+        b.out(Operand::Reg(c));
+        b.halt_imm(0);
+        let id = m.add_function(b.finish());
+        m.entry = Some(id);
+        let before = interp::run(&m, 1000).unwrap().stream;
+        local_cse(m.entry_fn_mut());
+        casted_ir::verify::verify_module(&m).unwrap();
+        let after = interp::run(&m, 1000).unwrap().stream;
+        assert_eq!(before, after);
+        assert_eq!(after, vec![OutVal::Int(0), OutVal::Int(42)]);
+    }
+
+    #[test]
+    fn optimize_on_random_programs_preserves_semantics() {
+        for seed in 0..20u64 {
+            let mut m = casted_ir::testgen::random_module(
+                seed,
+                &casted_ir::testgen::GenOptions::default(),
+            );
+            let before = interp::run(&m, 2_000_000).unwrap();
+            optimize(&mut m);
+            casted_ir::verify::verify_module(&m)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            let after = interp::run(&m, 2_000_000).unwrap();
+            assert_eq!(before.stream, after.stream, "seed {seed}");
+            assert_eq!(before.stop, after.stop, "seed {seed}");
+        }
+    }
+}

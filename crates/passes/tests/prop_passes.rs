@@ -1,0 +1,113 @@
+//! Property-based tests over the compiler passes: for arbitrary
+//! generated programs, every transformation must preserve observable
+//! semantics and every schedule must be structurally valid.
+
+use casted_ir::testgen::{random_module, GenOptions};
+use casted_ir::{interp, Cluster, MachineConfig};
+use casted_passes::{error_detection, prepare, schedule_function, Placement, Scheme};
+use proptest::prelude::*;
+
+fn opts() -> GenOptions {
+    GenOptions {
+        body_ops: 25,
+        iterations: 4,
+        globals: 2,
+        with_float: true,
+    }
+}
+
+fn streams_equal(a: &interp::ExecResult, b: &interp::ExecResult) -> bool {
+    a.stop == b.stop
+        && a.stream.len() == b.stream.len()
+        && a.stream.iter().zip(&b.stream).all(|(x, y)| x.bit_eq(y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn error_detection_preserves_semantics(seed in any::<u64>()) {
+        let mut m = random_module(seed, &opts());
+        let golden = interp::run(&m, 2_000_000).unwrap();
+        let stats = error_detection(&mut m);
+        prop_assert!(casted_ir::verify::verify_module(&m).is_ok());
+        let r = interp::run(&m, 20_000_000).unwrap();
+        prop_assert!(streams_equal(&golden, &r));
+        prop_assert!(stats.replicated > 0);
+    }
+
+    #[test]
+    fn schedules_validate_for_all_placements(seed in any::<u64>(), issue in 1usize..=4, delay in 1u32..=4) {
+        let mut m = random_module(seed, &opts());
+        error_detection(&mut m);
+        let cfg = MachineConfig::perfect_memory(issue, delay);
+        for p in [Placement::AllOn(Cluster::MAIN), Placement::ByStream, Placement::Adaptive] {
+            let sp = schedule_function(&m, &cfg, p);
+            prop_assert!(sp.validate().is_ok(), "{:?} produced invalid schedule", p);
+        }
+    }
+
+    #[test]
+    fn full_pipeline_preserves_semantics_for_every_scheme(seed in any::<u64>()) {
+        let m = random_module(seed, &opts());
+        let golden = interp::run(&m, 2_000_000).unwrap();
+        let cfg = MachineConfig::itanium2_like(2, 2);
+        for scheme in Scheme::ALL {
+            let prep = prepare(&m, scheme, &cfg).unwrap();
+            let r = casted_sim::simulate(&prep.sp, &casted_sim::SimOptions::default());
+            prop_assert_eq!(&r.stop, &golden.stop);
+            prop_assert_eq!(r.stream.len(), golden.stream.len());
+            for (x, y) in r.stream.iter().zip(&golden.stream) {
+                prop_assert!(x.bit_eq(y), "{} changed output", scheme);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_never_much_worse_than_fixed(seed in any::<u64>(), delay in 1u32..=4) {
+        let m = random_module(seed, &opts());
+        let cfg = MachineConfig::perfect_memory(2, delay);
+        let mut cycles = std::collections::HashMap::new();
+        for scheme in [Scheme::Sced, Scheme::Dced, Scheme::Casted] {
+            let prep = prepare(&m, scheme, &cfg).unwrap();
+            let r = casted_sim::simulate(&prep.sp, &casted_sim::SimOptions::default());
+            cycles.insert(scheme, r.stats.cycles);
+        }
+        let best = cycles[&Scheme::Sced].min(cycles[&Scheme::Dced]) as f64;
+        prop_assert!(
+            (cycles[&Scheme::Casted] as f64) <= best * 1.15,
+            "CASTED {} vs best fixed {}", cycles[&Scheme::Casted], best
+        );
+    }
+
+    #[test]
+    fn spilling_a_random_register_preserves_semantics(seed in any::<u64>()) {
+        use casted_ir::RegClass;
+        let mut m = random_module(seed, &opts());
+        let golden = interp::run(&m, 2_000_000).unwrap();
+        // Spill an arbitrary mid-range GP register.
+        let count = m.entry_fn().reg_count(RegClass::Gp);
+        let victim = casted_ir::Reg::gp(count / 2);
+        casted_passes::spill::spill_register(&mut m, victim);
+        prop_assert!(casted_ir::verify::verify_module(&m).is_ok());
+        let r = interp::run(&m, 20_000_000).unwrap();
+        prop_assert!(streams_equal(&golden, &r));
+    }
+
+    #[test]
+    fn physical_assignment_matches_pressure(seed in any::<u64>()) {
+        let m = random_module(seed, &opts());
+        let cfg = MachineConfig::perfect_memory(2, 2);
+        let prep = prepare(&m, Scheme::Sced, &cfg).unwrap();
+        let ivs = casted_passes::spill::intervals(&prep.sp);
+        let pressure = casted_passes::spill::max_pressure(&prep.sp, &ivs);
+        for c in 0..2 {
+            for (k, class) in casted_ir::RegClass::ALL.iter().enumerate() {
+                prop_assert!(pressure[c][k] <= class.file_size() as u32);
+                prop_assert!(prep.phys.peak[c][k] <= class.file_size() as u32);
+                // Linear scan can never beat the true pressure bound.
+                prop_assert!(prep.phys.peak[c][k] <= pressure[c][k]);
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # casted-sim — cycle-accurate lockstep clustered-VLIW simulator
+//!
+//! Plays the role of the paper's modified SKI IA-64 simulator: it
+//! executes a [`casted_ir::vliw::ScheduledProgram`] bundle by bundle,
+//! modelling
+//!
+//! * per-cluster issue (the static schedule's bundles, one per cycle),
+//! * **lockstep stalls** — if any instruction in the current bundle is
+//!   waiting for an operand, the whole machine waits,
+//! * a register **scoreboard**: each virtual register becomes usable in
+//!   its home cluster at `issue + latency`; a read from the *other*
+//!   cluster is usable `inter_cluster_delay` cycles later,
+//! * the full 3-level non-blocking cache hierarchy of Table I, with
+//!   LRU sets and a bounded miss queue (MSHRs),
+//! * perfect branch prediction (Table I): branches redirect fetch with
+//!   no misprediction penalty,
+//! * runtime exceptions (wild/misaligned addresses, division by zero),
+//!   a watchdog timeout, and the fault-detection exit taken by
+//!   `br.detect` — the machinery behind the paper's five fault-outcome
+//!   classes,
+//! * single-bit **fault injection** at instruction output registers
+//!   (§IV-C): at a chosen dynamic instruction, one bit of one output
+//!   register is flipped after writeback.
+//!
+//! The functional semantics are shared with the reference interpreter
+//! (`casted_ir::semantics` / `casted_ir::interp`), so for every program
+//! and machine configuration the simulator's output stream is
+//! bit-identical to the interpreter's — an invariant the integration
+//! tests enforce.
+
+pub mod cache;
+pub mod machine;
+pub mod stats;
+
+pub use cache::{CacheHierarchy, CacheStats};
+pub use machine::{simulate, Injection, SimOptions, SimResult, TraceEntry};
+pub use stats::SimStats;

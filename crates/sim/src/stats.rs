@@ -1,0 +1,36 @@
+//! Simulation statistics.
+
+use crate::cache::CacheStats;
+
+/// Counters gathered over one simulated run.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Total machine cycles.
+    pub cycles: u64,
+    /// Dynamic instructions executed.
+    pub dyn_insns: u64,
+    /// Bundles issued.
+    pub bundles: u64,
+    /// Cycles the machine spent stalled waiting for operands (cache
+    /// misses and inter-cluster transfers surface here, because the
+    /// clusters run in lockstep).
+    pub stall_cycles: u64,
+    /// Register reads that crossed clusters (consumer cluster differs
+    /// from the value's home register file).
+    pub cross_reads: u64,
+    /// Dynamic instruction counts per cluster (resource balance).
+    pub per_cluster: Vec<u64>,
+    /// Cache behaviour.
+    pub cache: CacheStats,
+}
+
+impl SimStats {
+    /// Dynamic instructions per cycle across the whole machine.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.dyn_insns as f64 / self.cycles as f64
+        }
+    }
+}

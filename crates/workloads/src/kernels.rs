@@ -1,0 +1,649 @@
+//! The seven MiniC benchmark kernels.
+//!
+//! Each constructor returns a [`Workload`] whose source is the shared
+//! library [`PRELUDE`](crate::PRELUDE) plus the kernel program. Inputs
+//! are generated in-program from a fixed LCG seed, so every run is
+//! bit-deterministic.
+
+use crate::{Suite, Workload, PRELUDE};
+
+fn make(name: &'static str, suite: Suite, body: &str) -> Workload {
+    Workload {
+        name,
+        suite,
+        source: format!("{PRELUDE}\n{body}"),
+    }
+}
+
+/// `cjpeg` — JPEG-style encoder kernel: 8×8 forward transform,
+/// quantization, scan-order run-length encoding. Moderate ILP;
+/// quantization masks many injected faults (the paper notes encoders
+/// are "less prone to errors ... as there is some data compression
+/// (masking) involved").
+pub fn cjpeg() -> Workload {
+    make(
+        "cjpeg",
+        Suite::MediaBench2,
+        r#"
+const W: int = 24;            // image is W x W pixels
+const NB: int = 9;            // (W/8)^2 blocks
+global img: [int; 576];       // W*W
+global C: [int; 64];          // transform matrix
+global qtab: [int; 64];       // quantization table
+global zz: [int; 64];         // scan order permutation
+global blk: [int; 64];
+global tmp: [int; 64];
+global coef: [int; 64];
+
+fn init() {
+    var s: int = 12345;
+    for i in 0..W*W {
+        s = lcg(s);
+        img[i] = (s >> 8) % 256;
+    }
+    for u in 0..8 {
+        for x in 0..8 {
+            C[u*8+x] = (u*2 + 3) * (x*3 + 1) % 17 - 8;
+        }
+    }
+    for k in 0..64 {
+        qtab[k] = 4 + (k * 3) / 8;
+        zz[k] = k * 37 % 64;
+    }
+}
+
+// Separable 2-D transform of blk into coef (rows then columns).
+fn transform() {
+    for u in 0..8 {
+        for x in 0..8 {
+            var s: int = 0;
+            for k in 0..8 {
+                s = s + C[u*8+k] * blk[x*8+k];
+            }
+            tmp[u*8+x] = s >> 3;
+        }
+    }
+    for u in 0..8 {
+        for v in 0..8 {
+            var s: int = 0;
+            for k in 0..8 {
+                s = s + C[v*8+k] * tmp[k*8+u];
+            }
+            coef[v*8+u] = s >> 3;
+        }
+    }
+}
+
+fn main() -> int {
+    init();
+    var checksum: int = 0;
+    var rle_total: int = 0;
+    for by in 0..W/8 {
+        for bx in 0..W/8 {
+            // load block
+            for y in 0..8 {
+                for x in 0..8 {
+                    blk[y*8+x] = img[(by*8+y)*W + bx*8 + x] - 128;
+                }
+            }
+            transform();
+            // quantize + run-length encode in scan order
+            var run: int = 0;
+            for k in 0..64 {
+                var q: int = coef[zz[k]] / qtab[zz[k]];
+                if q == 0 {
+                    run = run + 1;
+                } else {
+                    rle_total = rle_total + run + 1;
+                    checksum = checksum + q * (k + 1);
+                    run = 0;
+                }
+            }
+            out(checksum & 65535);
+        }
+    }
+    out(rle_total);
+    out(checksum);
+    return 0;
+}
+"#,
+    )
+}
+
+/// `h263dec` — video decoder kernel: coefficient dequantization,
+/// inverse transform, motion compensation with clipping. Store-heavy
+/// decode path.
+pub fn h263dec() -> Workload {
+    make(
+        "h263dec",
+        Suite::MediaBench2,
+        r#"
+const W: int = 24;            // decoded frame is W x W
+const RW: int = 32;           // reference frame is RW x RW
+global reff: [int; 1024];     // RW*RW
+global frame: [int; 576];     // W*W
+global C: [int; 64];
+global coef: [int; 64];
+global tmp: [int; 64];
+global resid: [int; 64];
+
+fn init() {
+    var s: int = 777;
+    for i in 0..RW*RW {
+        s = lcg(s);
+        reff[i] = (s >> 7) % 256;
+    }
+    for u in 0..8 {
+        for x in 0..8 {
+            C[u*8+x] = (u*3 + 1) * (x*2 + 5) % 15 - 7;
+        }
+    }
+}
+
+fn itransform() {
+    for u in 0..8 {
+        for x in 0..8 {
+            var s: int = 0;
+            for k in 0..8 {
+                s = s + C[k*8+u] * coef[x*8+k];
+            }
+            tmp[u*8+x] = s >> 4;
+        }
+    }
+    for u in 0..8 {
+        for v in 0..8 {
+            var s: int = 0;
+            for k in 0..8 {
+                s = s + C[k*8+v] * tmp[k*8+u];
+            }
+            resid[v*8+u] = s >> 4;
+        }
+    }
+}
+
+fn main() -> int {
+    init();
+    var s: int = 31337;
+    var checksum: int = 0;
+    for by in 0..W/8 {
+        for bx in 0..W/8 {
+            // "bitstream": dequantized coefficients, sparse
+            for k in 0..64 {
+                s = lcg(s);
+                if s % 5 == 0 {
+                    coef[k] = s % 64 - 32;
+                } else {
+                    coef[k] = 0;
+                }
+            }
+            itransform();
+            // motion vector from the stream, range [-3, 3]
+            s = lcg(s);
+            var mvx: int = s % 7 - 3;
+            s = lcg(s);
+            var mvy: int = s % 7 - 3;
+            for y in 0..8 {
+                for x in 0..8 {
+                    var ry: int = by*8 + y + mvy + 4;
+                    var rx: int = bx*8 + x + mvx + 4;
+                    var pred: int = reff[ry*RW + rx];
+                    var rec: int = clip(pred + resid[y*8+x], 0, 255);
+                    frame[(by*8+y)*W + bx*8 + x] = rec;
+                    checksum = checksum + rec * (x + y + 1);
+                }
+            }
+        }
+    }
+    for i in 0..W {
+        out(frame[i*W + i]);
+    }
+    out(checksum);
+    return 0;
+}
+"#,
+    )
+}
+
+/// `mpeg2dec` — MPEG-2-style decoder kernel: dequantize + saturate,
+/// inverse transform, intra/inter block reconstruction with a skipped-
+/// block copy path.
+pub fn mpeg2dec() -> Workload {
+    make(
+        "mpeg2dec",
+        Suite::MediaBench2,
+        r#"
+const W: int = 24;
+const RW: int = 32;
+global reff: [int; 1024];
+global frame: [int; 576];
+global C: [int; 64];
+global qmat: [int; 64];
+global coef: [int; 64];
+global tmp: [int; 64];
+global resid: [int; 64];
+
+fn init() {
+    var s: int = 4242;
+    for i in 0..RW*RW {
+        s = lcg(s);
+        reff[i] = (s >> 9) % 256;
+    }
+    for u in 0..8 {
+        for x in 0..8 {
+            C[u*8+x] = (u + 2) * (x*5 + 1) % 13 - 6;
+        }
+    }
+    for k in 0..64 {
+        qmat[k] = 8 + k / 4;
+    }
+}
+
+fn itransform() {
+    for u in 0..8 {
+        for x in 0..8 {
+            var s: int = 0;
+            for k in 0..8 {
+                s = s + C[k*8+u] * coef[x*8+k];
+            }
+            tmp[u*8+x] = s >> 4;
+        }
+    }
+    for u in 0..8 {
+        for v in 0..8 {
+            var s: int = 0;
+            for k in 0..8 {
+                s = s + C[k*8+v] * tmp[k*8+u];
+            }
+            resid[v*8+u] = s >> 4;
+        }
+    }
+}
+
+fn main() -> int {
+    init();
+    var s: int = 999331;
+    var checksum: int = 0;
+    for by in 0..W/8 {
+        for bx in 0..W/8 {
+            s = lcg(s);
+            var mode: int = s % 4;
+            if mode == 0 {
+                // skipped block: straight copy from the reference
+                for y in 0..8 {
+                    for x in 0..8 {
+                        var v: int = reff[(by*8+y+4)*RW + bx*8 + x + 4];
+                        frame[(by*8+y)*W + bx*8 + x] = v;
+                        checksum = checksum + v;
+                    }
+                }
+            } else {
+                // coded block: dequantize with saturation, transform
+                for k in 0..64 {
+                    s = lcg(s);
+                    var level: int = s % 32 - 16;
+                    var dq: int = level * qmat[k] * 2;
+                    coef[k] = clip(dq, -2048, 2047);
+                }
+                itransform();
+                for y in 0..8 {
+                    for x in 0..8 {
+                        var pred: int = 0;
+                        if mode > 1 {
+                            pred = reff[(by*8+y+4)*RW + bx*8 + x + 4];
+                        }
+                        var rec: int = clip(pred + resid[y*8+x], 0, 255);
+                        frame[(by*8+y)*W + bx*8 + x] = rec;
+                        checksum = checksum + rec * 3;
+                    }
+                }
+            }
+        }
+    }
+    for i in 0..W {
+        out(frame[i*W + (W - 1 - i)]);
+    }
+    out(checksum);
+    return 0;
+}
+"#,
+    )
+}
+
+/// `h263enc` — video encoder kernel: sum-of-absolute-differences
+/// motion estimation with early termination, then transform + quantize
+/// of the residual. Branch- and store-dense: the error-detection pass
+/// inserts many checks here, which makes SCED scale poorly (the
+/// paper's §IV-B2 anomaly).
+pub fn h263enc() -> Workload {
+    make(
+        "h263enc",
+        Suite::MediaBench2,
+        r#"
+const W: int = 16;
+const RW: int = 24;
+global cur: [int; 256];
+global reff: [int; 576];
+global C: [int; 64];
+global blk: [int; 64];
+global tmp: [int; 64];
+global coef: [int; 64];
+
+fn init() {
+    var s: int = 271828;
+    for i in 0..RW*RW {
+        s = lcg(s);
+        reff[i] = (s >> 6) % 256;
+    }
+    // current frame = shifted reference + noise, so motion search
+    // has real structure to find
+    for y in 0..W {
+        for x in 0..W {
+            s = lcg(s);
+            cur[y*W+x] = clip(reff[(y+5)*RW + x + 3] + s % 9 - 4, 0, 255);
+        }
+    }
+    for u in 0..8 {
+        for x in 0..8 {
+            C[u*8+x] = (u*2 + 3) * (x*3 + 1) % 17 - 8;
+        }
+    }
+}
+
+fn transform() {
+    for u in 0..8 {
+        for x in 0..8 {
+            var s: int = 0;
+            for k in 0..8 {
+                s = s + C[u*8+k] * blk[x*8+k];
+            }
+            tmp[u*8+x] = s >> 3;
+        }
+    }
+    for u in 0..8 {
+        for v in 0..8 {
+            var s: int = 0;
+            for k in 0..8 {
+                s = s + C[v*8+k] * tmp[k*8+u];
+            }
+            coef[v*8+u] = s >> 3;
+        }
+    }
+}
+
+fn main() -> int {
+    init();
+    var checksum: int = 0;
+    var bits: int = 0;
+    for by in 0..W/8 {
+        for bx in 0..W/8 {
+            // full-search motion estimation, window [-2, 2]^2,
+            // early-terminating SAD
+            var best: int = 1000000;
+            var bestdx: int = 0;
+            var bestdy: int = 0;
+            for dy in 0..5 {
+                for dx in 0..5 {
+                    var sad: int = 0;
+                    for y in 0..8 {
+                        if sad < best {
+                            for x in 0..8 {
+                                var c: int = cur[(by*8+y)*W + bx*8 + x];
+                                var r: int = reff[(by*8+y+dy+2)*RW + bx*8 + x + dx + 2];
+                                sad = sad + iabs(c - r);
+                            }
+                        }
+                    }
+                    if sad < best {
+                        best = sad;
+                        bestdx = dx - 2;
+                        bestdy = dy - 2;
+                    }
+                }
+            }
+            // residual block
+            for y in 0..8 {
+                for x in 0..8 {
+                    var c: int = cur[(by*8+y)*W + bx*8 + x];
+                    var r: int = reff[(by*8+y+bestdy+4)*RW + bx*8 + x + bestdx + 4];
+                    blk[y*8+x] = c - r;
+                }
+            }
+            transform();
+            // quantize and entropy-model bit counting
+            for k in 0..64 {
+                var q: int = coef[k] / 12;
+                if q != 0 {
+                    bits = bits + 4 + imin(iabs(q), 8);
+                    checksum = checksum + q * (k + 7);
+                }
+            }
+            out((bestdx + 2) * 8 + bestdy + 2);
+        }
+    }
+    out(bits);
+    out(checksum);
+    return 0;
+}
+"#,
+    )
+}
+
+/// `175.vpr` — FPGA placement kernel: simulated-annealing cell swaps
+/// with bounding-box wirelength cost, accept/reject control flow.
+/// Mixed integer compute and data-dependent branching.
+pub fn vpr() -> Workload {
+    make(
+        "175.vpr",
+        Suite::SpecCint2000,
+        r#"
+const NCELLS: int = 64;
+const NNETS: int = 32;
+const PINS: int = 4;
+const GRID: int = 16;
+const MOVES: int = 48;
+global posx: [int; NCELLS];
+global posy: [int; NCELLS];
+global nets: [int; 128];      // NNETS * PINS cell ids
+
+fn net_cost(n: int) -> int {
+    var minx: int = 1000;
+    var maxx: int = -1000;
+    var miny: int = 1000;
+    var maxy: int = -1000;
+    for p in 0..PINS {
+        var c: int = nets[n*PINS + p];
+        minx = imin(minx, posx[c]);
+        maxx = imax(maxx, posx[c]);
+        miny = imin(miny, posy[c]);
+        maxy = imax(maxy, posy[c]);
+    }
+    return maxx - minx + maxy - miny;
+}
+
+fn total_cost() -> int {
+    var c: int = 0;
+    for n in 0..NNETS {
+        c = c + net_cost(n);
+    }
+    return c;
+}
+
+fn main() -> int {
+    var s: int = 1618;
+    for c in 0..NCELLS {
+        s = lcg(s);
+        posx[c] = s % GRID;
+        s = lcg(s);
+        posy[c] = s % GRID;
+    }
+    for k in 0..NNETS*PINS {
+        s = lcg(s);
+        nets[k] = s % NCELLS;
+    }
+
+    var cost: int = total_cost();
+    out(cost);
+    var accepted: int = 0;
+    var temp: int = 32;
+    for m in 0..MOVES {
+        s = lcg(s);
+        var a: int = s % NCELLS;
+        s = lcg(s);
+        var b: int = s % NCELLS;
+        // swap a and b
+        var tx: int = posx[a]; var ty: int = posy[a];
+        posx[a] = posx[b]; posy[a] = posy[b];
+        posx[b] = tx; posy[b] = ty;
+        var nc: int = total_cost();
+        s = lcg(s);
+        if nc < cost || s % 64 < temp {
+            cost = nc;
+            accepted = accepted + 1;
+        } else {
+            // undo
+            tx = posx[a]; ty = posy[a];
+            posx[a] = posx[b]; posy[a] = posy[b];
+            posx[b] = tx; posy[b] = ty;
+        }
+        if m % 16 == 15 {
+            temp = imax(temp - 4, 1);
+            out(cost);
+        }
+    }
+    out(accepted);
+    out(cost);
+    return 0;
+}
+"#,
+    )
+}
+
+/// `181.mcf` — network-simplex-style kernel: pointer chasing over a
+/// pseudo-random successor permutation plus arc cost relaxation.
+/// Low ILP (serial dependent loads), cache-unfriendly footprint.
+pub fn mcf() -> Workload {
+    make(
+        "181.mcf",
+        Suite::SpecCint2000,
+        r#"
+const N: int = 4096;          // nodes; 32 KB per array
+const ROUNDS: int = 2;
+global nxt: [int; N];
+global cost: [int; N];
+global pot: [int; N];
+
+fn main() -> int {
+    // successor permutation: stride walk coprime with N
+    var s: int = 55441;
+    for i in 0..N {
+        nxt[i] = (i * 2053 + 1) % N;
+        s = lcg(s);
+        cost[i] = s % 1009;
+        pot[i] = 0;
+    }
+    var checksum: int = 0;
+    // pointer chase with potential relaxation
+    var node: int = 0;
+    for r in 0..ROUNDS {
+        for step in 0..N {
+            var n2: int = nxt[node];
+            var reduced: int = cost[node] - pot[node] + pot[n2];
+            if reduced < 0 {
+                pot[n2] = pot[n2] - reduced;
+            } else {
+                pot[node] = pot[node] + (reduced >> 5);
+            }
+            checksum = checksum + reduced;
+            node = n2;
+        }
+        out(checksum);
+    }
+    var potsum: int = 0;
+    for i in 0..N {
+        if i % 64 == 0 {
+            potsum = potsum + pot[i];
+        }
+    }
+    out(potsum);
+    out(node);
+    return 0;
+}
+"#,
+    )
+}
+
+/// `197.parser` — link-grammar-style kernel: table-driven DFA
+/// tokenizer over generated text plus per-token dictionary binary
+/// search. Very branchy, little ILP.
+pub fn parser() -> Workload {
+    make(
+        "197.parser",
+        Suite::SpecCint2000,
+        r#"
+const TEXT: int = 4000;
+const STATES: int = 8;
+const CLASSES: int = 6;
+const DICT: int = 64;
+global text: [int; TEXT];
+global dfa: [int; 48];        // STATES * CLASSES
+global dict: [int; DICT];
+global histo: [int; STATES];
+
+fn lookup(w: int) -> int {
+    var lo: int = 0;
+    var hi: int = DICT;
+    while lo < hi {
+        var mid: int = (lo + hi) >> 1;
+        if dict[mid] < w {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    return lo;
+}
+
+fn main() -> int {
+    var s: int = 20011;
+    for i in 0..TEXT {
+        s = lcg(s);
+        text[i] = s % 30;
+    }
+    for st in 0..STATES {
+        for c in 0..CLASSES {
+            dfa[st*CLASSES + c] = (st*3 + c*5 + 1) % STATES;
+        }
+    }
+    for k in 0..DICT {
+        dict[k] = k * k * 3 + k;
+    }
+
+    var state: int = 0;
+    var tokens: int = 0;
+    var word: int = 0;
+    var checksum: int = 0;
+    for i in 0..TEXT {
+        var ch: int = text[i];
+        var class: int = ch % CLASSES;
+        var prev: int = state;
+        state = dfa[state*CLASSES + class];
+        histo[state] = histo[state] + 1;
+        word = (word * 31 + ch) & 1048575;
+        if state == 0 && prev != 0 {
+            // token boundary: dictionary lookup
+            tokens = tokens + 1;
+            var idx: int = lookup(word % 12289);
+            checksum = checksum + idx;
+            word = 0;
+        }
+    }
+    for st in 0..STATES {
+        out(histo[st]);
+    }
+    out(tokens);
+    out(checksum);
+    return 0;
+}
+"#,
+    )
+}

@@ -1,0 +1,186 @@
+//! # casted-workloads — benchmark kernels (Table II substitutes)
+//!
+//! The paper evaluates on 4 MediaBench II video benchmarks and 3 SPEC
+//! CINT2000 benchmarks (Table II). Real MediaBench/SPEC sources cannot
+//! be compiled here (no GCC, no IA-64), so each benchmark is replaced
+//! by a MiniC kernel with the same *computational character* the
+//! paper's analysis leans on — ILP, branchiness, store/check density
+//! and cache behaviour:
+//!
+//! | paper       | kernel here                                   | character |
+//! |-------------|-----------------------------------------------|-----------|
+//! | cjpeg       | 8×8 forward transform + quantize + RLE encode | moderate ILP, quantization masks faults |
+//! | h263dec     | dequant + inverse transform + motion comp     | decode, store-heavy |
+//! | mpeg2dec    | dequant + saturate + inverse transform + copy | decode, moderate ILP |
+//! | h263enc     | SAD motion estimation + transform + quantize  | branch/store dense → many checks |
+//! | 175.vpr     | simulated-annealing placement cost loop       | mixed control/compute |
+//! | 181.mcf     | pointer-chasing arc relaxation                | low ILP, cache-miss bound |
+//! | 197.parser  | table-driven tokenizer + link counting        | very branchy, low ILP |
+//!
+//! Every kernel generates its own input deterministically with an
+//! in-program LCG (`lib fn lcg`), runs the kernel, and emits checksums
+//! through `out()` — the observable output used for the Benign vs
+//! DataCorrupt fault classification. The shared `lib fn` prelude plays
+//! the role of binary system libraries: its inlined instructions are
+//! not protected by the error-detection pass, reproducing the paper's
+//! residual undetected-corruption tail (Fig. 9).
+
+use casted_frontend::Diag;
+use casted_ir::Module;
+
+/// Benchmark suite of origin (Table II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Suite {
+    /// MediaBench II video.
+    MediaBench2,
+    /// SPEC CINT2000.
+    SpecCint2000,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Suite::MediaBench2 => write!(f, "MediaBench2"),
+            Suite::SpecCint2000 => write!(f, "SPEC CINT2000"),
+        }
+    }
+}
+
+/// One benchmark program.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Short name used in figures (matches the paper's benchmark name).
+    pub name: &'static str,
+    /// Originating suite.
+    pub suite: Suite,
+    /// MiniC source (prelude + kernel).
+    pub source: String,
+}
+
+impl Workload {
+    /// Compile to a verified IR module.
+    pub fn compile(&self) -> Result<Module, Vec<Diag>> {
+        casted_frontend::compile(self.name, &self.source)
+    }
+}
+
+/// The shared "system library" prelude. These functions are declared
+/// `lib fn`, so the error-detection pass leaves their inlined code
+/// unprotected — like libraries linked as binaries in the paper.
+pub const PRELUDE: &str = r#"
+lib fn clip(x: int, lo: int, hi: int) -> int {
+    if x < lo { return lo; }
+    if x > hi { return hi; }
+    return x;
+}
+lib fn iabs(x: int) -> int {
+    if x < 0 { return 0 - x; }
+    return x;
+}
+lib fn imin(a: int, b: int) -> int {
+    if a < b { return a; }
+    return b;
+}
+lib fn imax(a: int, b: int) -> int {
+    if a > b { return a; }
+    return b;
+}
+lib fn lcg(s: int) -> int {
+    return (s * 1103515245 + 12345) & 9007199254740991;
+}
+"#;
+
+mod kernels;
+
+pub use kernels::*;
+
+/// All seven benchmarks in Table II order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        cjpeg(),
+        h263dec(),
+        mpeg2dec(),
+        h263enc(),
+        vpr(),
+        mcf(),
+        parser(),
+    ]
+}
+
+/// Look a benchmark up by its paper name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casted_ir::interp::{self, StopReason};
+
+    #[test]
+    fn seven_benchmarks_matching_table_ii() {
+        let ws = all();
+        assert_eq!(ws.len(), 7);
+        let media = ws.iter().filter(|w| w.suite == Suite::MediaBench2).count();
+        let spec = ws.iter().filter(|w| w.suite == Suite::SpecCint2000).count();
+        assert_eq!(media, 4);
+        assert_eq!(spec, 3);
+        assert_eq!(
+            ws.iter().map(|w| w.name).collect::<Vec<_>>(),
+            vec!["cjpeg", "h263dec", "mpeg2dec", "h263enc", "175.vpr", "181.mcf", "197.parser"]
+        );
+    }
+
+    #[test]
+    fn all_benchmarks_compile_run_and_emit_output() {
+        for w in all() {
+            let m = w
+                .compile()
+                .unwrap_or_else(|e| panic!("{} failed to compile: {:?}", w.name, e));
+            let r = interp::run(&m, 100_000_000).unwrap();
+            assert_eq!(r.stop, StopReason::Halt(0), "{} did not halt cleanly: {:?}", w.name, r.stop);
+            assert!(!r.stream.is_empty(), "{} produced no output", w.name);
+            // Dynamic length budget: long enough to be a benchmark,
+            // short enough for 300-trial Monte-Carlo campaigns.
+            assert!(
+                (10_000..3_000_000).contains(&r.dyn_insns),
+                "{}: {} dynamic instructions outside budget",
+                w.name,
+                r.dyn_insns
+            );
+        }
+    }
+
+    #[test]
+    fn benchmarks_are_deterministic() {
+        for w in all() {
+            let m = w.compile().unwrap();
+            let a = interp::run(&m, 100_000_000).unwrap();
+            let b = interp::run(&m, 100_000_000).unwrap();
+            assert_eq!(a.stream, b.stream, "{} is nondeterministic", w.name);
+        }
+    }
+
+    #[test]
+    fn benchmarks_use_library_code() {
+        for w in all() {
+            let m = w.compile().unwrap();
+            let f = m.entry_fn();
+            let libs = f
+                .blocks
+                .iter()
+                .flat_map(|b| &b.insns)
+                .filter(|&&i| f.insn(i).prov == casted_ir::Provenance::LibraryCode)
+                .count();
+            assert!(libs > 0, "{} inlines no library code", w.name);
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for w in all() {
+            assert_eq!(by_name(w.name).unwrap().name, w.name);
+        }
+        assert!(by_name("nonexistent").is_none());
+    }
+}

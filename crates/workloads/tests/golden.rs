@@ -1,0 +1,63 @@
+//! Golden snapshot tests: the benchmark kernels are part of the
+//! experimental methodology, so their observable outputs are pinned.
+//! If a kernel change is intentional, update the snapshots here *and*
+//! regenerate EXPERIMENTS.md.
+
+use casted_ir::interp::{self, OutVal};
+
+fn run(name: &str) -> interp::ExecResult {
+    let w = casted_workloads::by_name(name).expect("benchmark exists");
+    let m = w.compile().expect("compiles");
+    interp::run(&m, 100_000_000).expect("runs")
+}
+
+fn stream_hash(r: &interp::ExecResult) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for v in &r.stream {
+        let bits = match v {
+            OutVal::Int(x) => *x as u64,
+            OutVal::Float(x) => x.to_bits(),
+        };
+        h ^= bits;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[test]
+fn golden_dynamic_lengths() {
+    let expected = [
+        ("cjpeg", 263_410u64),
+        ("h263dec", 281_944),
+        ("mpeg2dec", 205_197),
+        ("h263enc", 324_372),
+        ("175.vpr", 404_300),
+        ("181.mcf", 500_203),
+        ("197.parser", 260_977),
+    ];
+    for (name, dyn_insns) in expected {
+        let r = run(name);
+        assert_eq!(r.dyn_insns, dyn_insns, "{name} dynamic length drifted");
+    }
+}
+
+#[test]
+fn golden_output_streams() {
+    let expected: [(&str, u64); 7] = [
+        ("cjpeg", 0xc9ad1bfa4d02247e),
+        ("h263dec", 0xd80e22a8d405eeea),
+        ("mpeg2dec", 0xd4431ed0747b674b),
+        ("h263enc", 0x1c4eb66fb66cb12e),
+        ("175.vpr", 0xede43e3b270e27e3),
+        ("181.mcf", 0xcefaedfa4aa1c728),
+        ("197.parser", 0x7606d1ec08941be4),
+    ];
+    for (name, want) in expected {
+        let r = run(name);
+        let got = stream_hash(&r);
+        assert_eq!(
+            got, want,
+            "{name}: stream hash drifted — got {got:#x}; update the snapshot if intentional"
+        );
+    }
+}

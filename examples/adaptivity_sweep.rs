@@ -1,0 +1,41 @@
+//! Adaptivity sweep: a miniature of the paper's Fig. 6 for one
+//! benchmark — how SCED, DCED and CASTED slowdowns move as the machine
+//! configuration changes, and how CASTED's cluster usage adapts.
+//!
+//! Run with `cargo run --release --example adaptivity_sweep [benchmark]`.
+
+use casted::experiments::{perf_sweep, GridSpec};
+use casted::report;
+use casted::Scheme;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "cjpeg".to_string());
+    let w = casted_workloads::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}; try one of {:?}",
+            casted_workloads::all().iter().map(|w| w.name).collect::<Vec<_>>()));
+
+    let spec = GridSpec {
+        issues: vec![1, 2, 3, 4],
+        delays: vec![1, 2, 3, 4],
+        schemes: Scheme::ALL.to_vec(),
+    };
+    eprintln!("sweeping {name} over issue 1-4 x delay 1-4 ...");
+    let table = perf_sweep(&[w], &spec);
+
+    println!("{}", report::perf_panel(&table, &name, &spec.issues, &spec.delays));
+    println!("{}", report::scaling_panel(&table, &name, &spec.issues, 2));
+
+    println!("CASTED cluster occupancy (insns on c0/c1) across the grid:");
+    for &i in &spec.issues {
+        for &d in &spec.delays {
+            let p = table.get(&name, Scheme::Casted, i, d).unwrap();
+            println!(
+                "  issue {i} delay {d}: {:>4} / {:<4}  (split {:.0}%)",
+                p.occupancy.first().copied().unwrap_or(0),
+                p.occupancy.get(1).copied().unwrap_or(0),
+                100.0 * p.occupancy.get(1).copied().unwrap_or(0) as f64
+                    / p.occupancy.iter().sum::<usize>().max(1) as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Quickstart: compile a MiniC program, protect it with each scheme,
+//! measure cycles, and watch the error detection catch an injected
+//! transient fault.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use casted::ir::MachineConfig;
+use casted::Scheme;
+use casted_sim::{simulate, Injection, SimOptions};
+
+const SRC: &str = r#"
+global hist: [int; 16];
+
+fn main() -> int {
+    var seed: int = 42;
+    for i in 0..500 {
+        seed = (seed * 1103515245 + 12345) & 9007199254740991;
+        var bucket: int = seed % 16;
+        hist[bucket] = hist[bucket] + 1;
+    }
+    var total: int = 0;
+    for b in 0..16 {
+        out(hist[b]);
+        total = total + hist[b];
+    }
+    out(total);
+    return 0;
+}
+"#;
+
+fn main() {
+    // 1. Compile MiniC to IR (GCC's role in the paper).
+    let module = casted::compile("quickstart", SRC).expect("compile");
+
+    // 2. A 2-cluster VLIW, 2-wide per cluster, 2-cycle inter-core delay.
+    let config = MachineConfig::itanium2_like(2, 2);
+
+    // 3. Build + measure all four schemes.
+    println!("{:8} {:>9} {:>9} {:>7} {:>10}", "scheme", "cycles", "slowdown", "growth", "occupancy");
+    let mut noed_cycles = 0u64;
+    let mut casted_prep = None;
+    for scheme in Scheme::ALL {
+        let prep = casted::build(&module, scheme, &config).expect("build");
+        let r = casted::measure(&prep);
+        if scheme == Scheme::Noed {
+            noed_cycles = r.stats.cycles;
+        }
+        println!(
+            "{:8} {:>9} {:>8.2}x {:>6.2}x {:>10}",
+            scheme.name(),
+            r.stats.cycles,
+            r.stats.cycles as f64 / noed_cycles as f64,
+            prep.ed_stats.map(|s| s.growth()).unwrap_or(1.0),
+            format!("{:?}", prep.sp.cluster_occupancy()),
+        );
+        if scheme == Scheme::Casted {
+            casted_prep = Some(prep);
+        }
+    }
+
+    // 4. Inject one bit flip mid-run into the CASTED binary.
+    let prep = casted_prep.unwrap();
+    let golden = casted::measure(&prep);
+    let faulty = simulate(
+        &prep.sp,
+        &SimOptions {
+            max_cycles: golden.stats.cycles * 10,
+            injection: Some(Injection {
+                at_dyn_insn: golden.stats.dyn_insns / 3,
+                bit: 7,
+                target: None,
+            }),
+                trace_limit: 0,
+            },
+    );
+    println!("\ninjected a single bit flip 1/3 into the run:");
+    println!("  outcome: {:?}", faulty.stop);
+    println!(
+        "  classification: {}",
+        casted_faults::classify(&golden, &faulty)
+    );
+}

@@ -1,0 +1,92 @@
+//! Experiment-harness integration: the sweep machinery must produce
+//! paper-shaped results on a reduced grid.
+
+use casted::experiments::{casted_vs_best_fixed, perf_sweep, summarize, GridSpec};
+use casted::Scheme;
+
+fn small_suite() -> Vec<casted_workloads::Workload> {
+    casted_workloads::all()
+        .into_iter()
+        .filter(|w| matches!(w.name, "cjpeg" | "181.mcf"))
+        .collect()
+}
+
+#[test]
+fn reduced_grid_reproduces_paper_shape() {
+    let spec = GridSpec {
+        issues: vec![1, 2],
+        delays: vec![1, 4],
+        schemes: Scheme::ALL.to_vec(),
+    };
+    let table = perf_sweep(&small_suite(), &spec);
+
+    // 1. Every ED scheme slows down vs NOED.
+    for s in summarize(&table) {
+        assert!(s.min >= 1.0, "{:?}", s);
+    }
+
+    // 2. SCED improves (or holds) as issue width grows.
+    for b in table.benchmarks() {
+        let s1 = table.slowdown(&b, Scheme::Sced, 1, 1).unwrap();
+        let n1 = table.noed_cycles(&b, 1).unwrap();
+        let n2 = table.noed_cycles(&b, 2).unwrap();
+        let c1 = s1 * n1 as f64;
+        let c2 = table.slowdown(&b, Scheme::Sced, 2, 1).unwrap() * n2 as f64;
+        assert!(c2 <= c1, "{b}: SCED got slower with more issue slots");
+    }
+
+    // 3. DCED degrades as the inter-core delay grows.
+    for b in table.benchmarks() {
+        let d1 = table.get(&b, Scheme::Dced, 1, 1).unwrap().cycles;
+        let d4 = table.get(&b, Scheme::Dced, 1, 4).unwrap().cycles;
+        assert!(d4 >= d1, "{b}: DCED immune to delay?");
+    }
+
+    // 4. CASTED tracks the best fixed scheme within tolerance.
+    let (_best, worst, rows) = casted_vs_best_fixed(&table);
+    assert!(!rows.is_empty());
+    assert!(worst > -12.0, "CASTED loses {worst:.1}% somewhere");
+}
+
+#[test]
+fn casted_occupancy_adapts_to_delay() {
+    // At delay 1 CASTED should use both clusters for the ILP; at an
+    // extreme delay it should concentrate work.
+    let w = casted_workloads::by_name("cjpeg").unwrap();
+    let spec = GridSpec {
+        issues: vec![4],
+        delays: vec![1, 4],
+        schemes: vec![Scheme::Casted],
+    };
+    let table = perf_sweep(&[w], &spec);
+    let low = table.get("cjpeg", Scheme::Casted, 4, 1).unwrap();
+    let high = table.get("cjpeg", Scheme::Casted, 4, 4).unwrap();
+    let split = |p: &casted::experiments::PerfPoint| {
+        p.occupancy.get(1).copied().unwrap_or(0) as f64
+            / p.occupancy.iter().sum::<usize>().max(1) as f64
+    };
+    assert!(
+        split(high) <= split(low) + 1e-9,
+        "CASTED spread more at high delay: {:?} vs {:?}",
+        high.occupancy,
+        low.occupancy
+    );
+}
+
+#[test]
+fn csv_reports_are_well_formed() {
+    let spec = GridSpec {
+        issues: vec![1],
+        delays: vec![2],
+        schemes: Scheme::ALL.to_vec(),
+    };
+    let ws: Vec<_> = casted_workloads::all().into_iter().take(1).collect();
+    let table = perf_sweep(&ws, &spec);
+    let csv = casted::report::perf_csv(&table);
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 1 + table.points.len());
+    let cols = lines[0].split(',').count();
+    for l in &lines[1..] {
+        assert_eq!(l.split(',').count(), cols, "ragged CSV row: {l}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Fault-injection integration: the error-detection schemes must
+//! actually detect faults that corrupt the unprotected program.
+
+use casted::ir::MachineConfig;
+use casted::Scheme;
+use casted_faults::{run_campaign, CampaignConfig, Outcome};
+
+fn campaign(scheme: Scheme, trials: usize) -> casted_faults::CampaignResult {
+    let module = casted_workloads::by_name("mpeg2dec").unwrap().compile().unwrap();
+    let cfg = MachineConfig::itanium2_like(2, 2);
+    let prep = casted::build(&module, scheme, &cfg).unwrap();
+    run_campaign(
+        &prep.sp,
+        &CampaignConfig {
+            trials,
+            seed: 7,
+            timeout_factor: 8,
+        },
+    )
+}
+
+#[test]
+fn unprotected_never_detects_but_gets_corrupted() {
+    let r = campaign(Scheme::Noed, 40);
+    assert_eq!(r.tally.count(Outcome::Detected), 0);
+    assert!(
+        r.tally.count(Outcome::DataCorrupt) > 0,
+        "40 injections into NOED should corrupt at least once: {:?}",
+        r.tally
+    );
+}
+
+#[test]
+fn protected_schemes_detect_faults() {
+    for scheme in [Scheme::Sced, Scheme::Dced, Scheme::Casted] {
+        let r = campaign(scheme, 40);
+        assert!(
+            r.tally.count(Outcome::Detected) > 0,
+            "{scheme} detected nothing: {:?}",
+            r.tally
+        );
+    }
+}
+
+#[test]
+fn protection_reduces_silent_corruption() {
+    let noed = campaign(Scheme::Noed, 60);
+    let casted = campaign(Scheme::Casted, 60);
+    let noed_bad = noed.tally.fraction(Outcome::DataCorrupt);
+    let casted_bad = casted.tally.fraction(Outcome::DataCorrupt);
+    assert!(
+        casted_bad <= noed_bad,
+        "CASTED corrupt {casted_bad:.2} > NOED corrupt {noed_bad:.2}"
+    );
+}
+
+#[test]
+fn campaigns_are_reproducible() {
+    let a = campaign(Scheme::Casted, 25);
+    let b = campaign(Scheme::Casted, 25);
+    assert_eq!(a.tally, b.tally);
+    assert_eq!(a.golden_cycles, b.golden_cycles);
+}
+
+/// Coverage must be configuration-insensitive (the paper's Fig. 10
+/// claim), modulo Monte-Carlo noise.
+#[test]
+fn coverage_insensitive_to_configuration() {
+    let module = casted_workloads::by_name("mpeg2dec").unwrap().compile().unwrap();
+    let mut safes = Vec::new();
+    for (issue, delay) in [(1, 1), (4, 4)] {
+        let cfg = MachineConfig::itanium2_like(issue, delay);
+        let prep = casted::build(&module, Scheme::Casted, &cfg).unwrap();
+        let r = run_campaign(
+            &prep.sp,
+            &CampaignConfig {
+                trials: 60,
+                seed: 11,
+                timeout_factor: 8,
+            },
+        );
+        safes.push(r.tally.safe_fraction());
+    }
+    let spread = (safes[0] - safes[1]).abs();
+    assert!(
+        spread < 0.2,
+        "safe fraction varies too much across configs: {safes:?}"
+    );
+}
