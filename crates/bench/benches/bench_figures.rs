@@ -1,10 +1,11 @@
-//! Scaled-down figure pipelines under Criterion, so `cargo bench`
-//! exercises every experiment path end to end (the full paper-sized
-//! figures are produced by the `fig*` binaries).
+//! Scaled-down figure pipelines on the in-repo bench runner, so
+//! `cargo bench` exercises every experiment path end to end (the full
+//! paper-sized figures are produced by the `fig*` binaries).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use casted_util::bench::Bench;
+use casted_util::{bench_group, bench_main};
 
-fn bench_fig6_cell(c: &mut Criterion) {
+fn bench_fig6_cell(c: &mut Bench) {
     let mut g = c.benchmark_group("figure_pipelines");
     g.sample_size(10);
     let w = casted_workloads::by_name("mpeg2dec").unwrap();
@@ -45,5 +46,5 @@ fn bench_fig6_cell(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fig6_cell);
-criterion_main!(benches);
+bench_group!(benches, bench_fig6_cell);
+bench_main!(benches);

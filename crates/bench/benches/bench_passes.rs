@@ -1,14 +1,16 @@
-//! Criterion benchmarks for the compiler passes: the error-detection
+//! Benchmarks for the compiler passes: the error-detection
 //! transformation (Algorithm 1) and the full back-end pipeline.
+//! Runs on the in-repo wall-clock runner (`casted_util::bench`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use casted_util::bench::{Bench, BenchId};
+use casted_util::{bench_group, bench_main};
 
-fn bench_error_detection(c: &mut Criterion) {
+fn bench_error_detection(c: &mut Bench) {
     let mut g = c.benchmark_group("error_detection");
     g.sample_size(20);
     for w in casted_workloads::all() {
         let module = w.compile().expect("compile");
-        g.bench_with_input(BenchmarkId::from_parameter(w.name), &module, |b, m| {
+        g.bench_with_input(BenchId::from_parameter(w.name), &module, |b, m| {
             b.iter(|| {
                 let mut m2 = m.clone();
                 casted_passes::error_detection(&mut m2)
@@ -18,14 +20,14 @@ fn bench_error_detection(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_prepare(c: &mut Criterion) {
+fn bench_prepare(c: &mut Bench) {
     let mut g = c.benchmark_group("prepare_pipeline");
     g.sample_size(10);
     let module = casted_workloads::by_name("cjpeg").unwrap().compile().unwrap();
     let cfg = casted::ir::MachineConfig::itanium2_like(2, 2);
     for scheme in casted::Scheme::ALL {
         g.bench_with_input(
-            BenchmarkId::from_parameter(scheme.name()),
+            BenchId::from_parameter(scheme.name()),
             &scheme,
             |b, &s| b.iter(|| casted_passes::prepare(&module, s, &cfg).unwrap()),
         );
@@ -33,16 +35,16 @@ fn bench_prepare(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_frontend(c: &mut Criterion) {
+fn bench_frontend(c: &mut Bench) {
     let mut g = c.benchmark_group("minic_compile");
     g.sample_size(20);
     for w in casted_workloads::all() {
-        g.bench_with_input(BenchmarkId::from_parameter(w.name), &w, |b, w| {
+        g.bench_with_input(BenchId::from_parameter(w.name), &w, |b, w| {
             b.iter(|| w.compile().expect("compile"));
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_error_detection, bench_prepare, bench_frontend);
-criterion_main!(benches);
+bench_group!(benches, bench_error_detection, bench_prepare, bench_frontend);
+bench_main!(benches);

@@ -1,10 +1,12 @@
-//! Criterion benchmarks for cluster assignment + list scheduling under
-//! the three placement policies (fixed single-cluster, fixed
-//! by-stream, adaptive BUG).
+//! Benchmarks for cluster assignment + list scheduling under the
+//! three placement policies (fixed single-cluster, fixed by-stream,
+//! adaptive BUG). Runs on the in-repo wall-clock runner
+//! (`casted_util::bench`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use casted_util::bench::{Bench, BenchId};
+use casted_util::{bench_group, bench_main};
 
-fn bench_placements(c: &mut Criterion) {
+fn bench_placements(c: &mut Bench) {
     let mut g = c.benchmark_group("schedule_function");
     g.sample_size(10);
     let mut module = casted_workloads::by_name("h263enc").unwrap().compile().unwrap();
@@ -17,14 +19,14 @@ fn bench_placements(c: &mut Criterion) {
         ("adaptive_bug", Placement::Adaptive),
     ];
     for (name, p) in cases {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &p, |b, &p| {
+        g.bench_with_input(BenchId::from_parameter(name), &p, |b, &p| {
             b.iter(|| casted_passes::schedule_function(&module, &cfg, p));
         });
     }
     g.finish();
 }
 
-fn bench_dfg(c: &mut Criterion) {
+fn bench_dfg(c: &mut Bench) {
     let mut module = casted_workloads::by_name("cjpeg").unwrap().compile().unwrap();
     casted_passes::error_detection(&mut module);
     let func = module.entry_fn();
@@ -40,5 +42,5 @@ fn bench_dfg(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_placements, bench_dfg);
-criterion_main!(benches);
+bench_group!(benches, bench_placements, bench_dfg);
+bench_main!(benches);

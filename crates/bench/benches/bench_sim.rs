@@ -1,9 +1,11 @@
-//! Criterion benchmarks for the cycle-accurate simulator: fault-free
-//! throughput per scheme and the cache hierarchy in isolation.
+//! Benchmarks for the cycle-accurate simulator: fault-free throughput
+//! per scheme and the cache hierarchy in isolation. Runs on the
+//! in-repo wall-clock runner (`casted_util::bench`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use casted_util::bench::{Bench, BenchId};
+use casted_util::{bench_group, bench_main};
 
-fn bench_simulate(c: &mut Criterion) {
+fn bench_simulate(c: &mut Bench) {
     let mut g = c.benchmark_group("simulate_cjpeg");
     g.sample_size(10);
     let module = casted_workloads::by_name("cjpeg").unwrap().compile().unwrap();
@@ -11,7 +13,7 @@ fn bench_simulate(c: &mut Criterion) {
     for scheme in casted::Scheme::ALL {
         let prep = casted_passes::prepare(&module, scheme, &cfg).unwrap();
         g.bench_with_input(
-            BenchmarkId::from_parameter(scheme.name()),
+            BenchId::from_parameter(scheme.name()),
             &prep,
             |b, prep| b.iter(|| casted::measure(prep)),
         );
@@ -19,7 +21,7 @@ fn bench_simulate(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache(c: &mut Bench) {
     let cfg = casted::ir::MachineConfig::itanium2_like(2, 2);
     c.bench_function("cache_hierarchy_stream", |b| {
         b.iter(|| {
@@ -33,7 +35,7 @@ fn bench_cache(c: &mut Criterion) {
     });
 }
 
-fn bench_fault_trial(c: &mut Criterion) {
+fn bench_fault_trial(c: &mut Bench) {
     let mut g = c.benchmark_group("fault_trial");
     g.sample_size(10);
     let module = casted_workloads::by_name("197.parser").unwrap().compile().unwrap();
@@ -57,5 +59,5 @@ fn bench_fault_trial(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_simulate, bench_cache, bench_fault_trial);
-criterion_main!(benches);
+bench_group!(benches, bench_simulate, bench_cache, bench_fault_trial);
+bench_main!(benches);

@@ -10,16 +10,16 @@
 //!   §IV-B (scheme slowdown ranges/averages, CASTED's win over the
 //!   best non-adaptive scheme).
 //!
-//! Sweeps run cells on a small scoped thread pool (`crossbeam`) sized
-//! to the host's parallelism.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
+//! Sweeps run cells on a small scoped thread pool
+//! ([`casted_util::pool`]) sized to the host's parallelism. Cell
+//! results are collected in input order, so a sweep's output is
+//! deterministic regardless of worker scheduling.
 
 use casted_faults::{CampaignConfig, Tally};
 use casted_ir::MachineConfig;
 use casted_passes::Scheme;
+use casted_util::pool::run_pool;
 use casted_workloads::Workload;
-use parking_lot::Mutex;
 
 /// The sweep grid. The paper's full grid is issue widths 1–4 ×
 /// delays 1–4 × all four schemes.
@@ -128,41 +128,6 @@ impl PerfTable {
         }
         out
     }
-}
-
-fn pool_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
-/// Run a set of tasks on a scoped pool, collecting results.
-fn run_pool<T: Send, F>(tasks: Vec<F>) -> Vec<T>
-where
-    F: Fn() -> T + Send + Sync,
-{
-    let n = tasks.len();
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    let next = AtomicUsize::new(0);
-    let threads = pool_threads().min(n.max(1));
-    crossbeam::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = tasks[i]();
-                results.lock()[i] = Some(r);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("task not run"))
-        .collect()
 }
 
 /// Measure the full performance grid for `benchmarks` over `spec`.

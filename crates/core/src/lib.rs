@@ -39,6 +39,7 @@
 
 pub use casted_faults as faults;
 pub use casted_frontend as frontend;
+pub use casted_util as util;
 pub use casted_ir as ir;
 pub use casted_passes as passes;
 pub use casted_sim as sim;

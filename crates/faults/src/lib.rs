@@ -12,8 +12,7 @@
 //! Timeout. Timeouts are caught by the simulator's watchdog at a
 //! multiple of the fault-free cycle count.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use casted_util::Rng;
 
 use casted_ir::interp::StopReason;
 use casted_ir::vliw::ScheduledProgram;
@@ -183,6 +182,15 @@ pub fn run_trial(sp: &ScheduledProgram, golden: &SimResult, inj: Injection, max_
     classify(golden, &r)
 }
 
+/// Draw one `(dynamic instruction, bit)` injection site — the frozen
+/// per-trial draw order shared by both campaign variants (see the
+/// stream-format notes on [`run_campaign`]).
+pub fn draw_injection(rng: &mut Rng, golden_dyn_insns: u64) -> (u64, u32) {
+    let at = rng.gen_range(1..=golden_dyn_insns);
+    let bit = rng.gen_range(0..64u32);
+    (at, bit)
+}
+
 /// Run a full Monte-Carlo campaign over `sp`.
 ///
 /// Each trial draws a uniformly random dynamic instruction of the run
@@ -191,6 +199,23 @@ pub fn run_trial(sp: &ScheduledProgram, golden: &SimResult, inj: Injection, max_
 /// per trial uniformly over the tested binary's own execution — the
 /// reported per-class *fractions* are directly comparable, see
 /// DESIGN.md.)
+///
+/// ## Injection stream format (frozen)
+///
+/// Campaigns are bit-reproducible across platforms and toolchains:
+/// the RNG is `casted_util::Rng` (xoshiro256++ seeded from
+/// `cfg.seed` via SplitMix64), and each trial draws, in order,
+///
+/// 1. `at`  = `gen_range(1..=golden_dyn_insns)` — the dynamic
+///    instruction whose output is struck, and
+/// 2. `bit` = `gen_range(0..64u32)` — the flipped bit.
+///
+/// (The [`FaultModel::RegisterFile`] variant draws a third value,
+/// `gen_range(0..total_allocated_regs)`, to pick the victim
+/// register.) The `stream_format_is_frozen` unit test pins golden
+/// values for this sequence; any change to the draw order, the RNG
+/// algorithm or the bounded-draw mapping is a format break and must
+/// be made deliberately there.
 pub fn run_campaign(sp: &ScheduledProgram, cfg: &CampaignConfig) -> CampaignResult {
     let golden = simulate(sp, &SimOptions::default());
     assert!(
@@ -199,11 +224,10 @@ pub fn run_campaign(sp: &ScheduledProgram, cfg: &CampaignConfig) -> CampaignResu
         golden.stop
     );
     let max_cycles = golden.stats.cycles.saturating_mul(cfg.timeout_factor);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut tally = Tally::default();
     for _ in 0..cfg.trials {
-        let at = rng.gen_range(1..=golden.stats.dyn_insns);
-        let bit = rng.gen_range(0..64u32);
+        let (at, bit) = draw_injection(&mut rng, golden.stats.dyn_insns);
         let outcome = run_trial(sp, &golden, Injection { at_dyn_insn: at, bit, target: None }, max_cycles);
         tally.record(outcome);
     }
@@ -276,6 +300,50 @@ mod tests {
         let id = m.add_function(b.finish());
         m.entry = Some(id);
         sequential(&m)
+    }
+
+    /// The injection stream format is frozen (see [`run_campaign`]
+    /// docs): for a given seed and golden dynamic length, the sequence
+    /// of `(dynamic instruction, bit)` injection sites is identical on
+    /// every platform and toolchain, byte for byte. These golden
+    /// values pin the format — seed `0xCA57ED` (the default), a
+    /// 1000-instruction run, first eight trials. If this test breaks,
+    /// campaign results are no longer comparable with previously
+    /// published runs; bump the documented stream format instead of
+    /// silently updating the constants.
+    #[test]
+    fn stream_format_is_frozen() {
+        let mut rng = Rng::seed_from_u64(CampaignConfig::default().seed);
+        let got: Vec<(u64, u32)> = (0..8).map(|_| draw_injection(&mut rng, 1000)).collect();
+        assert_eq!(
+            got,
+            [
+                (11, 13),
+                (846, 38),
+                (441, 63),
+                (884, 48),
+                (225, 38),
+                (450, 15),
+                (597, 38),
+                (32, 45),
+            ]
+        );
+    }
+
+    /// Same-seed campaigns must agree between campaign variants too:
+    /// the `InstructionOutput` model inside `run_campaign_with_model`
+    /// delegates, so its draw sequence is the same stream.
+    #[test]
+    fn stream_is_platform_stable_across_dyn_lengths() {
+        // The (at, bit) pair for trial 0 must depend only on the seed
+        // and the golden dynamic length — two different lengths give
+        // reproducible (but different) sites from the same raw stream.
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        let (at_a, bit_a) = draw_injection(&mut a, 100);
+        let (at_b, bit_b) = draw_injection(&mut b, 100);
+        assert_eq!((at_a, bit_a), (at_b, bit_b));
+        assert!(at_a >= 1 && at_a <= 100 && bit_a < 64);
     }
 
     #[test]
@@ -392,11 +460,10 @@ pub fn run_campaign_with_model(
     assert!(matches!(golden.stop, StopReason::Halt(_)));
     let max_cycles = golden.stats.cycles.saturating_mul(cfg.timeout_factor);
     let func = sp.module.entry_fn();
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut tally = Tally::default();
     for _ in 0..cfg.trials {
-        let at = rng.gen_range(1..=golden.stats.dyn_insns);
-        let bit = rng.gen_range(0..64u32);
+        let (at, bit) = draw_injection(&mut rng, golden.stats.dyn_insns);
         // Uniform over all allocated registers of all classes.
         let counts = [
             func.reg_count(RegClass::Gp),

@@ -1,10 +1,15 @@
 //! Property-based tests over the IR core: generated random programs
 //! must verify, terminate, and behave deterministically; structural
 //! analyses must uphold their invariants.
+//!
+//! Driven by the in-repo harness (`casted_util::prop`) — each case
+//! draws its inputs from a deterministic per-case RNG, so the whole
+//! file is bit-reproducible with no registry dependencies.
 
 use casted_ir::testgen::{random_module, GenOptions};
 use casted_ir::{dfg::BlockDfg, interp, liveness::Liveness, LatencyConfig};
-use proptest::prelude::*;
+use casted_util::prop::run_cases;
+use casted_util::{prop_assert, prop_assert_eq};
 
 fn opts() -> GenOptions {
     GenOptions {
@@ -15,20 +20,21 @@ fn opts() -> GenOptions {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn generated_programs_verify_and_halt(seed in any::<u64>()) {
-        let m = random_module(seed, &opts());
+#[test]
+fn generated_programs_verify_and_halt() {
+    run_cases("generated_programs_verify_and_halt", 48, |rng| {
+        let m = random_module(rng.next_u64(), &opts());
         prop_assert!(casted_ir::verify::verify_module(&m).is_ok());
         let r = interp::run(&m, 2_000_000).unwrap();
         prop_assert_eq!(r.stop, interp::StopReason::Halt(0));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn interpreter_is_deterministic(seed in any::<u64>()) {
-        let m = random_module(seed, &opts());
+#[test]
+fn interpreter_is_deterministic() {
+    run_cases("interpreter_is_deterministic", 48, |rng| {
+        let m = random_module(rng.next_u64(), &opts());
         let a = interp::run(&m, 2_000_000).unwrap();
         let b = interp::run(&m, 2_000_000).unwrap();
         prop_assert_eq!(a.stream.len(), b.stream.len());
@@ -36,11 +42,14 @@ proptest! {
             prop_assert!(x.bit_eq(y));
         }
         prop_assert_eq!(a.dyn_insns, b.dyn_insns);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn dfg_edges_are_forward_and_heights_monotone(seed in any::<u64>()) {
-        let m = random_module(seed, &opts());
+#[test]
+fn dfg_edges_are_forward_and_heights_monotone() {
+    run_cases("dfg_edges_are_forward_and_heights_monotone", 48, |rng| {
+        let m = random_module(rng.next_u64(), &opts());
         let f = m.entry_fn();
         let lat = LatencyConfig::default();
         for (bid, _) in f.iter_blocks() {
@@ -53,11 +62,14 @@ proptest! {
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn liveness_no_dead_values_at_exit(seed in any::<u64>()) {
-        let m = random_module(seed, &opts());
+#[test]
+fn liveness_no_dead_values_at_exit() {
+    run_cases("liveness_no_dead_values_at_exit", 48, |rng| {
+        let m = random_module(rng.next_u64(), &opts());
         let f = m.entry_fn();
         let live = Liveness::analyze(f);
         // A block ending in halt has empty live-out.
@@ -72,11 +84,16 @@ proptest! {
                 prop_assert!(r.index < f.reg_count(r.class));
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bit_flip_is_an_involution(v in any::<i64>(), bit in 0u32..64) {
+#[test]
+fn bit_flip_is_an_involution() {
+    run_cases("bit_flip_is_an_involution", 64, |rng| {
         use casted_ir::semantics::Val;
+        let v = rng.next_u64() as i64;
+        let bit = rng.gen_range(0u32..64);
         let x = Val::I(v);
         prop_assert_eq!(x.flip_bit(bit).flip_bit(bit), x);
         let f = Val::F(f64::from_bits(v as u64));
@@ -85,32 +102,49 @@ proptest! {
             (Val::F(a), Val::F(b)) => prop_assert_eq!(a.to_bits(), b.to_bits()),
             _ => prop_assert!(false),
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn eval_pure_never_panics_on_int_ops(a in any::<i64>(), b in any::<i64>()) {
+#[test]
+fn eval_pure_never_panics_on_int_ops() {
+    run_cases("eval_pure_never_panics_on_int_ops", 64, |rng| {
         use casted_ir::semantics::{eval_pure, Val};
         use casted_ir::Opcode::*;
+        let a = rng.next_u64() as i64;
+        // Mix fully random values with small ones so edge divisors
+        // (0, ±1) actually occur.
+        let b = if rng.gen_bool(0.3) {
+            rng.gen_range(-2i64..=2)
+        } else {
+            rng.next_u64() as i64
+        };
         for op in [Add, Sub, Mul, And, Or, Xor, Shl, Shr, Sra] {
             let _ = eval_pure(op, &[Val::I(a), Val::I(b)]).unwrap();
         }
         // Division is total except for zero.
         let r = eval_pure(Div, &[Val::I(a), Val::I(b)]);
         prop_assert_eq!(r.is_err(), b == 0);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn memory_roundtrips(addr_word in 512usize..1000, v in any::<i64>()) {
+#[test]
+fn memory_roundtrips() {
+    run_cases("memory_roundtrips", 64, |rng| {
+        let addr_word = rng.gen_range(512usize..1000);
+        let v = rng.next_u64() as i64;
         let m = casted_ir::Module::new("t");
         let mut mem = interp::Memory::for_module(&m);
         // Memory::for_module gives HEAP_SLACK past data_end (=4096).
         let addr = (addr_word * 8) as i64;
-        if (addr_word) < mem.len_words() {
+        if addr_word < mem.len_words() {
             mem.store_int(addr, v).unwrap();
             prop_assert_eq!(mem.load_int(addr).unwrap(), v);
             let f = f64::from_bits(v as u64);
             mem.store_float(addr, f).unwrap();
             prop_assert_eq!(mem.load_float(addr).unwrap().to_bits(), f.to_bits());
         }
-    }
+        Ok(())
+    });
 }

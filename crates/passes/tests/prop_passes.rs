@@ -1,11 +1,14 @@
 //! Property-based tests over the compiler passes: for arbitrary
 //! generated programs, every transformation must preserve observable
 //! semantics and every schedule must be structurally valid.
+//!
+//! Driven by the in-repo harness (`casted_util::prop`).
 
 use casted_ir::testgen::{random_module, GenOptions};
 use casted_ir::{interp, Cluster, MachineConfig};
 use casted_passes::{error_detection, prepare, schedule_function, Placement, Scheme};
-use proptest::prelude::*;
+use casted_util::prop::run_cases;
+use casted_util::{prop_assert, prop_assert_eq};
 
 fn opts() -> GenOptions {
     GenOptions {
@@ -22,34 +25,40 @@ fn streams_equal(a: &interp::ExecResult, b: &interp::ExecResult) -> bool {
         && a.stream.iter().zip(&b.stream).all(|(x, y)| x.bit_eq(y))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn error_detection_preserves_semantics(seed in any::<u64>()) {
-        let mut m = random_module(seed, &opts());
+#[test]
+fn error_detection_preserves_semantics() {
+    run_cases("error_detection_preserves_semantics", 24, |rng| {
+        let mut m = random_module(rng.next_u64(), &opts());
         let golden = interp::run(&m, 2_000_000).unwrap();
         let stats = error_detection(&mut m);
         prop_assert!(casted_ir::verify::verify_module(&m).is_ok());
         let r = interp::run(&m, 20_000_000).unwrap();
         prop_assert!(streams_equal(&golden, &r));
         prop_assert!(stats.replicated > 0);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn schedules_validate_for_all_placements(seed in any::<u64>(), issue in 1usize..=4, delay in 1u32..=4) {
-        let mut m = random_module(seed, &opts());
+#[test]
+fn schedules_validate_for_all_placements() {
+    run_cases("schedules_validate_for_all_placements", 24, |rng| {
+        let mut m = random_module(rng.next_u64(), &opts());
+        let issue = rng.gen_range(1usize..=4);
+        let delay = rng.gen_range(1u32..=4);
         error_detection(&mut m);
         let cfg = MachineConfig::perfect_memory(issue, delay);
         for p in [Placement::AllOn(Cluster::MAIN), Placement::ByStream, Placement::Adaptive] {
             let sp = schedule_function(&m, &cfg, p);
             prop_assert!(sp.validate().is_ok(), "{:?} produced invalid schedule", p);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn full_pipeline_preserves_semantics_for_every_scheme(seed in any::<u64>()) {
-        let m = random_module(seed, &opts());
+#[test]
+fn full_pipeline_preserves_semantics_for_every_scheme() {
+    run_cases("full_pipeline_preserves_semantics_for_every_scheme", 24, |rng| {
+        let m = random_module(rng.next_u64(), &opts());
         let golden = interp::run(&m, 2_000_000).unwrap();
         let cfg = MachineConfig::itanium2_like(2, 2);
         for scheme in Scheme::ALL {
@@ -61,11 +70,15 @@ proptest! {
                 prop_assert!(x.bit_eq(y), "{} changed output", scheme);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn adaptive_never_much_worse_than_fixed(seed in any::<u64>(), delay in 1u32..=4) {
-        let m = random_module(seed, &opts());
+#[test]
+fn adaptive_never_much_worse_than_fixed() {
+    run_cases("adaptive_never_much_worse_than_fixed", 24, |rng| {
+        let m = random_module(rng.next_u64(), &opts());
+        let delay = rng.gen_range(1u32..=4);
         let cfg = MachineConfig::perfect_memory(2, delay);
         let mut cycles = std::collections::HashMap::new();
         for scheme in [Scheme::Sced, Scheme::Dced, Scheme::Casted] {
@@ -76,14 +89,19 @@ proptest! {
         let best = cycles[&Scheme::Sced].min(cycles[&Scheme::Dced]) as f64;
         prop_assert!(
             (cycles[&Scheme::Casted] as f64) <= best * 1.15,
-            "CASTED {} vs best fixed {}", cycles[&Scheme::Casted], best
+            "CASTED {} vs best fixed {}",
+            cycles[&Scheme::Casted],
+            best
         );
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn spilling_a_random_register_preserves_semantics(seed in any::<u64>()) {
+#[test]
+fn spilling_a_random_register_preserves_semantics() {
+    run_cases("spilling_a_random_register_preserves_semantics", 24, |rng| {
         use casted_ir::RegClass;
-        let mut m = random_module(seed, &opts());
+        let mut m = random_module(rng.next_u64(), &opts());
         let golden = interp::run(&m, 2_000_000).unwrap();
         // Spill an arbitrary mid-range GP register.
         let count = m.entry_fn().reg_count(RegClass::Gp);
@@ -92,11 +110,14 @@ proptest! {
         prop_assert!(casted_ir::verify::verify_module(&m).is_ok());
         let r = interp::run(&m, 20_000_000).unwrap();
         prop_assert!(streams_equal(&golden, &r));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn physical_assignment_matches_pressure(seed in any::<u64>()) {
-        let m = random_module(seed, &opts());
+#[test]
+fn physical_assignment_matches_pressure() {
+    run_cases("physical_assignment_matches_pressure", 24, |rng| {
+        let m = random_module(rng.next_u64(), &opts());
         let cfg = MachineConfig::perfect_memory(2, 2);
         let prep = prepare(&m, Scheme::Sced, &cfg).unwrap();
         let ivs = casted_passes::spill::intervals(&prep.sp);
@@ -109,5 +130,6 @@ proptest! {
                 prop_assert!(prep.phys.peak[c][k] <= pressure[c][k]);
             }
         }
-    }
+        Ok(())
+    });
 }

@@ -2,12 +2,15 @@
 //! interpreter: for any generated program and any machine
 //! configuration, functional behaviour must be identical and timing
 //! invariants must hold.
+//!
+//! Driven by the in-repo harness (`casted_util::prop`).
 
 use casted_ir::testgen::{random_module, GenOptions};
 use casted_ir::vliw::{Bundle, ScheduledBlock, ScheduledProgram};
 use casted_ir::{interp, Cluster, MachineConfig, Module};
 use casted_sim::{simulate, SimOptions};
-use proptest::prelude::*;
+use casted_util::prop::run_cases;
+use casted_util::{prop_assert, prop_assert_eq};
 use std::collections::HashMap;
 
 fn opts() -> GenOptions {
@@ -49,12 +52,12 @@ fn sequential(module: &Module, config: MachineConfig) -> ScheduledProgram {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn simulator_matches_interpreter(seed in any::<u64>(), issue in 1usize..=4, delay in 1u32..=4) {
-        let m = random_module(seed, &opts());
+#[test]
+fn simulator_matches_interpreter() {
+    run_cases("simulator_matches_interpreter", 32, |rng| {
+        let m = random_module(rng.next_u64(), &opts());
+        let issue = rng.gen_range(1usize..=4);
+        let delay = rng.gen_range(1u32..=4);
         let golden = interp::run(&m, 2_000_000).unwrap();
         let sp = sequential(&m, MachineConfig::itanium2_like(issue, delay));
         let r = simulate(&sp, &SimOptions::default());
@@ -64,11 +67,14 @@ proptest! {
         for (x, y) in r.stream.iter().zip(&golden.stream) {
             prop_assert!(x.bit_eq(y));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn cycle_accounting_invariants(seed in any::<u64>()) {
-        let m = random_module(seed, &opts());
+#[test]
+fn cycle_accounting_invariants() {
+    run_cases("cycle_accounting_invariants", 32, |rng| {
+        let m = random_module(rng.next_u64(), &opts());
         let sp = sequential(&m, MachineConfig::itanium2_like(1, 2));
         let r = simulate(&sp, &SimOptions::default());
         // Sequential one-insn bundles: every cycle is a bundle or a stall.
@@ -76,32 +82,41 @@ proptest! {
         prop_assert_eq!(r.stats.dyn_insns, r.stats.bundles);
         // Cycles can never undercut instructions on a 1-wide machine.
         prop_assert!(r.stats.cycles >= r.stats.dyn_insns);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn perfect_memory_never_slower(seed in any::<u64>()) {
-        let m = random_module(seed, &opts());
+#[test]
+fn perfect_memory_never_slower() {
+    run_cases("perfect_memory_never_slower", 32, |rng| {
+        let m = random_module(rng.next_u64(), &opts());
         let cached = simulate(&sequential(&m, MachineConfig::itanium2_like(2, 2)), &SimOptions::default());
         let perfect = simulate(&sequential(&m, MachineConfig::perfect_memory(2, 2)), &SimOptions::default());
         prop_assert!(perfect.stats.cycles <= cached.stats.cycles);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn injected_run_always_classifiable(seed in any::<u64>(), at_frac in 1u64..100, bit in 0u32..64) {
-        let m = random_module(seed, &opts());
+#[test]
+fn injected_run_always_classifiable() {
+    run_cases("injected_run_always_classifiable", 32, |rng| {
+        let m = random_module(rng.next_u64(), &opts());
+        let at_frac = rng.gen_range(1u64..100);
+        let bit = rng.gen_range(0u32..64);
         let sp = sequential(&m, MachineConfig::perfect_memory(2, 1));
         let golden = simulate(&sp, &SimOptions::default());
         let at = (golden.stats.dyn_insns * at_frac / 100).max(1);
         let r = simulate(&sp, &SimOptions {
             max_cycles: golden.stats.cycles * 10 + 1000,
             injection: Some(casted_sim::Injection { at_dyn_insn: at, bit, target: None }),
-                trace_limit: 0,
-            });
+            trace_limit: 0,
+        });
         // Whatever happens, the run must terminate with one of the
         // five outcomes — never hang or panic.
         let outcome = casted_faults_lite_classify(&golden, &r);
         prop_assert!(outcome < 5);
-    }
+        Ok(())
+    });
 }
 
 /// Minimal classification (the faults crate is not a dependency of

@@ -1,0 +1,26 @@
+use casted_util::Rng;
+use casted_util::rng::SplitMix64;
+
+fn main() {
+    let mut r = Rng::seed_from_u64(0);
+    print!("seed0: ");
+    for _ in 0..6 { print!("0x{:016X}, ", r.next_u64()); }
+    println!();
+    let mut r = Rng::seed_from_u64(0xCA57ED);
+    print!("seedC: ");
+    for _ in 0..6 { print!("0x{:016X}, ", r.next_u64()); }
+    println!();
+    // campaign draw sequence: seed 0xCA57ED, dyn=1000
+    let mut r = Rng::seed_from_u64(0xCA57ED);
+    print!("draws: ");
+    for _ in 0..8 {
+        let at = r.gen_range(1..=1000u64);
+        let bit = r.gen_range(0..64u32);
+        print!("({at},{bit}), ");
+    }
+    println!();
+    let mut sm = SplitMix64::new(0xCA57ED);
+    print!("sm: ");
+    for _ in 0..3 { print!("0x{:016X}, ", sm.next_u64()); }
+    println!();
+}

@@ -1,0 +1,28 @@
+//! # casted-util — zero-dependency foundation for the CASTED workspace
+//!
+//! The build environment has no registry access, so everything the
+//! workspace used to pull from crates.io lives here instead:
+//!
+//! * [`rng`] — a deterministic, seedable SplitMix64/xoshiro256++ RNG
+//!   with `rand`-style helpers (`gen_range`, `gen_bool`, `shuffle`).
+//!   Replaces `rand`. Unlike `StdRng` (whose algorithm is explicitly
+//!   not stability-guaranteed across `rand` versions), the stream
+//!   produced for a given seed is a documented, golden-tested part of
+//!   this workspace's contract — fault-injection campaigns are
+//!   bit-reproducible forever.
+//! * [`pool`] — a scoped std-thread worker pool. Replaces
+//!   `crossbeam::scope` + `parking_lot` in the experiment sweeps.
+//! * [`prop`] — a minimal property-testing harness (seeded case
+//!   generator, no shrinking) driven by [`rng::Rng`]. Replaces
+//!   `proptest` in the `prop_*.rs` test files.
+//! * [`bench`] — a wall-clock bench runner (warmup + N samples +
+//!   median/MAD report) for `harness = false` bench targets. Replaces
+//!   `criterion`.
+
+pub mod bench;
+pub mod pool;
+pub mod prop;
+pub mod rng;
+
+pub use pool::{run_pool, Mutex};
+pub use rng::Rng;

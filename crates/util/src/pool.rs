@@ -1,0 +1,135 @@
+//! Scoped worker pool on std threads — the replacement for
+//! `crossbeam::scope` + `parking_lot` in the experiment sweeps.
+//!
+//! [`run_pool`] executes a batch of closures on
+//! `available_parallelism` threads (work-stealing via a shared atomic
+//! cursor) and returns their results in input order. Panics in worker
+//! closures propagate to the caller when the scope joins, exactly as
+//! the crossbeam version did.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A `parking_lot`-flavoured wrapper over [`std::sync::Mutex`]:
+/// `lock()` needs no `unwrap()` and never deadlocks on poisoning —
+/// a poisoned lock (a panicking worker) simply yields the inner data,
+/// since panic propagation is handled by the thread scope itself.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock, ignoring poison.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consume the wrapper, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Worker count: the host's available parallelism, at least 1.
+pub fn pool_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `tasks` on a scoped pool, returning results in input order.
+///
+/// Threads pull task indices from a shared cursor, so long tasks do
+/// not serialise behind short ones. If any task panics, the panic is
+/// re-raised here (after all threads have stopped) — no result is
+/// silently dropped.
+pub fn run_pool<T: Send, F>(tasks: Vec<F>) -> Vec<T>
+where
+    F: Fn() -> T + Send + Sync,
+{
+    let n = tasks.len();
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let threads = pool_threads().min(n.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = tasks[i]();
+                results.lock()[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("task not run"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_all_jobs_in_order() {
+        let tasks: Vec<_> = (0..257)
+            .map(|i| move || i * i)
+            .collect();
+        let out = run_pool(tasks);
+        assert_eq!(out.len(), 257);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let out: Vec<u32> = run_pool(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_task_runs_without_extra_threads() {
+        let out = run_pool(vec![|| 41 + 1]);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let res = std::panic::catch_unwind(|| {
+            run_pool(
+                (0..16)
+                    .map(|i| {
+                        move || {
+                            if i == 7 {
+                                panic!("task 7 exploded");
+                            }
+                            i
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        });
+        assert!(res.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn mutex_survives_poisoning() {
+        let m = std::sync::Arc::new(Mutex::new(0u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! Minimal property-testing harness — the replacement for `proptest`
+//! in the `prop_*.rs` test files.
+//!
+//! No strategies and no shrinking: each case gets a fresh [`Rng`]
+//! seeded from a per-case SplitMix64 stream, and the property draws
+//! whatever inputs it needs (`rng.gen_range(..)`, `rng.next_u64()`).
+//! A failing case panics with the *case seed*, which can be replayed
+//! in isolation with [`run_seed`].
+//!
+//! ```
+//! use casted_util::prop;
+//!
+//! prop::run_cases("addition_commutes", 64, |rng| {
+//!     let (a, b) = (rng.next_u64(), rng.next_u64());
+//!     casted_util::prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+//!     Ok(())
+//! });
+//! ```
+
+use crate::rng::{Rng, SplitMix64};
+
+/// Base seed for the per-case seed stream. Changing it re-rolls every
+/// property-test input in the workspace.
+pub const BASE_SEED: u64 = 0xCA57_ED00;
+
+/// Run `cases` independent cases of a property. The property returns
+/// `Err(message)` (usually via the `prop_assert*` macros) to fail.
+///
+/// Panics on the first failing case, reporting the property name, the
+/// case index and the case seed for replay.
+pub fn run_cases<F>(name: &str, cases: u32, mut property: F)
+where
+    F: FnMut(&mut Rng) -> Result<(), String>,
+{
+    let mut seeds = SplitMix64::new(BASE_SEED);
+    for case in 0..cases {
+        let case_seed = seeds.next_u64();
+        let mut rng = Rng::seed_from_u64(case_seed);
+        if let Err(msg) = property(&mut rng) {
+            panic!(
+                "property '{name}' failed on case {case}/{cases} \
+                 (replay: casted_util::prop::run_seed({case_seed:#018x}, ..)):\n{msg}"
+            );
+        }
+    }
+}
+
+/// Replay a single case by its seed (as printed by a failure).
+pub fn run_seed<F>(case_seed: u64, mut property: F)
+where
+    F: FnMut(&mut Rng) -> Result<(), String>,
+{
+    let mut rng = Rng::seed_from_u64(case_seed);
+    if let Err(msg) = property(&mut rng) {
+        panic!("case {case_seed:#018x} failed:\n{msg}");
+    }
+}
+
+/// Fail the property unless `cond` holds. Optional format arguments
+/// add context, `assert!`-style.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed: {} ({}:{}): {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Fail the property unless `a == b`, printing both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err(format!(
+                "assertion failed: {} == {} ({}:{})\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                file!(),
+                line!(),
+                left,
+                right
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err(format!(
+                "assertion failed: {} == {} ({}:{}): {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                file!(),
+                line!(),
+                format!($($fmt)+),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Fail the property unless `a != b`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left != right) {
+            return Err(format!(
+                "assertion failed: {} != {} ({}:{})\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                file!(),
+                line!(),
+                left
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left != right) {
+            return Err(format!(
+                "assertion failed: {} != {} ({}:{}): {}\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                file!(),
+                line!(),
+                format!($($fmt)+),
+                left
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0;
+        run_cases("counts", 17, |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn cases_get_distinct_seeds() {
+        let mut first_draws = Vec::new();
+        run_cases("distinct", 8, |rng| {
+            first_draws.push(rng.next_u64());
+            Ok(())
+        });
+        let mut uniq = first_draws.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), first_draws.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'boom' failed")]
+    fn failing_property_panics_with_name() {
+        run_cases("boom", 4, |rng| {
+            let v: u64 = rng.gen_range(0u64..10);
+            prop_assert!(v > 100, "drew {v}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn macros_report_both_sides() {
+        fn check() -> Result<(), String> {
+            prop_assert_eq!(1 + 1, 3);
+            Ok(())
+        }
+        let msg = check().unwrap_err();
+        assert!(msg.contains("left: 2"), "{msg}");
+        assert!(msg.contains("right: 3"), "{msg}");
+    }
+}

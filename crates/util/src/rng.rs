@@ -1,0 +1,281 @@
+//! Deterministic, seedable random numbers: SplitMix64 for seeding and
+//! xoshiro256++ for the main stream.
+//!
+//! ## Stability contract
+//!
+//! The sequence of values produced by [`Rng::seed_from_u64`] followed
+//! by any documented sequence of draws is **frozen**: it is part of
+//! the reproducibility contract of the fault-injection campaigns
+//! (same seed → byte-identical injection sites on every platform and
+//! toolchain). Golden-value tests below pin the stream; do not change
+//! the algorithms or the bounded-draw mapping without bumping the
+//! campaign format version everywhere it is documented.
+//!
+//! Algorithms are the public-domain reference constructions of
+//! Blackman & Vigna (<https://prng.di.unimi.it/>):
+//!
+//! * SplitMix64: `z = (s += 0x9E3779B97F4A7C15)`, then two xor-shift
+//!   multiplies. Used to expand a 64-bit seed into the 256-bit
+//!   xoshiro state so that similar seeds give unrelated streams.
+//! * xoshiro256++: rotl(s0 + s3, 23) + s0 output function over a
+//!   linear-engine state update.
+//!
+//! Bounded draws use the widening-multiply mapping
+//! `(x * n) >> 64` (Lemire), whose bias is at most `n / 2^64` —
+//! negligible for every `n` in this workspace and, crucially,
+//! identical on every platform.
+
+/// SplitMix64: a tiny splittable generator used for state expansion.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create from a seed. Every seed (including 0) is valid.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ — the workspace's general-purpose deterministic RNG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seed via SplitMix64 expansion (the reference-recommended way to
+    /// initialise xoshiro from a single word). All seeds are valid:
+    /// SplitMix64 cannot produce the all-zero state.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Rng {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64-bit value (xoshiro256++ output function + engine step).
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Next 32-bit value (upper half of the 64-bit output).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `0..n`. `n = 0` is an error in the caller; we
+    /// treat it as the full 64-bit range to stay total.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return self.next_u64();
+        }
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+    }
+
+    /// Uniform value in a range, `rand`-style: accepts `a..b` and
+    /// `a..=b` over the common integer types.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Biased coin: `true` with probability `p` (clamped to 0..=1).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 random mantissa bits → uniform float in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Fisher–Yates shuffle (from the back, as in `rand`).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "pick from empty slice");
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+/// Range types [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one uniform value from the range.
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                // span = hi - lo + 1; wraps to 0 for the full domain,
+                // which `below` maps to an unbounded draw — correct.
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u32, u64, usize, i64, i32, u8);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published reference vector: the first SplitMix64 outputs for
+    /// seed 0 (cross-checked against the Vigna reference C code).
+    #[test]
+    fn splitmix64_matches_reference() {
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(sm.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    /// Golden vectors for the full seed→stream pipeline
+    /// (SplitMix64 expansion + xoshiro256++). The seed-0 value matches
+    /// the `rand_xoshiro` crate's published `seed_from_u64(0)` test
+    /// vector, cross-validating the construction; the rest freeze the
+    /// stream this workspace's campaigns are built on. Regenerate with
+    /// `cargo run -p casted-util --example golden_gen` — but changing
+    /// these is a reproducibility format break (see module docs).
+    #[test]
+    fn xoshiro_stream_is_frozen() {
+        let mut r = Rng::seed_from_u64(0);
+        let got: Vec<u64> = (0..6).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            got,
+            [
+                0x53175D61490B23DF,
+                0x61DA6F3DC380D507,
+                0x5C0FDF91EC9A7BFC,
+                0x02EEBF8C3BBE5E1A,
+                0x7ECA04EBAF4A5EEA,
+                0x0543C37757F08D9A,
+            ]
+        );
+        // The default campaign seed (0xCA57ED, see casted-faults).
+        let mut r = Rng::seed_from_u64(0xCA57ED);
+        let got: Vec<u64> = (0..6).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            got,
+            [
+                0x02A25E4D4FC35EF8,
+                0x34BFE10D7DA6DE73,
+                0xD86506DF429237C4,
+                0x9AEEA71C45E93144,
+                0x70DE15936DD820F6,
+                0xFEC4A666FD35871A,
+            ]
+        );
+    }
+
+    #[test]
+    fn seeds_are_decorrelated() {
+        let a: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(2);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = r.gen_range(1usize..=4);
+            assert!((1..=4).contains(&y));
+            let z = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut r = Rng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn full_domain_inclusive_range_is_total() {
+        let mut r = Rng::seed_from_u64(9);
+        // span wraps to 0 → unbounded draw; must not panic.
+        let _ = r.gen_range(0u64..=u64::MAX);
+        let _ = r.gen_range(i64::MIN..=i64::MAX);
+    }
+
+    #[test]
+    fn gen_bool_is_calibrated() {
+        let mut r = Rng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits = {hits}");
+        assert!(!(0..1000).any(|_| r.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b = a.clone();
+        Rng::seed_from_u64(5).shuffle(&mut a);
+        Rng::seed_from_u64(5).shuffle(&mut b);
+        assert_eq!(a, b);
+        assert_ne!(a, (0..50).collect::<Vec<_>>());
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clone_replays_the_stream() {
+        let mut r = Rng::seed_from_u64(42);
+        let mut c = r.clone();
+        for _ in 0..100 {
+            assert_eq!(r.next_u64(), c.next_u64());
+        }
+    }
+}

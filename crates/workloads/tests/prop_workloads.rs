@@ -1,0 +1,71 @@
+//! Property-based tests over the benchmark kernels: every workload is
+//! deterministic, halts cleanly, and survives the full error-detection
+//! + scheduling pipeline at randomly drawn machine shapes.
+//!
+//! Driven by the in-repo harness (`casted_util::prop`).
+
+use casted_ir::interp;
+use casted_util::prop::run_cases;
+use casted_util::{prop_assert, prop_assert_eq};
+
+#[test]
+fn random_workload_is_deterministic() {
+    run_cases("random_workload_is_deterministic", 7, |rng| {
+        let ws = casted_workloads::all();
+        let w = rng.pick(&ws);
+        let m = w.compile().map_err(|e| format!("{}: {e:?}", w.name))?;
+        let a = interp::run(&m, 100_000_000).unwrap();
+        let b = interp::run(&m, 100_000_000).unwrap();
+        prop_assert_eq!(&a.stop, &b.stop, "{}", w.name);
+        prop_assert_eq!(a.stream.len(), b.stream.len());
+        for (x, y) in a.stream.iter().zip(&b.stream) {
+            prop_assert!(x.bit_eq(y), "{} output drifted between runs", w.name);
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn every_workload_halts_with_zero_under_error_detection() {
+    run_cases("every_workload_halts_with_zero_under_error_detection", 7, |rng| {
+        let ws = casted_workloads::all();
+        let w = rng.pick(&ws);
+        let mut m = w.compile().unwrap();
+        let golden = interp::run(&m, 100_000_000).unwrap();
+        prop_assert!(matches!(golden.stop, interp::StopReason::Halt(_)), "{}", w.name);
+        // Error detection must not change a kernel's behaviour.
+        casted_passes::error_detection(&mut m);
+        prop_assert!(casted_ir::verify::verify_module(&m).is_ok(), "{}", w.name);
+        let r = interp::run(&m, 200_000_000).unwrap();
+        prop_assert_eq!(&r.stop, &golden.stop, "{}", w.name);
+        prop_assert_eq!(r.stream.len(), golden.stream.len(), "{}", w.name);
+        for (x, y) in r.stream.iter().zip(&golden.stream) {
+            prop_assert!(x.bit_eq(y), "{}: ED changed the output", w.name);
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn workloads_survive_random_machine_shapes() {
+    run_cases("workloads_survive_random_machine_shapes", 10, |rng| {
+        let ws = casted_workloads::all();
+        let w = rng.pick(&ws);
+        let issue = rng.gen_range(1usize..=4);
+        let delay = rng.gen_range(1u32..=4);
+        let m = w.compile().unwrap();
+        let cfg = casted_ir::MachineConfig::itanium2_like(issue, delay);
+        let scheme = *rng.pick(&casted_passes::Scheme::ALL);
+        let prep = casted_passes::prepare(&m, scheme, &cfg)
+            .map_err(|e| format!("{} {scheme} i{issue} d{delay}: {e}", w.name))?;
+        prop_assert!(prep.sp.validate().is_ok(), "{} {scheme}", w.name);
+        let r = casted_sim::simulate(&prep.sp, &casted_sim::SimOptions::default());
+        prop_assert!(
+            matches!(r.stop, casted_ir::interp::StopReason::Halt(_)),
+            "{} {scheme} i{issue} d{delay}: {:?}",
+            w.name,
+            r.stop
+        );
+        Ok(())
+    });
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification, hermetic: the workspace has zero registry
+# dependencies (everything external was replaced by crates/util), so
+# every step runs with --offline and must succeed with no network
+# access at all. See DESIGN.md "Dependencies" and README "Building".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== test (offline) =="
+cargo test -q --offline
+
+echo "== benches compile (offline) =="
+cargo bench --no-run --offline
+
+echo "tier-1 green"
