@@ -1,0 +1,107 @@
+//! `difftest` — the differential-fuzzing front door (see
+//! `docs/TESTING.md`).
+//!
+//! ```text
+//! difftest [--cases N] [--seed 0xS]      # bounded fuzz suite (default 64 cases)
+//! difftest --replay 'seed=0x... gen=...' # re-run one failing case
+//! difftest --replay '...' --minimize     # shrink it first, then report
+//! difftest --corpus                      # workloads + MiniC snippet corpus
+//! ```
+//!
+//! The suite log is deterministic for a fixed `--seed` (no timing, no
+//! host state); CI runs it twice and diffs the bytes. Exit status is
+//! non-zero iff any oracle diverged.
+
+use casted_difftest::{minimize, run_case, run_corpus, run_suite, CaseConfig, Hooks, SuiteOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: difftest [--cases N] [--seed S] | --replay 'LINE' [--minimize] | --corpus"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut opts = SuiteOptions::default();
+    let mut replay: Option<String> = None;
+    let mut do_minimize = false;
+    let mut do_corpus = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--cases" => {
+                opts.cases = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.master_seed = casted_util::prop::parse_seed_token(&v)
+                    .unwrap_or_else(|| usage());
+            }
+            "--replay" => replay = Some(args.next().unwrap_or_else(|| usage())),
+            "--minimize" => do_minimize = true,
+            "--corpus" => do_corpus = true,
+            _ => usage(),
+        }
+    }
+
+    if do_corpus {
+        match run_corpus() {
+            Ok(checks) => {
+                println!("corpus ok checks={checks}");
+                return;
+            }
+            Err(d) => {
+                println!("corpus FAIL stage={} \n  {}", d.stage, d.detail);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(line) = replay {
+        let (cfg, stage) = CaseConfig::parse(&line).unwrap_or_else(|e| {
+            eprintln!("bad replay line: {e}");
+            std::process::exit(2);
+        });
+        if let Some(s) = &stage {
+            println!("replaying {} (recorded stage {s})", cfg.replay_line(None));
+        } else {
+            println!("replaying {}", cfg.replay_line(None));
+        }
+        match run_case(&cfg) {
+            Ok(rep) => {
+                println!(
+                    "ok stages={} probes={} digest={:#018x}",
+                    rep.stages, rep.probes, rep.digest
+                );
+                return;
+            }
+            Err(d) => {
+                println!("FAIL stage={}\n  {}", d.stage, d.detail);
+                let final_cfg = if do_minimize {
+                    let m = minimize(&cfg, &Hooks::default());
+                    println!("minimized: {}", m.gen.encode());
+                    m
+                } else {
+                    cfg
+                };
+                let d2 = run_case(&final_cfg).err();
+                let stage2 = d2.as_ref().map(|d| d.stage.clone());
+                println!("REPLAY {}", final_cfg.replay_line(stage2.as_deref()));
+                // Pretty-print the failing module for debugging.
+                let m = casted_ir::testgen::random_module(final_cfg.seed, &final_cfg.gen);
+                println!("--- failing module ---\n{m}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let rep = run_suite(&opts);
+    print!("{}", rep.log);
+    if !rep.ok() {
+        std::process::exit(1);
+    }
+}

@@ -14,6 +14,7 @@
 //! | `fig9`    | Fig. 9 — fault coverage, all benchmarks, issue 2 delay 2 |
 //! | `fig10`   | Fig. 10 — h263dec fault coverage across all configs |
 //! | `summary` | §IV-B headline numbers (slowdown ranges, CASTED vs best fixed) |
+//! | `difftest`| — quality infrastructure: differential fuzz suite, failure replay/minimization, fixed corpus (see `docs/TESTING.md`) |
 //!
 //! Every binary accepts `--quick` (reduced grid/trials for smoke
 //! runs), `--trials N` (fault campaigns), and `--out DIR` (also write

@@ -37,6 +37,7 @@
 //! assert!(casted.cycles() > noed.cycles());
 //! ```
 
+pub use casted_difftest as difftest;
 pub use casted_faults as faults;
 pub use casted_frontend as frontend;
 pub use casted_util as util;

@@ -1,0 +1,173 @@
+//! The fixed (non-random) differential corpus: the seven workload
+//! kernels plus a handful of MiniC snippets chosen to stress front-end
+//! corners, each compiled, prepared under every scheme, and
+//! cross-checked interpreter-vs-simulator at the balanced machine
+//! point.
+//!
+//! The random generator covers breadth; the corpus pins the *real*
+//! programs the paper's figures are built from, end to end through the
+//! front end (generated modules never exercise the parser, inlining,
+//! or `lib fn` handling).
+
+use casted_ir::interp::{self, StopReason};
+use casted_ir::MachineConfig;
+use casted_passes::pipeline::{prepare, Scheme};
+use casted_sim::{simulate, SimOptions};
+
+use crate::oracle::{check_sim_against, Divergence};
+
+/// Interpreter budget for workload kernels.
+const CORPUS_STEP_LIMIT: u64 = 200_000_000;
+const CORPUS_MAX_CYCLES: u64 = 500_000_000;
+
+/// Hand-written MiniC snippets covering front-end corners the
+/// workloads leave thin: early `return` out of nested control flow,
+/// `while` with a compound condition update, and a library function
+/// called from library code.
+const SNIPPETS: [(&str, &str); 3] = [
+    (
+        "early_return",
+        r#"
+fn pick(a: int, b: int) -> int {
+    if a > b {
+        if a > 100 { return 100; }
+        return a;
+    }
+    return b;
+}
+fn main() -> int {
+    var i: int = 0;
+    var acc: int = 0;
+    while i < 20 {
+        acc = acc + pick(i * 7 % 13, i);
+        i = i + 1;
+    }
+    out(acc);
+    return 0;
+}
+"#,
+    ),
+    (
+        "while_compound",
+        r#"
+fn main() -> int {
+    var x: int = 1;
+    var n: int = 0;
+    while x < 10000 {
+        x = x * 3 - n;
+        n = n + 2;
+        out(x);
+    }
+    out(n);
+    return 0;
+}
+"#,
+    ),
+    (
+        "lib_in_lib",
+        r#"
+lib fn step(x: int) -> int {
+    return (x * 5 + 3) & 255;
+}
+lib fn walk(x: int) -> int {
+    return step(step(x));
+}
+fn main() -> int {
+    var i: int = 0;
+    var h: int = 17;
+    while i < 16 {
+        h = walk(h) + i;
+        i = i + 1;
+    }
+    out(h);
+    return 0;
+}
+"#,
+    ),
+];
+
+/// Cross-check one module under every scheme at issue-width 2, delay 2.
+fn check_module(name: &str, m: &casted_ir::Module) -> Result<usize, Divergence> {
+    let golden = interp::run(m, CORPUS_STEP_LIMIT)
+        .map_err(|e| Divergence::new_corpus(name, "interp", e))?;
+    if !matches!(golden.stop, StopReason::Halt(_)) {
+        return Err(Divergence::new_corpus(
+            name,
+            "interp",
+            format!("did not halt: {:?}", golden.stop),
+        ));
+    }
+    let mc = MachineConfig::itanium2_like(2, 2);
+    let mut checks = 1usize;
+    for scheme in Scheme::ALL {
+        let stage = format!("{scheme}:iw2d2");
+        let prep =
+            prepare(m, scheme, &mc).map_err(|e| Divergence::new_corpus(name, &stage, e))?;
+        prep.sp
+            .validate()
+            .map_err(|e| Divergence::new_corpus(name, &stage, format!("{e:?}")))?;
+        let r = interp::run(&prep.sp.module, CORPUS_STEP_LIMIT)
+            .map_err(|e| Divergence::new_corpus(name, &stage, e))?;
+        if r.stop != golden.stop || r.stream != golden.stream {
+            return Err(Divergence::new_corpus(
+                name,
+                &stage,
+                "scheduled module diverged from golden interp",
+            ));
+        }
+        let sim = simulate(
+            &prep.sp,
+            &SimOptions {
+                max_cycles: CORPUS_MAX_CYCLES,
+                injection: None,
+                trace_limit: 0,
+            },
+        );
+        check_sim_against(&sim, &golden, &format!("corpus:{name}:{stage}"))?;
+        checks += 2;
+    }
+    Ok(checks)
+}
+
+impl Divergence {
+    fn new_corpus(name: &str, stage: &str, detail: impl std::fmt::Display) -> Self {
+        Divergence {
+            stage: format!("corpus:{name}:{stage}"),
+            detail: detail.to_string(),
+        }
+    }
+}
+
+/// Run the fixed corpus (7 workloads + snippets). Returns the number
+/// of oracle checks performed.
+pub fn run_corpus() -> Result<usize, Divergence> {
+    let mut checks = 0usize;
+    for w in casted_workloads::all() {
+        let m = w
+            .compile()
+            .map_err(|d| Divergence::new_corpus(w.name, "frontend", format!("{d:?}")))?;
+        checks += check_module(w.name, &m)?;
+    }
+    for (name, src) in SNIPPETS {
+        let m = casted_frontend::compile(name, src)
+            .map_err(|d| Divergence::new_corpus(name, "frontend", format!("{d:?}")))?;
+        checks += check_module(name, &m)?;
+    }
+    Ok(checks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snippets_compile_and_cross_check() {
+        for (name, src) in SNIPPETS {
+            let m = casted_frontend::compile(name, src).expect("snippet compiles");
+            let n = check_module(name, &m).unwrap_or_else(|d| {
+                panic!("{name}: {} — {}", d.stage, d.detail);
+            });
+            assert!(n >= 9);
+        }
+    }
+}

@@ -182,6 +182,23 @@ pub fn run_trial(sp: &ScheduledProgram, golden: &SimResult, inj: Injection, max_
     classify(golden, &r)
 }
 
+/// Run an explicit list of injections and classify each against the
+/// fault-free reference — the *targeted* (non-Monte-Carlo) entry
+/// point used by `casted-difftest`'s fault-probe oracle, which aims
+/// injections at specific dynamic instructions (e.g. only
+/// `Provenance::Original` sites) instead of sampling uniformly.
+pub fn run_trials(
+    sp: &ScheduledProgram,
+    golden: &SimResult,
+    injections: &[Injection],
+    max_cycles: u64,
+) -> Vec<Outcome> {
+    injections
+        .iter()
+        .map(|&inj| run_trial(sp, golden, inj, max_cycles))
+        .collect()
+}
+
 /// Draw one `(dynamic instruction, bit)` injection site — the frozen
 /// per-trial draw order shared by both campaign variants (see the
 /// stream-format notes on [`run_campaign`]).
@@ -563,6 +580,22 @@ mod model_tests {
         let a = run_campaign_with_model(&sp, &cfg, FaultModel::InstructionOutput);
         let b = run_campaign(&sp, &cfg);
         assert_eq!(a.tally, b.tally);
+    }
+
+    #[test]
+    fn run_trials_matches_individual_trials() {
+        let m = random_module(21, &GenOptions::default());
+        let sp = sequential_of(&m);
+        let golden = casted_sim::simulate(&sp, &casted_sim::SimOptions::default());
+        let max_cycles = golden.stats.cycles * 10;
+        let injections: Vec<Injection> = (1..6)
+            .map(|k| Injection { at_dyn_insn: k * 7, bit: (k % 64) as u32, target: None })
+            .collect();
+        let batch = run_trials(&sp, &golden, &injections, max_cycles);
+        assert_eq!(batch.len(), injections.len());
+        for (i, &inj) in injections.iter().enumerate() {
+            assert_eq!(batch[i], run_trial(&sp, &golden, inj, max_cycles));
+        }
     }
 
     #[test]

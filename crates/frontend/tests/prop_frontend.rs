@@ -77,6 +77,22 @@ fn compilation_is_deterministic() {
     });
 }
 
+/// Stronger than stream equality: recompiling the same source must
+/// reproduce the module *text* byte-for-byte. The difftest replay
+/// format depends on this — a replay line names a generated program
+/// only because every producer in the workspace (testgen and the
+/// front end alike) is textually deterministic.
+#[test]
+fn recompilation_is_textually_deterministic() {
+    run_cases("recompilation_is_textually_deterministic", 24, |rng| {
+        let src = random_minic(rng);
+        let a = casted_frontend::compile("gen", &src).unwrap();
+        let b = casted_frontend::compile("gen", &src).unwrap();
+        prop_assert_eq!(a.to_string(), b.to_string());
+        Ok(())
+    });
+}
+
 #[test]
 fn lexer_is_total_over_arbitrary_bytes() {
     run_cases("lexer_is_total_over_arbitrary_bytes", 64, |rng| {

@@ -505,6 +505,90 @@ mod tests {
         assert!(r.stream[1].bit_eq(&OutVal::Float(6.0)));
     }
 
+    /// Direct `Memory` error paths: loads and stores outside the
+    /// mapped range (below `DATA_BASE`, past the end, misaligned) must
+    /// report the faulting address and leave memory untouched.
+    #[test]
+    fn memory_access_error_paths() {
+        let mut m = Module::new("t");
+        let (_, addr) = m.add_global("g", GlobalClass::Int, 4, vec![10, 20, 30, 40]);
+        let mut mem = Memory::for_module(&m);
+        let end = (mem.len_words() as i64) * 8;
+
+        // In-bounds round trip works.
+        mem.store_int(addr, 77).unwrap();
+        assert_eq!(mem.load_int(addr).unwrap(), 77);
+
+        // Below DATA_BASE: the trap page.
+        assert_eq!(mem.load_int(0), Err(ExecError::MemOutOfBounds(0)));
+        assert_eq!(mem.store_int(8, 1), Err(ExecError::MemOutOfBounds(8)));
+        // Negative addresses.
+        assert_eq!(mem.load_int(-8), Err(ExecError::MemOutOfBounds(-8)));
+        // One word past the end (and far past).
+        assert_eq!(mem.load_int(end), Err(ExecError::MemOutOfBounds(end)));
+        assert_eq!(mem.store_int(end + 8192, 1), Err(ExecError::MemOutOfBounds(end + 8192)));
+        // Misalignment is reported before the range check.
+        assert_eq!(mem.load_int(addr + 1), Err(ExecError::Misaligned(addr + 1)));
+        assert_eq!(mem.store_int(addr + 3, 1), Err(ExecError::Misaligned(addr + 3)));
+        // Float variants share the same checks.
+        assert_eq!(mem.load_float(4), Err(ExecError::Misaligned(4)));
+        assert!(mem.store_float(end, 1.0).is_err());
+
+        // The failed stores did not write anything.
+        assert_eq!(mem.load_int(addr).unwrap(), 77);
+    }
+
+    /// The step limit is exact: a program of dynamic length N halts
+    /// under `run(m, N)` and times out under `run(m, N - 1)`, and the
+    /// timeout result still carries the output emitted so far.
+    #[test]
+    fn step_limit_boundary_is_exact() {
+        let mut b = FunctionBuilder::new("main");
+        let x = b.imm(1); // 1
+        b.out(Operand::Reg(x)); // 2
+        b.halt_imm(0); // 3
+        let mut m = Module::new("t");
+        let id = m.add_function(b.finish());
+        m.entry = Some(id);
+
+        let exact = run(&m, 3).unwrap();
+        assert_eq!(exact.stop, StopReason::Halt(0));
+        assert_eq!(exact.dyn_insns, 3);
+
+        let short = run(&m, 2).unwrap();
+        assert_eq!(short.stop, StopReason::Timeout);
+        assert_eq!(short.stream, vec![OutVal::Int(1)], "partial output survives");
+        assert_eq!(short.exit_code(), None);
+    }
+
+    /// `exit_code` propagates the halt operand (including register
+    /// operands and non-zero codes) and is `None` for every other
+    /// stop reason.
+    #[test]
+    fn exit_code_propagation() {
+        // Register-carried non-zero exit code.
+        let mut b = FunctionBuilder::new("main");
+        let c = b.binop(Opcode::Add, Operand::Imm(40), Operand::Imm(2));
+        b.halt(Operand::Reg(c));
+        let r = run_fn(b);
+        assert_eq!(r.stop, StopReason::Halt(42));
+        assert_eq!(r.exit_code(), Some(42));
+
+        // Detected stops have no exit code.
+        let mut b = FunctionBuilder::new("main");
+        let p = b.cmp(CmpKind::Ne, Operand::Imm(1), Operand::Imm(2));
+        b.push(Opcode::DetectBr, vec![], vec![Operand::Reg(p)]);
+        b.halt_imm(0);
+        assert_eq!(run_fn(b).exit_code(), None);
+
+        // Exceptions have no exit code.
+        let mut b = FunctionBuilder::new("main");
+        let base = b.imm(8);
+        let _ = b.load(base, 0);
+        b.halt_imm(0);
+        assert_eq!(run_fn(b).exit_code(), None);
+    }
+
     #[test]
     fn profile_counts_loop_iterations() {
         let mut b = FunctionBuilder::new("main");

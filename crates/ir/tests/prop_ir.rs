@@ -17,6 +17,9 @@ fn opts() -> GenOptions {
         iterations: 5,
         globals: 2,
         with_float: true,
+        diamonds: 2,
+        inner_loops: 1,
+        lib_calls: 1,
     }
 }
 

@@ -19,6 +19,9 @@ fn opts() -> GenOptions {
         iterations: 4,
         globals: 2,
         with_float: true,
+        diamonds: 1,
+        inner_loops: 1,
+        lib_calls: 1,
     }
 }
 

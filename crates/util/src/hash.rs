@@ -1,0 +1,109 @@
+//! FNV-1a digests — the workspace's shared fingerprint for golden
+//! tests and differential-testing logs.
+//!
+//! One algorithm, used everywhere a test pins "this exact output":
+//! the workload golden-stream snapshots, the generator's golden
+//! module hash, and the per-case digests `casted-difftest` prints in
+//! its deterministic logs. Sharing the construction means a digest
+//! printed by one harness can be compared directly against a value
+//! pinned by another.
+//!
+//! FNV-1a (64-bit) is not cryptographic; it is chosen for being
+//! trivially portable, dependency-free and stable across platforms —
+//! the same properties the frozen RNG stream contract (see
+//! [`crate::rng`]) guarantees for random draws.
+
+/// Streaming 64-bit FNV-1a hasher.
+#[derive(Clone, Debug)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+}
+
+impl Fnv64 {
+    /// Fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb one byte.
+    #[inline]
+    pub fn write_u8(&mut self, b: u8) {
+        self.state ^= b as u64;
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Absorb a byte slice.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Absorb a 64-bit word (little-endian byte order, so digests are
+    /// identical on every platform).
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Current digest.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot digest of a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// One-shot digest of a sequence of 64-bit words.
+pub fn fnv1a_words(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = Fnv64::new();
+    for w in words {
+        h.write_u64(w);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published FNV-1a reference vectors (from the Noll reference
+    /// tables): pin the construction itself.
+    #[test]
+    fn matches_published_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn word_digest_is_order_sensitive() {
+        assert_ne!(fnv1a_words([1, 2]), fnv1a_words([2, 1]));
+        assert_eq!(fnv1a_words([1, 2]), fnv1a_words([1, 2]));
+    }
+}

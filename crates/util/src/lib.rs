@@ -18,11 +18,16 @@
 //! * [`bench`] — a wall-clock bench runner (warmup + N samples +
 //!   median/MAD report) for `harness = false` bench targets. Replaces
 //!   `criterion`.
+//! * [`hash`] — streaming 64-bit FNV-1a digests, the shared
+//!   fingerprint format of the golden tests and of the
+//!   `casted-difftest` differential logs.
 
 pub mod bench;
+pub mod hash;
 pub mod pool;
 pub mod prop;
 pub mod rng;
 
+pub use hash::Fnv64;
 pub use pool::{run_pool, Mutex};
 pub use rng::Rng;

@@ -23,6 +23,30 @@ use crate::rng::{Rng, SplitMix64};
 /// property-test input in the workspace.
 pub const BASE_SEED: u64 = 0xCA57_ED00;
 
+/// Canonical replay-seed token: `seed=0x<16 hex digits>`.
+///
+/// This is the **one** format every harness in the workspace prints
+/// and parses — property-test failures (via [`run_cases`]) and the
+/// `casted-difftest` differential fuzzer's `REPLAY` lines both emit
+/// it, so a seed copied from any failure message can be pasted into
+/// either replay entry point (`run_seed` here, `difftest --replay`
+/// there) unchanged.
+pub fn seed_token(seed: u64) -> String {
+    format!("seed={seed:#018x}")
+}
+
+/// Parse a [`seed_token`] (`seed=0x...`; bare `0x...` and decimal
+/// values are accepted too, for hand-typed seeds).
+pub fn parse_seed_token(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let s = s.strip_prefix("seed=").unwrap_or(s);
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
 /// Run `cases` independent cases of a property. The property returns
 /// `Err(message)` (usually via the `prop_assert*` macros) to fail.
 ///
@@ -38,8 +62,10 @@ where
         let mut rng = Rng::seed_from_u64(case_seed);
         if let Err(msg) = property(&mut rng) {
             panic!(
-                "property '{name}' failed on case {case}/{cases} \
-                 (replay: casted_util::prop::run_seed({case_seed:#018x}, ..)):\n{msg}"
+                "property '{name}' failed on case {case}/{cases}\n\
+                 REPLAY {token} (casted_util::prop::run_seed, or paste the \
+                 token into `difftest --replay`)\n{msg}",
+                token = seed_token(case_seed)
             );
         }
     }
@@ -184,6 +210,36 @@ mod tests {
             prop_assert!(v > 100, "drew {v}");
             Ok(())
         });
+    }
+
+    #[test]
+    fn seed_token_round_trips() {
+        for seed in [0u64, 1, 0xCA57ED, u64::MAX] {
+            let tok = seed_token(seed);
+            assert!(tok.starts_with("seed=0x"), "{tok}");
+            assert_eq!(parse_seed_token(&tok), Some(seed));
+        }
+        assert_eq!(parse_seed_token("0xCA57ED"), Some(0xCA57ED));
+        assert_eq!(parse_seed_token("1234"), Some(1234));
+        assert_eq!(parse_seed_token("seed=garbage"), None);
+    }
+
+    /// Every prop_*.rs failure message carries the canonical replay
+    /// token, so one replay workflow covers both this harness and
+    /// `difftest`.
+    #[test]
+    fn failure_message_contains_replay_token() {
+        let msg = std::panic::catch_unwind(|| {
+            run_cases("tokened", 2, |_| Err("boom".into()));
+        })
+        .unwrap_err();
+        let msg = msg.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("REPLAY seed=0x"), "{msg}");
+        let tok = msg
+            .split_whitespace()
+            .find(|w| w.starts_with("seed=0x"))
+            .unwrap();
+        assert!(parse_seed_token(tok).is_some(), "{tok}");
     }
 
     #[test]

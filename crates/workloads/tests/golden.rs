@@ -2,8 +2,16 @@
 //! experimental methodology, so their observable outputs are pinned.
 //! If a kernel change is intentional, update the snapshots here *and*
 //! regenerate EXPERIMENTS.md.
+//!
+//! Digests use the workspace-wide FNV-1a helper
+//! (`casted_util::hash::Fnv64`) with the same tagged stream encoding
+//! as `casted-difftest`'s case digests, so a drift seen here can be
+//! cross-checked against a difftest corpus run directly.
 
 use casted_ir::interp::{self, OutVal};
+use casted_ir::MachineConfig;
+use casted_passes::pipeline::{prepare, Scheme};
+use casted_util::hash::Fnv64;
 
 fn run(name: &str) -> interp::ExecResult {
     let w = casted_workloads::by_name(name).expect("benchmark exists");
@@ -11,53 +19,79 @@ fn run(name: &str) -> interp::ExecResult {
     interp::run(&m, 100_000_000).expect("runs")
 }
 
-fn stream_hash(r: &interp::ExecResult) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for v in &r.stream {
-        let bits = match v {
-            OutVal::Int(x) => *x as u64,
-            OutVal::Float(x) => x.to_bits(),
-        };
-        h ^= bits;
-        h = h.wrapping_mul(0x100000001b3);
+/// Tagged bit-exact stream digest (same encoding as casted-difftest).
+fn stream_digest(stream: &[OutVal]) -> u64 {
+    let mut h = Fnv64::new();
+    for v in stream {
+        match v {
+            OutVal::Int(x) => {
+                h.write_u8(0);
+                h.write_u64(*x as u64);
+            }
+            OutVal::Float(x) => {
+                h.write_u8(1);
+                h.write_u64(x.to_bits());
+            }
+        }
     }
-    h
+    h.finish()
 }
 
-#[test]
-fn golden_dynamic_lengths() {
-    let expected = [
-        ("cjpeg", 263_410u64),
-        ("h263dec", 281_944),
-        ("mpeg2dec", 205_197),
-        ("h263enc", 324_372),
-        ("175.vpr", 404_300),
-        ("181.mcf", 500_203),
-        ("197.parser", 260_977),
-    ];
-    for (name, dyn_insns) in expected {
-        let r = run(name);
-        assert_eq!(r.dyn_insns, dyn_insns, "{name} dynamic length drifted");
-    }
-}
+const GOLDEN: [(&str, u64, u64, i64); 7] = [
+    // (name, dyn_insns, stream digest, exit code)
+    ("cjpeg", 263_410, 0x3d0292020749e9e2, 0),
+    ("h263dec", 281_944, 0xe27e542e30ec2d8f, 0),
+    ("mpeg2dec", 205_197, 0x07a098c629f9f269, 0),
+    ("h263enc", 324_372, 0xb2db0b39c1b8f0d8, 0),
+    ("175.vpr", 404_300, 0x8eedc5af98132b49, 0),
+    ("181.mcf", 500_203, 0x8ac616f018f1cb45, 0),
+    ("197.parser", 260_977, 0x0853997d3159f88e, 0),
+];
 
 #[test]
-fn golden_output_streams() {
-    let expected: [(&str, u64); 7] = [
-        ("cjpeg", 0xc9ad1bfa4d02247e),
-        ("h263dec", 0xd80e22a8d405eeea),
-        ("mpeg2dec", 0xd4431ed0747b674b),
-        ("h263enc", 0x1c4eb66fb66cb12e),
-        ("175.vpr", 0xede43e3b270e27e3),
-        ("181.mcf", 0xcefaedfa4aa1c728),
-        ("197.parser", 0x7606d1ec08941be4),
-    ];
-    for (name, want) in expected {
+fn golden_outputs_are_pinned() {
+    let mut drift = String::new();
+    for (name, dyn_insns, digest, exit) in GOLDEN {
         let r = run(name);
-        let got = stream_hash(&r);
-        assert_eq!(
-            got, want,
-            "{name}: stream hash drifted — got {got:#x}; update the snapshot if intentional"
-        );
+        let got = stream_digest(&r.stream);
+        if r.dyn_insns != dyn_insns || got != digest || r.exit_code() != Some(exit) {
+            drift.push_str(&format!(
+                "(\"{name}\", {}, {:#018x}, {:?}),\n",
+                r.dyn_insns,
+                got,
+                r.exit_code()
+            ));
+        }
+        assert!(!r.stream.is_empty());
+    }
+    assert!(
+        drift.is_empty(),
+        "kernel snapshots drifted — if intentional, replace the rows with:\n{drift}"
+    );
+}
+
+/// The back end must not change any kernel's observable output: for
+/// every scheme, the fully prepared (ED + scheduled + spilled) module
+/// re-interprets to the *same* pinned digest. One digest per kernel
+/// covers all four schemes — scheme-dependent output would be a
+/// pipeline bug by definition.
+#[test]
+fn golden_outputs_survive_every_scheme() {
+    let cfg = MachineConfig::itanium2_like(2, 2);
+    for (name, _, digest, exit) in GOLDEN {
+        let w = casted_workloads::by_name(name).unwrap();
+        let m = w.compile().unwrap();
+        for scheme in Scheme::ALL {
+            let prep = prepare(&m, scheme, &cfg)
+                .unwrap_or_else(|e| panic!("{name}/{scheme}: prepare failed: {e}"));
+            let r = interp::run(&prep.sp.module, 200_000_000)
+                .unwrap_or_else(|e| panic!("{name}/{scheme}: {e}"));
+            assert_eq!(
+                stream_digest(&r.stream),
+                digest,
+                "{name}/{scheme}: pipeline changed the kernel's output"
+            );
+            assert_eq!(r.exit_code(), Some(exit), "{name}/{scheme}: exit code");
+        }
     }
 }

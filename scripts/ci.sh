@@ -15,4 +15,19 @@ cargo test -q --offline
 echo "== benches compile (offline) =="
 cargo bench --no-run --offline
 
+echo "== difftest fuzz smoke (64 cases, deterministic) =="
+# Bounded differential-fuzzing run: every pipeline stage cross-checked
+# against the IR interpreter over 64 seeded cases (see docs/TESTING.md).
+# Run twice with the same master seed: the logs must be byte-identical
+# — the suite prints no timing or host state, and a mismatch means a
+# determinism regression somewhere in the stack.
+log_dir="$(mktemp -d)"
+trap 'rm -rf "$log_dir"' EXIT
+cargo run --release --offline -q -p casted-bench --bin difftest -- \
+  --cases 64 --seed 0xCA57ED > "$log_dir/fuzz1.log"
+cargo run --release --offline -q -p casted-bench --bin difftest -- \
+  --cases 64 --seed 0xCA57ED > "$log_dir/fuzz2.log"
+cmp "$log_dir/fuzz1.log" "$log_dir/fuzz2.log"
+tail -n 1 "$log_dir/fuzz1.log"
+
 echo "tier-1 green"
