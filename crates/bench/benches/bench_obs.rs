@@ -1,0 +1,77 @@
+//! Observability overhead: the acceptance criterion for `casted-obs`
+//! is that the *disabled* fast path changes `quick()` perf-sweep
+//! wall-time by under 2%. Run this target and compare the two
+//! `quick_grid_perf_sweep` medians:
+//!
+//! ```text
+//! cargo bench --offline --bench bench_obs
+//! ```
+//!
+//! The `primitives` group shows why: a disabled counter add is one
+//! relaxed atomic load, and the workspace's instrumentation only
+//! flushes in bulk (once per simulated run / prepared program), so
+//! even the enabled path is far off the simulator's hot loop.
+
+use casted_util::bench::{black_box, Bench};
+use casted_util::{bench_group, bench_main};
+
+fn quick_sweep(w: &casted_workloads::Workload) -> usize {
+    let spec = casted::experiments::GridSpec::quick();
+    casted::experiments::perf_sweep(std::slice::from_ref(w), &spec)
+        .points
+        .len()
+}
+
+fn bench_disabled_vs_enabled(c: &mut Bench) {
+    let mut g = c.benchmark_group("quick_grid_perf_sweep");
+    g.sample_size(10);
+    let w = casted_workloads::by_name("mpeg2dec").unwrap();
+    g.bench_function("metrics_disabled", |b| {
+        casted::obs::set_enabled(false);
+        b.iter(|| quick_sweep(&w));
+    });
+    g.bench_function("metrics_enabled", |b| {
+        casted::obs::set_enabled(true);
+        casted::obs::reset();
+        b.iter(|| quick_sweep(&w));
+        casted::obs::set_enabled(false);
+    });
+    g.finish();
+}
+
+fn bench_primitives(c: &mut Bench) {
+    let mut g = c.benchmark_group("primitives");
+    g.sample_size(20);
+    g.bench_function("counter_add_disabled_1k", |b| {
+        casted::obs::set_enabled(false);
+        b.iter(|| {
+            for i in 0..1000u64 {
+                casted::obs::add("bench.obs.counter", black_box(i));
+            }
+        });
+    });
+    g.bench_function("counter_add_enabled_1k", |b| {
+        casted::obs::set_enabled(true);
+        b.iter(|| {
+            for i in 0..1000u64 {
+                casted::obs::add("bench.obs.counter", black_box(i));
+            }
+        });
+        casted::obs::set_enabled(false);
+        casted::obs::reset();
+    });
+    g.bench_function("hist_observe_enabled_1k", |b| {
+        casted::obs::set_enabled(true);
+        b.iter(|| {
+            for i in 0..1000u64 {
+                casted::obs::observe_ns("bench.obs.hist_ns", black_box(i * 977));
+            }
+        });
+        casted::obs::set_enabled(false);
+        casted::obs::reset();
+    });
+    g.finish();
+}
+
+bench_group!(benches, bench_disabled_vs_enabled, bench_primitives);
+bench_main!(benches);

@@ -146,4 +146,5 @@ fn main() {
     println!("\n(expected: fused <= pair cycles; pinned >= mobile cycles; selective");
     println!(" faster than full but with more undetected-corruption; if-conversion");
     println!(" helps the branchy kernels by enlarging scheduling regions.)");
+    casted_bench::finish_metrics(&opts);
 }

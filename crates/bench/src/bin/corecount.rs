@@ -58,4 +58,5 @@ fn main() {
         );
     }
     println!("\nAll core-count shape checks hold (monotone within tolerance).");
+    casted_bench::finish_metrics(&opts);
 }

@@ -51,4 +51,5 @@ fn main() {
     }
     println!("\n(out = paper's instruction-output model; rf = register-file strike;");
     println!(" ben/det/exc/bad = Benign / Detected / Exception / Corrupt+Timeout.)");
+    casted_bench::finish_metrics(&opts);
 }

@@ -56,4 +56,5 @@ fn main() {
         max - min < 0.15,
         "coverage should be configuration-insensitive (statistical deviation only)"
     );
+    casted_bench::finish_metrics(&opts);
 }

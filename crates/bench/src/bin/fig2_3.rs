@@ -30,7 +30,7 @@ fn cycles(rows: &[(Scheme, u64)], s: Scheme) -> u64 {
 }
 
 fn main() {
-    let _ = casted_bench::parse_args();
+    let opts = casted_bench::parse_args();
     let ex1 = run_example("Example 1 (Fig. 2)", 1, 1);
     let ex2 = run_example("Example 2 (Fig. 3)", 2, 1);
 
@@ -55,4 +55,5 @@ fn main() {
     assert!(s2 <= d2, "Fig.3 shape: SCED must match/beat DCED at issue 2");
     assert!(c2 <= d2.min(s2), "Fig.3 shape: CASTED must match best");
     println!("\nAll motivating-example shape checks hold.");
+    casted_bench::finish_metrics(&opts);
 }

@@ -23,4 +23,5 @@ fn main() {
     let csv = report::perf_csv(&table);
     casted_bench::maybe_write(&opts, "fig6_7.csv", &csv);
     println!("{} cells measured.", table.points.len());
+    casted_bench::finish_metrics(&opts);
 }

@@ -15,4 +15,5 @@ fn main() {
         println!("{}", report::scaling_panel(&table, &b, &spec.issues, 2));
     }
     casted_bench::maybe_write(&opts, "fig8.csv", &report::perf_csv(&table));
+    casted_bench::finish_metrics(&opts);
 }

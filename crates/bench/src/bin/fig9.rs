@@ -40,4 +40,5 @@ fn main() {
         );
     }
     println!("All protected schemes keep DataCorrupt+Timeout below 15% per cell.");
+    casted_bench::finish_metrics(&opts);
 }

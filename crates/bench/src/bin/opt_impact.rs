@@ -93,4 +93,5 @@ fn main() {
     println!(" evade the checks, so detection drops and silent corruption returns in");
     println!(" compute-dense code. This is why the paper, like SWIFT, disables the");
     println!(" post-CASTED optimization stages.)");
+    casted_bench::finish_metrics(&opts);
 }

@@ -69,4 +69,5 @@ fn main() {
         avg(&vs_sced),
         avg(&vs_dced)
     );
+    casted_bench::finish_metrics(&opts);
 }

@@ -13,4 +13,5 @@ fn main() {
         }
     }
     println!("(issue-width and inter-core delay sweep over 1..=4 in the evaluation)");
+    casted_bench::finish_metrics(&opts);
 }

@@ -2,7 +2,7 @@
 //! properties of our MiniC substitutes.
 
 fn main() {
-    let _ = casted_bench::parse_args();
+    let opts = casted_bench::parse_args();
     println!("Table II: benchmark programs");
     println!("{:<12} {:<14} {:>10} {:>8} {:>8}", "benchmark", "suite", "dyn insns", "blocks", "static");
     for w in casted_workloads::all() {
@@ -18,4 +18,5 @@ fn main() {
             f.static_size()
         );
     }
+    casted_bench::finish_metrics(&opts);
 }

@@ -3,7 +3,7 @@
 //! (`casted::Scheme`); the rest are prior work for context.
 
 fn main() {
-    let _ = casted_bench::parse_args();
+    let opts = casted_bench::parse_args();
     println!("Table III: compiler-based error detection schemes\n");
     println!("{:<26} {:<32} {:<22} {:<9}", "scheme", "speed-up factors", "target architecture", "placement");
     let rows = [
@@ -28,4 +28,5 @@ fn main() {
         };
         println!("{:<26} {:<32} {:<22} {:<9}   [implemented: Scheme::{:?}]", s.name(), speedup, target, placement, s);
     }
+    casted_bench::finish_metrics(&opts);
 }

@@ -33,6 +33,11 @@ pub struct RunOpts {
     pub trials: usize,
     /// Optional output directory for CSV artifacts.
     pub out: Option<PathBuf>,
+    /// Write the full metrics JSON (counters + gauges + timers) here.
+    pub metrics: Option<PathBuf>,
+    /// Write the deterministic counter-only metrics snapshot here
+    /// (byte-reproducible for seeded runs; what CI `cmp`s).
+    pub metrics_counters: Option<PathBuf>,
 }
 
 impl Default for RunOpts {
@@ -41,11 +46,15 @@ impl Default for RunOpts {
             quick: false,
             trials: 300,
             out: None,
+            metrics: None,
+            metrics_counters: None,
         }
     }
 }
 
-/// Parse `--quick`, `--trials N`, `--out DIR` from `std::env::args`.
+/// Parse `--quick`, `--trials N`, `--out DIR`, `--metrics FILE`,
+/// `--metrics-counters FILE` from `std::env::args`. Passing either
+/// metrics flag switches global metric recording on for the run.
 pub fn parse_args() -> RunOpts {
     let mut opts = RunOpts::default();
     let mut args = std::env::args().skip(1);
@@ -64,12 +73,37 @@ pub fn parse_args() -> RunOpts {
             "--out" => {
                 opts.out = Some(PathBuf::from(args.next().expect("--out needs a path")));
             }
+            "--metrics" => {
+                opts.metrics = Some(PathBuf::from(args.next().expect("--metrics needs a path")));
+            }
+            "--metrics-counters" => {
+                opts.metrics_counters = Some(PathBuf::from(
+                    args.next().expect("--metrics-counters needs a path"),
+                ));
+            }
             other => {
                 eprintln!("warning: ignoring unknown argument {other:?}");
             }
         }
     }
+    if opts.metrics.is_some() || opts.metrics_counters.is_some() {
+        casted_obs::set_enabled(true);
+    }
     opts
+}
+
+/// Write the metrics artifacts requested on the command line. Every
+/// figure binary calls this once, as its last statement; without a
+/// metrics flag it is a no-op.
+pub fn finish_metrics(opts: &RunOpts) {
+    if let Some(path) = &opts.metrics {
+        std::fs::write(path, casted_obs::export_json()).expect("write --metrics file");
+        println!("[wrote {}]", path.display());
+    }
+    if let Some(path) = &opts.metrics_counters {
+        std::fs::write(path, casted_obs::snapshot_json()).expect("write --metrics-counters file");
+        println!("[wrote {}]", path.display());
+    }
 }
 
 /// Write `content` to `<out>/<name>` when an output directory was

@@ -14,6 +14,9 @@
 //!   --delay N                        inter-cluster delay (default 2)
 //!   --trials N                       injection trials (default 300)
 //!   --seed N                         campaign seed
+//!   --metrics FILE                   write full metrics JSON on exit
+//!   --metrics-counters FILE          write the deterministic
+//!                                    counter-only snapshot on exit
 //! ```
 
 use std::process::ExitCode;
@@ -29,6 +32,8 @@ struct Args {
     delay: u32,
     trials: usize,
     seed: u64,
+    metrics: Option<String>,
+    metrics_counters: Option<String>,
 }
 
 fn usage() -> ExitCode {
@@ -51,6 +56,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         delay: 2,
         trials: 300,
         seed: 0xCA57ED,
+        metrics: None,
+        metrics_counters: None,
     };
     while let Some(a) = argv.next() {
         let mut val = || argv.next().ok_or_else(usage);
@@ -71,13 +78,32 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--delay" => args.delay = val()?.parse().map_err(|_| usage())?,
             "--trials" => args.trials = val()?.parse().map_err(|_| usage())?,
             "--seed" => args.seed = val()?.parse().map_err(|_| usage())?,
+            "--metrics" => args.metrics = Some(val()?),
+            "--metrics-counters" => args.metrics_counters = Some(val()?),
             other => {
                 eprintln!("unknown option {other:?}");
                 return Err(ExitCode::from(2));
             }
         }
     }
+    if args.metrics.is_some() || args.metrics_counters.is_some() {
+        casted::obs::set_enabled(true);
+    }
     Ok(args)
+}
+
+/// Write the requested metrics artifacts (no-op without the flags).
+fn write_metrics(args: &Args) {
+    if let Some(path) = &args.metrics {
+        if let Err(e) = std::fs::write(path, casted::obs::export_json()) {
+            eprintln!("castedc: cannot write {path}: {e}");
+        }
+    }
+    if let Some(path) = &args.metrics_counters {
+        if let Err(e) = std::fs::write(path, casted::obs::snapshot_json()) {
+            eprintln!("castedc: cannot write {path}: {e}");
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -104,6 +130,7 @@ fn main() -> ExitCode {
 
     if args.cmd == "ir" {
         print!("{module}");
+        write_metrics(&args);
         return ExitCode::SUCCESS;
     }
 
@@ -216,5 +243,6 @@ fn main() -> ExitCode {
             return usage();
         }
     }
+    write_metrics(&args);
     ExitCode::SUCCESS
 }

@@ -15,11 +15,68 @@
 //! results are collected in input order, so a sweep's output is
 //! deterministic regardless of worker scheduling.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
 use casted_faults::{CampaignConfig, Tally};
 use casted_ir::MachineConfig;
 use casted_passes::Scheme;
-use casted_util::pool::run_pool;
+use casted_util::pool::{pool_threads, run_pool};
 use casted_workloads::Workload;
+
+/// Per-sweep pool accounting: per-cell wall-time lands in the
+/// `<sweep>.cell_ns` histogram, and the busy-time sum over all cells,
+/// divided by `workers × sweep wall-time`, gives the pool-utilization
+/// gauge (in permille — 1000 means every worker was busy for the
+/// whole sweep). All of it is timing data: full export only, never in
+/// the counter-only snapshot.
+struct SweepMeter {
+    cell_hist: &'static str,
+    busy_ns: AtomicU64,
+    started: Instant,
+}
+
+impl SweepMeter {
+    fn start(cell_hist: &'static str) -> Self {
+        SweepMeter {
+            cell_hist,
+            busy_ns: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Wrap one cell task: time it, record the histogram sample, and
+    /// accumulate busy time.
+    fn observe_cell<T>(&self, task: impl FnOnce() -> T) -> T {
+        if !casted_obs::enabled() {
+            return task();
+        }
+        let t0 = Instant::now();
+        let out = task();
+        let ns = t0.elapsed().as_nanos() as u64;
+        casted_obs::observe_ns(self.cell_hist, ns);
+        self.busy_ns.fetch_add(ns, Ordering::Relaxed);
+        out
+    }
+
+    /// Record the sweep-level gauges once all cells are done.
+    fn finish(&self, tasks: usize, wall_hist: &'static str, util_gauge: &'static str) {
+        if !casted_obs::enabled() {
+            return;
+        }
+        let wall_ns = self.started.elapsed().as_nanos() as u64;
+        casted_obs::observe_ns(wall_hist, wall_ns);
+        let workers = pool_threads().min(tasks.max(1)) as u64;
+        casted_obs::gauge_set("core.pool.workers", workers);
+        if wall_ns > 0 {
+            let busy = self.busy_ns.load(Ordering::Relaxed);
+            casted_obs::gauge_set(
+                util_gauge,
+                busy.saturating_mul(1000) / (workers * wall_ns),
+            );
+        }
+    }
+}
 
 /// The sweep grid. The paper's full grid is issue widths 1–4 ×
 /// delays 1–4 × all four schemes.
@@ -187,10 +244,12 @@ pub fn perf_sweep(benchmarks: &[Workload], spec: &GridSpec) -> PerfTable {
         }
     }
 
+    let meter = SweepMeter::start("core.perf_sweep.cell_ns");
     let tasks: Vec<_> = cells
         .into_iter()
         .map(|cell| {
-            move || {
+            let meter = &meter;
+            move || meter.observe_cell(|| {
                 let config = MachineConfig::itanium2_like(cell.issue, cell.delay);
                 let prep = casted_passes::prepare(cell.module, cell.scheme, &config)
                     .unwrap_or_else(|e| {
@@ -219,14 +278,21 @@ pub fn perf_sweep(benchmarks: &[Workload], spec: &GridSpec) -> PerfTable {
                         occupancy: occ.clone(),
                     })
                     .collect::<Vec<_>>()
-            }
+            })
         })
         .collect();
 
+    let n_tasks = tasks.len();
     let mut table = PerfTable::default();
     for group in run_pool(tasks) {
         table.points.extend(group);
     }
+    casted_obs::add("core.perf_sweep.cells", n_tasks as u64);
+    meter.finish(
+        n_tasks,
+        "core.perf_sweep.wall_ns",
+        "core.perf_sweep.pool_utilization_permille",
+    );
     table
 }
 
@@ -256,13 +322,15 @@ pub fn coverage_sweep(
         .map(|w| (w.name.to_string(), w.compile().expect("compile failed")))
         .collect();
 
+    let meter = SweepMeter::start("core.coverage_sweep.cell_ns");
     let mut tasks = Vec::new();
     for (name, module) in &modules {
         for &scheme in &spec.schemes {
             for &issue in &spec.issues {
                 for &delay in &spec.delays {
                     let campaign = campaign.clone();
-                    tasks.push(move || {
+                    let meter = &meter;
+                    tasks.push(move || meter.observe_cell(|| {
                         let config = MachineConfig::itanium2_like(issue, delay);
                         let prep = casted_passes::prepare(module, scheme, &config)
                             .expect("prepare failed");
@@ -274,12 +342,20 @@ pub fn coverage_sweep(
                             delay,
                             tally: r.tally,
                         }
-                    });
+                    }));
                 }
             }
         }
     }
-    run_pool(tasks)
+    let n_tasks = tasks.len();
+    let points = run_pool(tasks);
+    casted_obs::add("core.coverage_sweep.cells", n_tasks as u64);
+    meter.finish(
+        n_tasks,
+        "core.coverage_sweep.wall_ns",
+        "core.coverage_sweep.pool_utilization_permille",
+    );
+    points
 }
 
 /// Headline slowdown statistics for one scheme (§IV-B quotes SCED

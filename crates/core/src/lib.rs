@@ -39,6 +39,7 @@
 
 pub use casted_difftest as difftest;
 pub use casted_faults as faults;
+pub use casted_obs as obs;
 pub use casted_frontend as frontend;
 pub use casted_util as util;
 pub use casted_ir as ir;

@@ -127,6 +127,7 @@ pub fn run_suite_with(opts: &SuiteOptions, hooks: &Hooks) -> SuiteReport {
             seed: rng.next_u64(),
             gen: profile(case),
         };
+        casted_obs::inc("difftest.cases");
         match run_case_with(&cfg, hooks) {
             Ok(rep) => {
                 stages += rep.stages;
@@ -140,6 +141,7 @@ pub fn run_suite_with(opts: &SuiteOptions, hooks: &Hooks) -> SuiteReport {
                 ));
             }
             Err(div) => {
+                casted_obs::inc("difftest.failures");
                 log.push_str(&format!(
                     "case {case:04} {} FAIL stage={}\n  {}\nREPLAY {}\n",
                     cfg.replay_line(None),

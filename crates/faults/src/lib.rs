@@ -202,7 +202,22 @@ pub fn run_trials(
 /// Draw one `(dynamic instruction, bit)` injection site — the frozen
 /// per-trial draw order shared by both campaign variants (see the
 /// stream-format notes on [`run_campaign`]).
+///
+/// ## Degenerate golden runs
+///
+/// When `golden_dyn_insns == 0` (an empty or immediately-trapping
+/// golden run) there is no dynamic instruction to strike. Instead of
+/// panicking on the empty range `1..=0`, the draw returns the
+/// documented degenerate site `at = u64::MAX` — a site past every
+/// dynamic instruction, so the injection never lands and the trial
+/// runs fault-free (classified Benign). The `bit` draw still consumes
+/// one value from the stream, keeping the RNG in a defined state for
+/// subsequent trials.
 pub fn draw_injection(rng: &mut Rng, golden_dyn_insns: u64) -> (u64, u32) {
+    if golden_dyn_insns == 0 {
+        let bit = rng.gen_range(0..64u32);
+        return (u64::MAX, bit);
+    }
     let at = rng.gen_range(1..=golden_dyn_insns);
     let bit = rng.gen_range(0..64u32);
     (at, bit)
@@ -243,16 +258,53 @@ pub fn run_campaign(sp: &ScheduledProgram, cfg: &CampaignConfig) -> CampaignResu
     let max_cycles = golden.stats.cycles.saturating_mul(cfg.timeout_factor);
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut tally = Tally::default();
+    let span = casted_obs::span("faults.campaign_ns");
     for _ in 0..cfg.trials {
         let (at, bit) = draw_injection(&mut rng, golden.stats.dyn_insns);
         let outcome = run_trial(sp, &golden, Injection { at_dyn_insn: at, bit, target: None }, max_cycles);
         tally.record(outcome);
     }
+    record_campaign_metrics(&tally, span);
     CampaignResult {
         tally,
         golden_cycles: golden.stats.cycles,
         golden_dyn: golden.stats.dyn_insns,
     }
+}
+
+/// Static counter name per outcome class.
+fn outcome_counter(o: Outcome) -> &'static str {
+    match o {
+        Outcome::Benign => "faults.outcome.benign",
+        Outcome::Detected => "faults.outcome.detected",
+        Outcome::Exception => "faults.outcome.exception",
+        Outcome::DataCorrupt => "faults.outcome.data_corrupt",
+        Outcome::Timeout => "faults.outcome.timeout",
+    }
+}
+
+/// Flush one finished campaign into the global metrics registry:
+/// outcome tallies and trial count as deterministic counters, the
+/// campaign wall-time and trial throughput as timing metrics (span
+/// histogram + `faults.trials_per_sec` gauge, both excluded from the
+/// counter-only snapshot).
+fn record_campaign_metrics(tally: &Tally, span: casted_obs::Span) {
+    if !casted_obs::enabled() {
+        return;
+    }
+    let trials = tally.total() as u64;
+    casted_obs::add("faults.trials", trials);
+    for o in Outcome::ALL {
+        casted_obs::add(outcome_counter(o), tally.count(o) as u64);
+    }
+    let ns = span.elapsed_ns();
+    if ns > 0 {
+        casted_obs::gauge_set(
+            "faults.trials_per_sec",
+            trials.saturating_mul(1_000_000_000) / ns,
+        );
+    }
+    // Dropping the span records the campaign wall-time histogram.
 }
 
 #[cfg(test)]
@@ -345,6 +397,44 @@ mod tests {
                 (32, 45),
             ]
         );
+    }
+
+    /// Regression: `draw_injection` used to panic on the empty range
+    /// `gen_range(1..=0)` when the golden run retired zero dynamic
+    /// instructions (empty or immediately-trapping program). The guard
+    /// returns the documented degenerate site instead: `at =
+    /// u64::MAX` (past every dynamic instruction, so the injection
+    /// never lands) with the bit still drawn from the stream, leaving
+    /// the RNG in a defined state for subsequent trials.
+    #[test]
+    fn draw_injection_with_empty_golden_run_does_not_panic() {
+        let mut rng = Rng::seed_from_u64(0xCA57ED);
+        let (at, bit) = draw_injection(&mut rng, 0);
+        assert_eq!(at, u64::MAX, "degenerate site must be past every insn");
+        assert!(bit < 64);
+        // The stream stays usable and deterministic after the
+        // degenerate draw.
+        let (at2, bit2) = draw_injection(&mut rng, 1000);
+        assert!((1..=1000).contains(&at2) && bit2 < 64);
+        let mut replay = Rng::seed_from_u64(0xCA57ED);
+        let a = draw_injection(&mut replay, 0);
+        let b = draw_injection(&mut replay, 1000);
+        assert_eq!((a, b), ((at, bit), (at2, bit2)));
+    }
+
+    /// The degenerate site is inert end to end: injected into a real
+    /// program, it never fires and the trial classifies Benign.
+    #[test]
+    fn degenerate_injection_is_benign() {
+        let sp = unprotected();
+        let golden = simulate(&sp, &SimOptions::default());
+        let outcome = run_trial(
+            &sp,
+            &golden,
+            Injection { at_dyn_insn: u64::MAX, bit: 5, target: None },
+            golden.stats.cycles * 10,
+        );
+        assert_eq!(outcome, Outcome::Benign);
     }
 
     /// Same-seed campaigns must agree between campaign variants too:
@@ -479,6 +569,7 @@ pub fn run_campaign_with_model(
     let func = sp.module.entry_fn();
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut tally = Tally::default();
+    let span = casted_obs::span("faults.campaign_ns");
     for _ in 0..cfg.trials {
         let (at, bit) = draw_injection(&mut rng, golden.stats.dyn_insns);
         // Uniform over all allocated registers of all classes.
@@ -512,6 +603,7 @@ pub fn run_campaign_with_model(
         );
         tally.record(outcome);
     }
+    record_campaign_metrics(&tally, span);
     CampaignResult {
         tally,
         golden_cycles: golden.stats.cycles,

@@ -85,12 +85,29 @@ impl Diag {
 /// Compile MiniC source text into a verified IR module named `name`.
 ///
 /// Runs the full pipeline: lex → parse → semantic analysis → inlining
-/// code generation → IR verification.
+/// code generation → IR verification. Each stage is span-timed into
+/// the `frontend.*_ns` histograms when metrics are enabled (see
+/// `docs/OBSERVABILITY.md`).
 pub fn compile(name: &str, source: &str) -> Result<Module, Vec<Diag>> {
-    let tokens = lex(source)?;
-    let program = parse(&tokens)?;
-    sema::check(&program)?;
-    let module = compile_program(name, &program)?;
+    let _total = casted_obs::span("frontend.compile_ns");
+    let tokens = {
+        let _s = casted_obs::span("frontend.lex_ns");
+        lex(source)?
+    };
+    casted_obs::add("frontend.tokens", tokens.len() as u64);
+    let program = {
+        let _s = casted_obs::span("frontend.parse_ns");
+        parse(&tokens)?
+    };
+    {
+        let _s = casted_obs::span("frontend.sema_ns");
+        sema::check(&program)?;
+    }
+    let module = {
+        let _s = casted_obs::span("frontend.codegen_ns");
+        compile_program(name, &program)?
+    };
+    let _v = casted_obs::span("frontend.verify_ns");
     if let Err(errs) = casted_ir::verify::verify_module(&module) {
         // A verifier failure after successful sema is a front-end bug;
         // surface it loudly with context.
@@ -99,6 +116,7 @@ pub fn compile(name: &str, source: &str) -> Result<Module, Vec<Diag>> {
             .map(|e| Diag::new(0, format!("internal: generated invalid IR: {e}")))
             .collect());
     }
+    casted_obs::inc("frontend.modules_compiled");
     Ok(module)
 }
 

@@ -113,6 +113,44 @@ impl ScheduledProgram {
         occ
     }
 
+    /// Total bundles (issue cycles) in the static schedule.
+    pub fn bundle_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.bundles.len()).sum()
+    }
+
+    /// Empty issue slots across the static schedule — the NOPs a real
+    /// VLIW encoding would emit. Capacity is
+    /// `clusters × issue_width` per bundle.
+    pub fn nop_slots(&self) -> usize {
+        let capacity = self.config.clusters * self.config.issue_width;
+        self.blocks
+            .iter()
+            .flat_map(|b| &b.bundles)
+            .map(|bu| capacity - bu.count())
+            .sum()
+    }
+
+    /// Static data edges whose consumer sits on a different cluster
+    /// than the value's home register file — each is an inter-cluster
+    /// copy the interconnect must carry (what the BUG heuristic trades
+    /// against parallelism when splitting error-detection code).
+    pub fn cross_cluster_edges(&self) -> usize {
+        let func = self.module.entry_fn();
+        let mut edges = 0usize;
+        for sb in &self.blocks {
+            for bundle in &sb.bundles {
+                for (cluster, iid) in bundle.iter() {
+                    edges += func
+                        .insn(iid)
+                        .reg_uses()
+                        .filter(|&r| self.home_of(r) != cluster)
+                        .count();
+                }
+            }
+        }
+        edges
+    }
+
     /// Structural validation of the schedule against the entry
     /// function: every block instruction placed exactly once, slot
     /// counts within issue width, terminators in the final bundle, and

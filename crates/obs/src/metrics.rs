@@ -1,0 +1,354 @@
+//! Metric primitives: saturating atomic counters, last-write gauges,
+//! and fixed-bucket histograms with percentile queries.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+///
+/// Additions **saturate** at `u64::MAX` instead of wrapping: a counter
+/// that has been running for a very long time degrades to a pinned
+/// maximum rather than silently restarting from a small number (which
+/// would corrupt rate computations and snapshots downstream).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zeroed counter.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add `v`, saturating at `u64::MAX`.
+    pub fn add(&self, v: u64) {
+        if v == 0 {
+            return;
+        }
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(v);
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins reading (pool width, utilization, trials/sec).
+/// Gauge values are host- or timing-dependent and are therefore
+/// excluded from the deterministic counter-only snapshot.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A fresh zeroed gauge.
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrite the reading.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current reading.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.set(0);
+    }
+}
+
+/// Default bucket bounds for wall-clock timings in nanoseconds:
+/// powers of two from 1.024 µs to ~68.7 s (the overflow bucket
+/// catches anything slower). 27 buckets keep per-histogram memory
+/// trivial while giving ~2x resolution everywhere a span can land.
+pub const DEFAULT_TIME_BOUNDS_NS: [u64; 26] = {
+    let mut b = [0u64; 26];
+    let mut i = 0;
+    while i < 26 {
+        b[i] = 1024u64 << i;
+        i += 1;
+    }
+    b
+};
+
+/// A fixed-bucket histogram: `bounds[i]` is the *inclusive upper
+/// bound* of bucket `i`, bucket `bounds.len()` is the overflow bucket.
+/// Observations also maintain exact `count`/`sum`/`min`/`max`, so the
+/// mean is exact and only the percentiles are bucket-quantized.
+#[derive(Debug)]
+pub struct Hist {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Hist {
+    /// Histogram over explicit ascending bucket bounds.
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending — bucket
+    /// layout is part of a metric's meaning, not a tuning knob.
+    pub fn with_bounds(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending: {bounds:?}"
+        );
+        Hist {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Histogram with the default nanosecond timing buckets.
+    pub fn timing() -> Self {
+        Hist::with_bounds(&DEFAULT_TIME_BOUNDS_NS)
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self.bucket_of(v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Index of the bucket `v` falls into (last index = overflow).
+    fn bucket_of(&self, v: u64) -> usize {
+        self.bounds.partition_point(|&b| v > b)
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest observation (0 if empty).
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest observation (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Quantile estimate for `q` in `0.0..=1.0`: the inclusive upper
+    /// bound of the first bucket whose cumulative count reaches
+    /// `ceil(q * count)` observations. For the overflow bucket the
+    /// exact observed maximum is returned (there is no finite bound).
+    /// Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max()
+                };
+            }
+        }
+        self.max()
+    }
+
+    /// Median (`quantile(0.50)`).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Zero every bucket and the exact aggregates.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds_and_saturates() {
+        let c = Counter::new();
+        c.add(40);
+        c.inc();
+        c.inc();
+        assert_eq!(c.get(), 42);
+        // Saturation: overflow pins at MAX instead of wrapping.
+        c.add(u64::MAX - 50);
+        assert_eq!(c.get(), u64::MAX - 8);
+        c.add(100);
+        assert_eq!(c.get(), u64::MAX);
+        c.add(1);
+        assert_eq!(c.get(), u64::MAX);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_is_race_free_across_threads() {
+        let c = std::sync::Arc::new(Counter::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins() {
+        let g = Gauge::new();
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        g.reset();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn hist_bucket_boundaries_are_inclusive_upper_bounds() {
+        let h = Hist::with_bounds(&[10, 100, 1000]);
+        // On-boundary values land in the bucket they bound.
+        assert_eq!(h.bucket_of(0), 0);
+        assert_eq!(h.bucket_of(10), 0);
+        assert_eq!(h.bucket_of(11), 1);
+        assert_eq!(h.bucket_of(100), 1);
+        assert_eq!(h.bucket_of(101), 2);
+        assert_eq!(h.bucket_of(1000), 2);
+        assert_eq!(h.bucket_of(1001), 3); // overflow bucket
+    }
+
+    #[test]
+    fn hist_aggregates_are_exact() {
+        let h = Hist::with_bounds(&[10, 100, 1000]);
+        for v in [5, 10, 50, 500, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5565);
+        assert_eq!(h.min(), 5);
+        assert_eq!(h.max(), 5000);
+    }
+
+    #[test]
+    fn hist_percentile_math() {
+        let h = Hist::with_bounds(&[10, 100, 1000]);
+        // 100 observations: 50 in bucket ≤10, 45 in ≤100, 4 in ≤1000,
+        // 1 overflow.
+        for _ in 0..50 {
+            h.observe(3);
+        }
+        for _ in 0..45 {
+            h.observe(60);
+        }
+        for _ in 0..4 {
+            h.observe(700);
+        }
+        h.observe(123_456);
+        // p50 → rank 50 inside the first bucket → its bound, 10.
+        assert_eq!(h.p50(), 10);
+        // p95 → rank 95 inside the second bucket → 100.
+        assert_eq!(h.p95(), 100);
+        // p99 → rank 99 inside the third bucket → 1000.
+        assert_eq!(h.p99(), 1000);
+        // p100 → the overflow bucket reports the exact max.
+        assert_eq!(h.quantile(1.0), 123_456);
+        // Empty histogram answers 0 everywhere.
+        h.reset();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn hist_single_observation_is_every_percentile() {
+        let h = Hist::with_bounds(&[10, 100]);
+        h.observe(42);
+        assert_eq!(h.p50(), 100);
+        assert_eq!(h.p95(), 100);
+        assert_eq!(h.p99(), 100);
+    }
+
+    #[test]
+    fn default_time_bounds_are_ascending_powers_of_two() {
+        assert_eq!(DEFAULT_TIME_BOUNDS_NS[0], 1024);
+        assert!(DEFAULT_TIME_BOUNDS_NS.windows(2).all(|w| w[1] == 2 * w[0]));
+        // Constructing the default timing histogram must satisfy the
+        // strictly-ascending invariant.
+        let _ = Hist::timing();
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn hist_rejects_unsorted_bounds() {
+        let _ = Hist::with_bounds(&[10, 10]);
+    }
+}

@@ -1,0 +1,163 @@
+//! The metric registry: name → metric, get-or-create, plus the
+//! process-global instance the convenience functions in the crate
+//! root operate on.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Hist};
+
+/// One registered metric.
+#[derive(Clone, Debug)]
+pub enum Metric {
+    /// Deterministic event counter (in the counter-only snapshot).
+    Counter(Arc<Counter>),
+    /// Host-/timing-dependent reading (full export only).
+    Gauge(Arc<Gauge>),
+    /// Timing histogram (full export only).
+    Hist(Arc<Hist>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Hist(_) => "hist",
+        }
+    }
+}
+
+/// A collection of named metrics. Registration (the first touch of a
+/// name) takes a mutex; recording on the returned handle is lock-free.
+///
+/// Metric names are `&'static str` by design: every metric in the
+/// workspace is declared at an instrumentation site, and static names
+/// keep the recording path allocation-free.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<&'static str, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry (tests use private instances; production code
+    /// uses [`global`]).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or create the counter `name`.
+    ///
+    /// Panics if `name` is already registered as a different kind —
+    /// that is an instrumentation bug, not a runtime condition.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        let mut m = self.lock();
+        match m
+            .entry(name)
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        let mut m = self.lock();
+        match m
+            .entry(name)
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Get or create the timing histogram `name` (default ns buckets).
+    pub fn hist(&self, name: &'static str) -> Arc<Hist> {
+        self.hist_with(name, Hist::timing)
+    }
+
+    /// Get or create the histogram `name`, building it with `mk` on
+    /// first registration (custom bucket bounds).
+    pub fn hist_with(&self, name: &'static str, mk: impl FnOnce() -> Hist) -> Arc<Hist> {
+        let mut m = self.lock();
+        match m.entry(name).or_insert_with(|| Metric::Hist(Arc::new(mk()))) {
+            Metric::Hist(h) => h.clone(),
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Sorted snapshot of every registered metric.
+    pub fn collect(&self) -> Vec<(&'static str, Metric)> {
+        self.lock().iter().map(|(n, m)| (*n, m.clone())).collect()
+    }
+
+    /// Zero every metric, keeping registrations.
+    pub fn reset(&self) {
+        for m in self.lock().values() {
+            match m {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Hist(h) => h.reset(),
+            }
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<&'static str, Metric>> {
+        // Poison can only come from a panic inside this module's
+        // short critical sections; the map itself is always valid.
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The process-global registry used by the crate-root convenience
+/// functions and exported by `--metrics`.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_metric() {
+        let r = Registry::new();
+        r.counter("a.b").add(2);
+        r.counter("a.b").add(3);
+        assert_eq!(r.counter("a.b").get(), 5);
+    }
+
+    #[test]
+    fn collect_is_sorted_by_name() {
+        let r = Registry::new();
+        r.counter("z.last");
+        r.counter("a.first");
+        r.gauge("m.middle");
+        let names: Vec<_> = r.collect().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a.first", "m.middle", "z.last"]);
+    }
+
+    #[test]
+    fn reset_zeroes_every_kind_but_keeps_registration() {
+        let r = Registry::new();
+        r.counter("c").add(9);
+        r.gauge("g").set(9);
+        r.hist("h").observe(9);
+        r.reset();
+        assert_eq!(r.counter("c").get(), 0);
+        assert_eq!(r.gauge("g").get(), 0);
+        assert_eq!(r.hist("h").count(), 0);
+        assert_eq!(r.collect().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_is_an_instrumentation_bug() {
+        let r = Registry::new();
+        r.gauge("x");
+        r.counter("x");
+    }
+}

@@ -66,6 +66,9 @@ pub struct EdStats {
     pub isolation_copies: usize,
     /// Check compare/branch *pairs* inserted.
     pub checks: usize,
+    /// Distinct registers renamed into the redundant stream (size of
+    /// the Fig. 4b rename table).
+    pub renamed_regs: usize,
     /// Static size before the pass.
     pub size_before: usize,
     /// Static size after the pass.
@@ -341,6 +344,7 @@ pub fn error_detection_with(module: &mut Module, opts: &EdOptions) -> EdStats {
     replicate_insns(func, &mut ed, opts);
     register_rename(func, &mut ed);
     emit_check_insns(func, &mut ed, opts);
+    ed.stats.renamed_regs = ed.renamed.len();
     ed.stats.size_after = func.static_size();
     debug_assert!(
         casted_ir::verify::verify_function(func).is_ok(),

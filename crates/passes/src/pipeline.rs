@@ -143,6 +143,7 @@ pub fn prepare_custom(
     config: &MachineConfig,
     opts: &PrepareOptions,
 ) -> Result<Prepared, String> {
+    let _t = casted_obs::span("passes.prepare_ns");
     let mut m = module.clone();
     if opts.if_convert {
         crate::ifconvert::if_convert(&mut m);
@@ -172,6 +173,7 @@ pub fn prepare_custom(
     };
 
     let phys = assign_physical(&sp)?;
+    record_prepare_metrics(scheme, &ed_stats, spilled, &sp);
     Ok(Prepared {
         sp,
         scheme,
@@ -179,6 +181,45 @@ pub fn prepare_custom(
         spilled,
         phys,
     })
+}
+
+/// Per-scheme check-emission counter name (static, so recording never
+/// allocates; nonzero iff the scheme carries error detection).
+fn checks_counter(scheme: Scheme) -> &'static str {
+    match scheme {
+        Scheme::Noed => "passes.ed.checks.noed",
+        Scheme::Sced => "passes.ed.checks.sced",
+        Scheme::Dced => "passes.ed.checks.dced",
+        Scheme::Casted => "passes.ed.checks.casted",
+    }
+}
+
+/// Flush one successful back-end run into the global metrics registry
+/// (all counters — deterministic, snapshot-visible).
+fn record_prepare_metrics(
+    scheme: Scheme,
+    ed_stats: &Option<EdStats>,
+    spilled: usize,
+    sp: &ScheduledProgram,
+) {
+    if !casted_obs::enabled() {
+        return;
+    }
+    casted_obs::inc("passes.prepared");
+    if let Some(st) = ed_stats {
+        casted_obs::add("passes.ed.replicated", st.replicated as u64);
+        casted_obs::add("passes.ed.checks", st.checks as u64);
+        casted_obs::add("passes.ed.isolation_copies", st.isolation_copies as u64);
+        casted_obs::add("passes.ed.renamed_regs", st.renamed_regs as u64);
+        casted_obs::add(checks_counter(scheme), st.checks as u64);
+    }
+    casted_obs::add("passes.spilled_regs", spilled as u64);
+    casted_obs::add("passes.sched.bundles", sp.bundle_count() as u64);
+    casted_obs::add("passes.sched.nop_slots", sp.nop_slots() as u64);
+    casted_obs::add(
+        "passes.sched.cross_cluster_edges",
+        sp.cross_cluster_edges() as u64,
+    );
 }
 
 #[cfg(test)]

@@ -128,6 +128,26 @@ impl Ready {
     }
 }
 
+/// Bulk-flush one finished run's counters into the global metrics
+/// registry. All values are deterministic functions of the program and
+/// seed, so they are part of the counter-only snapshot.
+fn record_run_metrics(stats: &SimStats) {
+    if !casted_obs::enabled() {
+        return;
+    }
+    casted_obs::inc("sim.runs");
+    casted_obs::add("sim.cycles", stats.cycles);
+    casted_obs::add("sim.stall_cycles", stats.stall_cycles);
+    casted_obs::add("sim.dyn_insns", stats.dyn_insns);
+    casted_obs::add("sim.bundles", stats.bundles);
+    casted_obs::add("sim.cross_reads", stats.cross_reads);
+    casted_obs::add("sim.cache.accesses", stats.cache.accesses);
+    casted_obs::add("sim.cache.l1_hits", stats.cache.hits.first().copied().unwrap_or(0));
+    casted_obs::add("sim.cache.l2_hits", stats.cache.hits.get(1).copied().unwrap_or(0));
+    casted_obs::add("sim.cache.l3_hits", stats.cache.hits.get(2).copied().unwrap_or(0));
+    casted_obs::add("sim.cache.memory_accesses", stats.cache.memory_accesses);
+}
+
 /// Run `sp` to completion (or exception/detection/timeout).
 pub fn simulate(sp: &ScheduledProgram, opts: &SimOptions) -> SimResult {
     let func = sp.module.entry_fn();
@@ -155,6 +175,10 @@ pub fn simulate(sp: &ScheduledProgram, opts: &SimOptions) -> SimResult {
         Vec::with_capacity(16);
 
     let mut trace: Vec<TraceEntry> = Vec::new();
+    // Span-timed per run; counters are flushed in bulk on exit, so the
+    // cycle loop itself carries no instrumentation (the disabled-
+    // metrics fast path costs one relaxed load per whole run).
+    let _run_span = casted_obs::span("sim.run_ns");
     let finish = |stop: StopReason,
                   stream: Vec<OutVal>,
                   mut stats: SimStats,
@@ -164,6 +188,7 @@ pub fn simulate(sp: &ScheduledProgram, opts: &SimOptions) -> SimResult {
                   trace: Vec<TraceEntry>| {
         stats.cycles = cycle;
         stats.cache = cache.stats;
+        record_run_metrics(&stats);
         SimResult {
             stop,
             stream,

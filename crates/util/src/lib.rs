@@ -21,6 +21,13 @@
 //! * [`hash`] — streaming 64-bit FNV-1a digests, the shared
 //!   fingerprint format of the golden tests and of the
 //!   `casted-difftest` differential logs.
+//!
+//! Its sibling `casted-obs` follows the same zero-dependency rule for
+//! observability (replacing `metrics`/`tracing`): atomic counters,
+//! ns-histograms, span timers and JSON/CSV export, disabled by
+//! default — see `docs/OBSERVABILITY.md`. It lives in its own crate,
+//! below everything, so any layer (including this one's `pool` users)
+//! can record without a dependency cycle.
 
 pub mod bench;
 pub mod hash;

@@ -60,6 +60,7 @@ pub struct Workload {
 impl Workload {
     /// Compile to a verified IR module.
     pub fn compile(&self) -> Result<Module, Vec<Diag>> {
+        casted_obs::inc("workloads.compiled");
         casted_frontend::compile(self.name, &self.source)
     }
 }

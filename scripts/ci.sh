@@ -30,4 +30,20 @@ cargo run --release --offline -q -p casted-bench --bin difftest -- \
 cmp "$log_dir/fuzz1.log" "$log_dir/fuzz2.log"
 tail -n 1 "$log_dir/fuzz1.log"
 
+echo "== metrics snapshot determinism (quick sweep, counter-only) =="
+# Two metrics-enabled quick sweeps: the counter-only snapshots must be
+# byte-identical (counters record what work was done, never how fast —
+# see docs/OBSERVABILITY.md). The full export is written once so the
+# exporter path runs too; its timings are host-noise and are not
+# compared.
+cargo run --release --offline -q -p casted-bench --bin summary -- \
+  --quick --metrics "$log_dir/metrics_full.json" \
+  --metrics-counters "$log_dir/counters1.json" > /dev/null
+cargo run --release --offline -q -p casted-bench --bin summary -- \
+  --quick --metrics-counters "$log_dir/counters2.json" > /dev/null
+cmp "$log_dir/counters1.json" "$log_dir/counters2.json"
+test -s "$log_dir/metrics_full.json"
+grep -c '"' "$log_dir/counters1.json" > /dev/null
+echo "counter snapshots identical ($(grep -c ':' "$log_dir/counters1.json") counters)"
+
 echo "tier-1 green"

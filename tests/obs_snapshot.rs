@@ -1,0 +1,108 @@
+//! Counter-exact metrics snapshot, mirroring `tests/determinism.rs`:
+//! the counter-only view of the metrics registry must be **byte-
+//! identical** across two identical seeded quick-grid runs, and must
+//! match the checked-in golden snapshot
+//! (`tests/snapshots/quick_grid_counters.json`).
+//!
+//! Counters record *what work was done* — cycles simulated, checks
+//! emitted, trials classified — never how fast the host did it, so
+//! for a seeded workload they are as reproducible as the `results/`
+//! CSVs. Timings (span histograms) and host-dependent gauges are
+//! excluded from the snapshot by construction; this test also pins
+//! that exclusion.
+//!
+//! To regenerate after an intentional metrics change:
+//!
+//! ```text
+//! CASTED_UPDATE_SNAPSHOT=1 cargo test --offline --test obs_snapshot
+//! ```
+
+use casted::experiments::{coverage_sweep, perf_sweep, GridSpec};
+use casted::faults::CampaignConfig;
+use casted::{obs, Scheme};
+
+/// Tests in this binary share the process-global metrics registry;
+/// serialize them (cargo runs #[test] fns on parallel threads).
+static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn suite() -> Vec<casted_workloads::Workload> {
+    casted_workloads::all()
+        .into_iter()
+        .filter(|w| matches!(w.name, "cjpeg" | "181.mcf"))
+        .collect()
+}
+
+/// One full measured quick grid: the perf sweep over the quick spec
+/// plus a small seeded coverage campaign — together they touch every
+/// instrumented layer (frontend, passes, sim, faults, core).
+fn run_quick_grid() -> String {
+    obs::reset();
+    obs::set_enabled(true);
+    let spec = GridSpec::quick();
+    let _perf = perf_sweep(&suite(), &spec);
+    let cov_spec = GridSpec {
+        issues: vec![2],
+        delays: vec![2],
+        schemes: vec![Scheme::Noed, Scheme::Casted],
+    };
+    let campaign = CampaignConfig {
+        trials: 25,
+        seed: 0xCA57ED,
+        timeout_factor: 8,
+    };
+    let _cov = coverage_sweep(&suite(), &cov_spec, &campaign);
+    let snap = obs::snapshot_json();
+    obs::set_enabled(false);
+    snap
+}
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/snapshots/quick_grid_counters.json"
+);
+
+#[test]
+fn counter_snapshot_is_byte_reproducible_and_matches_golden() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let a = run_quick_grid();
+    let b = run_quick_grid();
+    assert_eq!(a, b, "two identical seeded runs diverged — a counter is timing- or scheduling-dependent");
+
+    if std::env::var_os("CASTED_UPDATE_SNAPSHOT").is_some() {
+        std::fs::write(GOLDEN, &a).expect("write golden snapshot");
+        eprintln!("updated {GOLDEN}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN)
+        .expect("missing golden snapshot — run with CASTED_UPDATE_SNAPSHOT=1 once");
+    assert_eq!(
+        a, golden,
+        "counter snapshot drifted from tests/snapshots/quick_grid_counters.json; \
+         if the metrics change is intentional, regenerate with CASTED_UPDATE_SNAPSHOT=1"
+    );
+}
+
+#[test]
+fn snapshot_strips_every_timing_and_host_dependent_metric() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let snap = run_quick_grid();
+    // Convention: every timer histogram name ends in `_ns`; gauges are
+    // the pool/throughput readings. None may appear in the snapshot.
+    assert!(!snap.contains("_ns"), "timing metric leaked into the counter snapshot:\n{snap}");
+    assert!(!snap.contains("pool"), "host-dependent gauge leaked into the counter snapshot:\n{snap}");
+    assert!(!snap.contains("trials_per_sec"), "throughput gauge leaked:\n{snap}");
+    // And the layers that must be represented are.
+    for key in [
+        "\"sim.cycles\"",
+        "\"sim.dyn_insns\"",
+        "\"passes.ed.checks\"",
+        "\"passes.sched.bundles\"",
+        "\"faults.trials\"",
+        "\"frontend.modules_compiled\"",
+        "\"core.perf_sweep.cells\"",
+        "\"core.coverage_sweep.cells\"",
+        "\"workloads.compiled\"",
+    ] {
+        assert!(snap.contains(key), "expected {key} in snapshot:\n{snap}");
+    }
+}
