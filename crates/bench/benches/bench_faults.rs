@@ -1,0 +1,126 @@
+//! Campaign throughput: the checkpointed fault-injection engine
+//! against the reference engine, measured in **trials/sec** over the
+//! quick coverage grid (three representative benchmarks × all four
+//! schemes at issue 2, delay 2 — the same cells `fig9 --quick` runs).
+//!
+//! Both engines consume the identical frozen injection stream and, as
+//! a precondition of the measurement, are cross-checked here to
+//! produce byte-identical tallies. Results are printed in the
+//! in-repo runner's format and written to `BENCH_faults.json` at the
+//! workspace root (median/MAD over the timed samples, plus the
+//! checkpointed/reference speedup) so the perf trajectory has a
+//! recorded datapoint. `CASTED_BENCH_QUICK=1` drops to a single
+//! sample for smoke runs.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use casted_faults::{run_campaign_engine, CampaignConfig, Engine};
+use casted_ir::vliw::ScheduledProgram;
+use casted_ir::MachineConfig;
+use casted_util::bench::median_mad;
+
+const TRIALS: usize = 40;
+const SAMPLES: usize = 5;
+
+struct Cell {
+    label: String,
+    sp: ScheduledProgram,
+}
+
+fn quick_grid_cells() -> Vec<Cell> {
+    let config = MachineConfig::itanium2_like(2, 2);
+    let mut cells = Vec::new();
+    for name in ["cjpeg", "h263enc", "181.mcf"] {
+        let module = casted_workloads::by_name(name)
+            .unwrap_or_else(|| panic!("unknown benchmark {name}"))
+            .compile()
+            .expect("compile failed");
+        for scheme in casted::Scheme::ALL {
+            let prep = casted_passes::prepare(&module, scheme, &config).expect("prepare failed");
+            cells.push(Cell {
+                label: format!("{name}/{}", scheme.name()),
+                sp: prep.sp,
+            });
+        }
+    }
+    cells
+}
+
+/// Time one full pass over the grid with `engine`; returns trials/sec.
+fn sample(cells: &[Cell], campaign: &CampaignConfig, engine: Engine) -> f64 {
+    let t0 = Instant::now();
+    for cell in cells {
+        casted_util::bench::black_box(run_campaign_engine(&cell.sp, campaign, engine));
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    (cells.len() * campaign.trials) as f64 / secs
+}
+
+fn measure(cells: &[Cell], campaign: &CampaignConfig, engine: Engine, samples: usize) -> (f64, f64) {
+    let mut rates: Vec<f64> = (0..samples)
+        .map(|_| sample(cells, campaign, engine))
+        .collect();
+    median_mad(&mut rates)
+}
+
+fn main() {
+    let quick = std::env::var("CASTED_BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+    let samples = if quick { 1 } else { SAMPLES };
+    let cells = quick_grid_cells();
+    let campaign = CampaignConfig {
+        trials: TRIALS,
+        ..Default::default()
+    };
+
+    // Precondition: same seed, same trial count, byte-identical
+    // tallies — otherwise trials/sec compares different work.
+    for cell in &cells {
+        let r = run_campaign_engine(&cell.sp, &campaign, Engine::Reference);
+        let c = run_campaign_engine(&cell.sp, &campaign, Engine::Checkpointed);
+        assert_eq!(r.tally, c.tally, "{}: engines disagree", cell.label);
+    }
+
+    let (ref_med, ref_mad) = measure(&cells, &campaign, Engine::Reference, samples);
+    let (ckpt_med, ckpt_mad) = measure(&cells, &campaign, Engine::Checkpointed, samples);
+    let speedup = ckpt_med / ref_med;
+
+    println!(
+        "bench {:<50} median {:>10.0} trials/s  mad {:>9.0}  (n={samples})",
+        "faults_campaign/reference", ref_med, ref_mad
+    );
+    println!(
+        "bench {:<50} median {:>10.0} trials/s  mad {:>9.0}  (n={samples})",
+        "faults_campaign/checkpointed", ckpt_med, ckpt_mad
+    );
+    println!("checkpointed/reference speedup: {speedup:.2}x (median trials/sec)");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"faults_campaign_throughput\",");
+    let _ = writeln!(
+        json,
+        "  \"grid\": \"quick coverage grid: cjpeg+h263enc+181.mcf x 4 schemes, issue 2, delay 2\","
+    );
+    let _ = writeln!(json, "  \"cells\": {},", cells.len());
+    let _ = writeln!(json, "  \"trials_per_campaign\": {TRIALS},");
+    let _ = writeln!(json, "  \"samples\": {samples},");
+    let _ = writeln!(json, "  \"trials_per_sec\": {{");
+    let _ = writeln!(
+        json,
+        "    \"reference\": {{\"median\": {ref_med:.1}, \"mad\": {ref_mad:.1}}},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"checkpointed\": {{\"median\": {ckpt_med:.1}, \"mad\": {ckpt_mad:.1}}}"
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"speedup_median\": {speedup:.2}");
+    let _ = writeln!(json, "}}");
+
+    // cargo runs bench targets with the package directory as cwd;
+    // anchor the artifact at the workspace root via the manifest dir.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_faults.json");
+    std::fs::write(&out, &json).expect("write BENCH_faults.json");
+    println!("[wrote {}]", out.display());
+}

@@ -38,6 +38,9 @@ pub struct RunOpts {
     /// Write the deterministic counter-only metrics snapshot here
     /// (byte-reproducible for seeded runs; what CI `cmp`s).
     pub metrics_counters: Option<PathBuf>,
+    /// Fault-campaign engine (`--engine reference|checkpointed`).
+    /// Both produce byte-identical tallies; CI cross-checks them.
+    pub engine: casted_faults::Engine,
 }
 
 impl Default for RunOpts {
@@ -48,13 +51,15 @@ impl Default for RunOpts {
             out: None,
             metrics: None,
             metrics_counters: None,
+            engine: casted_faults::Engine::default(),
         }
     }
 }
 
 /// Parse `--quick`, `--trials N`, `--out DIR`, `--metrics FILE`,
-/// `--metrics-counters FILE` from `std::env::args`. Passing either
-/// metrics flag switches global metric recording on for the run.
+/// `--metrics-counters FILE`, `--engine NAME` from `std::env::args`.
+/// Passing either metrics flag switches global metric recording on
+/// for the run.
 pub fn parse_args() -> RunOpts {
     let mut opts = RunOpts::default();
     let mut args = std::env::args().skip(1);
@@ -80,6 +85,11 @@ pub fn parse_args() -> RunOpts {
                 opts.metrics_counters = Some(PathBuf::from(
                     args.next().expect("--metrics-counters needs a path"),
                 ));
+            }
+            "--engine" => {
+                let name = args.next().expect("--engine needs reference|checkpointed");
+                opts.engine = casted_faults::Engine::parse(&name)
+                    .unwrap_or_else(|| panic!("unknown engine {name:?} (want reference|checkpointed)"));
             }
             other => {
                 eprintln!("warning: ignoring unknown argument {other:?}");

@@ -15,10 +15,11 @@
 //! results are collected in input order, so a sweep's output is
 //! deterministic regardless of worker scheduling.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use casted_faults::{CampaignConfig, Tally};
+use casted_faults::{CampaignConfig, Engine, Tally};
 use casted_ir::MachineConfig;
 use casted_passes::Scheme;
 use casted_util::pool::{pool_threads, run_pool};
@@ -136,15 +137,51 @@ pub struct PerfPoint {
 }
 
 /// The full measured grid with lookup helpers.
+///
+/// `points` stays in input order (sweeps collect cells
+/// deterministically), while `get` is O(1) via a hash index keyed by
+/// `(benchmark, scheme, issue, delay)` — `summarize` and
+/// [`casted_vs_best_fixed`] call it once per cell, so a linear scan
+/// made them O(n²) over the paper's full grid.
 #[derive(Clone, Debug, Default)]
 pub struct PerfTable {
-    /// All measured points.
+    /// All measured points, in insertion order.
     pub points: Vec<PerfPoint>,
+    /// Cell key → index into `points`. Maintained by [`add_point`];
+    /// lookups fall back to a linear scan whenever the index is out
+    /// of sync with `points` (e.g. a caller pushed directly).
+    ///
+    /// [`add_point`]: PerfTable::add_point
+    index: HashMap<(String, Scheme, usize, u32), usize>,
+    /// `(benchmark, issue)` → first NOED point, for the baseline
+    /// lookup every `slowdown` call performs.
+    noed: HashMap<(String, usize), usize>,
 }
 
 impl PerfTable {
-    /// Find a cell.
+    /// Append a point, keeping the lookup indexes in sync. First write
+    /// wins for duplicate keys, matching the old `find` semantics.
+    pub fn add_point(&mut self, p: PerfPoint) {
+        self.index
+            .entry((p.benchmark.clone(), p.scheme, p.issue, p.delay))
+            .or_insert(self.points.len());
+        if p.scheme == Scheme::Noed {
+            self.noed
+                .entry((p.benchmark.clone(), p.issue))
+                .or_insert(self.points.len());
+        }
+        self.points.push(p);
+    }
+
+    /// Find a cell. O(1) when every point was added via
+    /// [`PerfTable::add_point`]; degrades to a linear scan otherwise.
     pub fn get(&self, benchmark: &str, scheme: Scheme, issue: usize, delay: u32) -> Option<&PerfPoint> {
+        if self.index.len() == self.points.len() {
+            return self
+                .index
+                .get(&(benchmark.to_string(), scheme, issue, delay))
+                .map(|&i| &self.points[i]);
+        }
         self.points.iter().find(|p| {
             p.benchmark == benchmark && p.scheme == scheme && p.issue == issue && p.delay == delay
         })
@@ -153,6 +190,12 @@ impl PerfTable {
     /// NOED baseline cycles for a benchmark at an issue width (NOED is
     /// delay-independent; any measured delay cell is the baseline).
     pub fn noed_cycles(&self, benchmark: &str, issue: usize) -> Option<u64> {
+        if self.index.len() == self.points.len() {
+            return self
+                .noed
+                .get(&(benchmark.to_string(), issue))
+                .map(|&i| self.points[i].cycles);
+        }
         self.points
             .iter()
             .find(|p| p.benchmark == benchmark && p.scheme == Scheme::Noed && p.issue == issue)
@@ -285,7 +328,9 @@ pub fn perf_sweep(benchmarks: &[Workload], spec: &GridSpec) -> PerfTable {
     let n_tasks = tasks.len();
     let mut table = PerfTable::default();
     for group in run_pool(tasks) {
-        table.points.extend(group);
+        for p in group {
+            table.add_point(p);
+        }
     }
     casted_obs::add("core.perf_sweep.cells", n_tasks as u64);
     meter.finish(
@@ -311,11 +356,25 @@ pub struct CoveragePoint {
     pub tally: Tally,
 }
 
-/// Run fault-injection campaigns over a grid (Figs. 9 and 10).
+/// Run fault-injection campaigns over a grid (Figs. 9 and 10) with
+/// the default (checkpointed) engine.
 pub fn coverage_sweep(
     benchmarks: &[Workload],
     spec: &GridSpec,
     campaign: &CampaignConfig,
+) -> Vec<CoveragePoint> {
+    coverage_sweep_with(benchmarks, spec, campaign, Engine::default())
+}
+
+/// [`coverage_sweep`] with an explicit campaign engine. Both engines
+/// produce byte-identical tallies (the difftest oracles enforce it);
+/// the knob exists for the CI cross-check and for benchmarking the
+/// reference path.
+pub fn coverage_sweep_with(
+    benchmarks: &[Workload],
+    spec: &GridSpec,
+    campaign: &CampaignConfig,
+    engine: Engine,
 ) -> Vec<CoveragePoint> {
     let modules: Vec<(String, casted_ir::Module)> = benchmarks
         .iter()
@@ -334,7 +393,7 @@ pub fn coverage_sweep(
                         let config = MachineConfig::itanium2_like(issue, delay);
                         let prep = casted_passes::prepare(module, scheme, &config)
                             .expect("prepare failed");
-                        let r = casted_faults::run_campaign(&prep.sp, &campaign);
+                        let r = casted_faults::run_campaign_engine(&prep.sp, &campaign, engine);
                         CoveragePoint {
                             benchmark: name.clone(),
                             scheme,
@@ -496,6 +555,45 @@ mod tests {
         // the best fixed placement (paper: "at least as good ... in
         // the majority of cases").
         assert!(worst > -25.0, "CASTED loses {worst}% somewhere");
+    }
+
+    #[test]
+    fn indexed_lookup_matches_linear_scan_fallback() {
+        let table = perf_sweep(&[tiny_workload()], &GridSpec::quick());
+        // Rebuild the same table by pushing directly to `points`,
+        // bypassing the index, so `get` takes the scan fallback.
+        let mut pushed = PerfTable::default();
+        for p in &table.points {
+            pushed.points.push(p.clone());
+        }
+        for p in &table.points {
+            let a = table.get(&p.benchmark, p.scheme, p.issue, p.delay).unwrap();
+            let b = pushed.get(&p.benchmark, p.scheme, p.issue, p.delay).unwrap();
+            assert_eq!(a.cycles, b.cycles);
+        }
+        assert_eq!(table.noed_cycles("tiny", 1), pushed.noed_cycles("tiny", 1));
+        assert!(table.noed_cycles("tiny", 1).is_some());
+        assert!(table.get("tiny", Scheme::Noed, 9, 9).is_none());
+        assert!(table.get("absent", Scheme::Noed, 1, 1).is_none());
+    }
+
+    #[test]
+    fn coverage_sweep_engines_agree() {
+        let spec = GridSpec {
+            issues: vec![2],
+            delays: vec![2],
+            schemes: vec![Scheme::Casted],
+        };
+        let campaign = CampaignConfig {
+            trials: 30,
+            ..Default::default()
+        };
+        let a = coverage_sweep_with(&[tiny_workload()], &spec, &campaign, Engine::Reference);
+        let b = coverage_sweep_with(&[tiny_workload()], &spec, &campaign, Engine::Checkpointed);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tally, y.tally, "{} engines disagree", x.benchmark);
+        }
     }
 
     #[test]

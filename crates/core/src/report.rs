@@ -157,7 +157,7 @@ mod tests {
             (Scheme::Casted, 1250),
         ] {
             for issue in [1usize, 2] {
-                t.points.push(PerfPoint {
+                t.add_point(PerfPoint {
                     benchmark: "fake".into(),
                     scheme,
                     issue,

@@ -20,6 +20,16 @@ use crate::oracle::{check_sim_against, Divergence};
 const CORPUS_STEP_LIMIT: u64 = 200_000_000;
 const CORPUS_MAX_CYCLES: u64 = 500_000_000;
 
+/// Monte-Carlo trials per corpus module in the campaign-engine
+/// equivalence check. Kept small: corpus modules include the real
+/// workload kernels (hundreds of thousands of dynamic instructions),
+/// and the reference engine re-simulates every trial from cycle 0.
+const ENGINE_TRIALS: usize = 10;
+
+/// Campaign seed for the corpus engine-equivalence check, salted per
+/// module by name hash so different modules draw different streams.
+const ENGINE_SEED: u64 = 0xC0_0B5E_D0C7_0A7E;
+
 /// Hand-written MiniC snippets covering front-end corners the
 /// workloads leave thin: early `return` out of nested control flow,
 /// `while` with a compound condition update, and a library function
@@ -125,6 +135,33 @@ fn check_module(name: &str, m: &casted_ir::Module) -> Result<usize, Divergence> 
         );
         check_sim_against(&sim, &golden, &format!("corpus:{name}:{stage}"))?;
         checks += 2;
+
+        // Campaign-engine equivalence on the real kernels: the
+        // checkpointed engine's tally must be byte-identical to the
+        // reference engine's from the same seed. Checked at the
+        // corrupt-heavy (NOED) and detect-heavy (CASTED) corners only
+        // — the reference engine pays a full re-simulation per trial,
+        // and the generated-case oracle already sweeps all ED schemes.
+        if matches!(scheme, Scheme::Noed | Scheme::Casted) {
+            let ccfg = casted_faults::CampaignConfig {
+                trials: ENGINE_TRIALS,
+                seed: ENGINE_SEED ^ casted_util::hash::fnv1a(name.as_bytes()),
+                ..Default::default()
+            };
+            let reference = casted_faults::run_campaign_reference(&prep.sp, &ccfg);
+            let checkpointed = casted_faults::run_campaign(&prep.sp, &ccfg);
+            if reference.tally != checkpointed.tally {
+                return Err(Divergence::new_corpus(
+                    name,
+                    &format!("engines:{stage}"),
+                    format!(
+                        "campaign engines diverged: reference {:?} vs checkpointed {:?}",
+                        reference.tally.counts, checkpointed.tally.counts
+                    ),
+                ));
+            }
+            checks += 1;
+        }
     }
     Ok(checks)
 }

@@ -32,6 +32,12 @@
 //!    trap or hang — it must not silently corrupt). This validates
 //!    the fault harness and the check placement per stage, in the
 //!    spirit of FastFlip's compositional injection analysis.
+//! 7. **campaign engines** — a small Monte-Carlo campaign per ED
+//!    scheme at the balanced grid point must tally byte-identically
+//!    under the reference engine (every trial re-simulated from cycle
+//!    0) and the checkpointed engine (snapshots, fast-forward replay,
+//!    convergence pruning) — the standing cross-check that the perf
+//!    engine never changes a result (see `docs/PERFORMANCE.md`).
 //!
 //! ## Replay
 //!

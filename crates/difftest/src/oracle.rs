@@ -20,6 +20,17 @@ use crate::{CaseConfig, GRID, STEP_LIMIT, STEP_LIMIT_XFORM};
 /// are independent of the generator's own stream.
 const PROBE_SALT: u64 = 0x5EED_FA17_0B5E_55ED;
 
+/// Domain-separation salt for the campaign seed of the
+/// engine-equivalence layer, so its injection stream is independent of
+/// both the generator's stream and the probe layer's.
+const ENGINE_SALT: u64 = 0xC8EC_4901_D0C7_0A7E;
+
+/// Monte-Carlo trials per scheme in the engine-equivalence layer.
+/// Small on purpose: the layer checks that the two campaign engines
+/// agree byte for byte, not coverage statistics, and generated cases
+/// make a fresh campaign pair per ED scheme per case.
+const ENGINE_TRIALS: usize = 16;
+
 /// Cycle watchdog for simulated runs (generated cases are tiny; a
 /// healthy run is a few thousand cycles).
 const SIM_MAX_CYCLES: u64 = 50_000_000;
@@ -343,6 +354,40 @@ pub fn run_case_with(cfg: &CaseConfig, hooks: &Hooks) -> Result<CaseReport, Dive
             probes += probe_scheme(cfg, *scheme, prep, hooks.probes, &mut rng)?;
         }
         stages += probe_targets.len();
+    }
+
+    // Layer 7: campaign-engine equivalence — the checkpointed
+    // fault-injection engine (snapshots, fast-forward replay,
+    // convergence pruning) must produce a tally byte-identical to the
+    // reference engine's from the same seed, on every ED program kept
+    // from the balanced grid point. This holds for library-carrying
+    // cases too (equivalence is about the engines, not coverage), so
+    // it is not gated like the probe layer.
+    for (scheme, prep) in &probe_targets {
+        let stage = format!("engines:{scheme}:iw2d2");
+        let ccfg = casted_faults::CampaignConfig {
+            trials: ENGINE_TRIALS,
+            seed: cfg.seed ^ ENGINE_SALT,
+            ..Default::default()
+        };
+        let reference = casted_faults::run_campaign_reference(&prep.sp, &ccfg);
+        let checkpointed = casted_faults::run_campaign(&prep.sp, &ccfg);
+        if reference.tally != checkpointed.tally {
+            return Err(Divergence::new(
+                stage,
+                format!(
+                    "campaign engines diverged over {ENGINE_TRIALS} trials: reference {:?} vs checkpointed {:?} (pruned {}, skipped {} insns)",
+                    reference.tally.counts,
+                    checkpointed.tally.counts,
+                    checkpointed.engine.pruned_trials,
+                    checkpointed.engine.skipped_insns,
+                ),
+            ));
+        }
+        for c in reference.tally.counts {
+            digest.write_u64(c as u64);
+        }
+        stages += 1;
     }
 
     Ok(CaseReport {

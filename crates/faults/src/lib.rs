@@ -12,11 +12,15 @@
 //! Timeout. Timeouts are caught by the simulator's watchdog at a
 //! multiple of the fault-free cycle count.
 
+use casted_util::pool::run_pool;
 use casted_util::Rng;
 
 use casted_ir::interp::StopReason;
 use casted_ir::vliw::ScheduledProgram;
-use casted_sim::{simulate, Injection, SimOptions, SimResult};
+use casted_sim::{
+    golden_with_checkpoints, replay_trial, simulate, simulate_quiet, GoldenTrace, Injection,
+    SimOptions, SimResult, TrialRun,
+};
 
 /// The five outcome classes of §IV-C.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -45,6 +49,19 @@ impl Outcome {
         Outcome::DataCorrupt,
         Outcome::Timeout,
     ];
+
+    /// Index of this outcome in [`Outcome::ALL`] order — a direct
+    /// `match` rather than a linear scan, since `Tally` hits this on
+    /// every recorded trial.
+    pub const fn index(self) -> usize {
+        match self {
+            Outcome::Benign => 0,
+            Outcome::Detected => 1,
+            Outcome::Exception => 2,
+            Outcome::DataCorrupt => 3,
+            Outcome::Timeout => 4,
+        }
+    }
 
     /// Display label.
     pub fn name(self) -> &'static str {
@@ -95,13 +112,12 @@ pub struct Tally {
 impl Tally {
     /// Record one outcome.
     pub fn record(&mut self, o: Outcome) {
-        let idx = Outcome::ALL.iter().position(|&x| x == o).unwrap();
-        self.counts[idx] += 1;
+        self.counts[o.index()] += 1;
     }
 
     /// Count for an outcome.
     pub fn count(&self, o: Outcome) -> usize {
-        self.counts[Outcome::ALL.iter().position(|&x| x == o).unwrap()]
+        self.counts[o.index()]
     }
 
     /// Total trials recorded.
@@ -135,6 +151,51 @@ impl std::fmt::Display for Tally {
     }
 }
 
+/// Which campaign engine to run. Both produce byte-identical
+/// [`Tally`] results from the same seed — an invariant enforced by
+/// unit tests here, a difftest oracle layer and a `scripts/ci.sh`
+/// byte-compare (see docs/PERFORMANCE.md).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// Historical engine: every trial re-simulates from cycle 0.
+    Reference,
+    /// Checkpoint/replay engine: golden-run snapshots, fast-forward
+    /// to the injection site, convergence pruning, pooled trials.
+    #[default]
+    Checkpointed,
+}
+
+impl Engine {
+    /// Parse a `--engine` flag value.
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "reference" => Some(Engine::Reference),
+            "checkpointed" => Some(Engine::Checkpointed),
+            _ => None,
+        }
+    }
+
+    /// Flag-style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Reference => "reference",
+            Engine::Checkpointed => "checkpointed",
+        }
+    }
+}
+
+/// Checkpoint-engine work accounting for one campaign (all zero under
+/// [`Engine::Reference`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Golden-run snapshots captured (incl. the power-on state).
+    pub checkpoints: u64,
+    /// Golden-prefix instructions trials skipped via fast-forward.
+    pub skipped_insns: u64,
+    /// Trials ended early by convergence pruning.
+    pub pruned_trials: u64,
+}
+
 /// Result of a whole campaign.
 #[derive(Clone, Debug)]
 pub struct CampaignResult {
@@ -144,6 +205,8 @@ pub struct CampaignResult {
     pub golden_cycles: u64,
     /// Fault-free dynamic instruction count.
     pub golden_dyn: u64,
+    /// Checkpoint-engine accounting (zeroed for the reference engine).
+    pub engine: EngineStats,
 }
 
 /// Classify one faulty run against the fault-free reference.
@@ -169,15 +232,19 @@ pub fn classify(golden: &SimResult, faulty: &SimResult) -> Outcome {
     }
 }
 
-/// Run one injection trial.
+/// Run one injection trial from scratch. Trials stay out of the
+/// `sim.*` metrics ([`casted_sim::simulate_quiet`]): a campaign runs
+/// the same program hundreds of times and would drown the per-run
+/// counters — and the two campaign engines' counter snapshots must
+/// stay comparable.
 pub fn run_trial(sp: &ScheduledProgram, golden: &SimResult, inj: Injection, max_cycles: u64) -> Outcome {
-    let r = simulate(
+    let r = simulate_quiet(
         sp,
         &SimOptions {
             max_cycles,
             injection: Some(inj),
-                trace_limit: 0,
-            },
+            trace_limit: 0,
+        },
     );
     classify(golden, &r)
 }
@@ -249,26 +316,118 @@ pub fn draw_injection(rng: &mut Rng, golden_dyn_insns: u64) -> (u64, u32) {
 /// algorithm or the bounded-draw mapping is a format break and must
 /// be made deliberately there.
 pub fn run_campaign(sp: &ScheduledProgram, cfg: &CampaignConfig) -> CampaignResult {
-    let golden = simulate(sp, &SimOptions::default());
-    assert!(
-        matches!(golden.stop, StopReason::Halt(_)),
-        "campaign target must run fault-free to completion, got {:?}",
-        golden.stop
-    );
-    let max_cycles = golden.stats.cycles.saturating_mul(cfg.timeout_factor);
-    let mut rng = Rng::seed_from_u64(cfg.seed);
-    let mut tally = Tally::default();
-    let span = casted_obs::span("faults.campaign_ns");
-    for _ in 0..cfg.trials {
-        let (at, bit) = draw_injection(&mut rng, golden.stats.dyn_insns);
-        let outcome = run_trial(sp, &golden, Injection { at_dyn_insn: at, bit, target: None }, max_cycles);
-        tally.record(outcome);
-    }
-    record_campaign_metrics(&tally, span);
-    CampaignResult {
-        tally,
-        golden_cycles: golden.stats.cycles,
-        golden_dyn: golden.stats.dyn_insns,
+    run_campaign_engine(sp, cfg, Engine::default())
+}
+
+/// [`run_campaign`] on the historical engine: strictly serial, every
+/// trial re-simulated from cycle 0. Kept as the cross-check oracle
+/// for the checkpointed engine — same seed ⇒ byte-identical tally.
+pub fn run_campaign_reference(sp: &ScheduledProgram, cfg: &CampaignConfig) -> CampaignResult {
+    run_campaign_engine(sp, cfg, Engine::Reference)
+}
+
+/// [`run_campaign`] with an explicit engine choice.
+pub fn run_campaign_engine(sp: &ScheduledProgram, cfg: &CampaignConfig, engine: Engine) -> CampaignResult {
+    campaign_core(sp, cfg, engine, &mut |rng, dyn_insns| {
+        let (at, bit) = draw_injection(rng, dyn_insns);
+        Injection {
+            at_dyn_insn: at,
+            bit,
+            target: None,
+        }
+    })
+}
+
+/// Shared campaign driver: draw the frozen injection stream, run
+/// every trial on the chosen engine, reduce the tally in trial order.
+///
+/// The checkpointed path **pre-draws all injections up front** (the
+/// per-trial draw order through `draw` is unchanged — the frozen
+/// stream contract), replays each against the golden trace, and runs
+/// the replays on [`casted_util::pool::run_pool`]. Results come back
+/// in input order, so the tally reduction is independent of thread
+/// interleaving and the tallies of both engines are byte-identical.
+fn campaign_core(
+    sp: &ScheduledProgram,
+    cfg: &CampaignConfig,
+    engine: Engine,
+    draw: &mut dyn FnMut(&mut Rng, u64) -> Injection,
+) -> CampaignResult {
+    match engine {
+        Engine::Reference => {
+            let golden = simulate(sp, &SimOptions::default());
+            assert!(
+                matches!(golden.stop, StopReason::Halt(_)),
+                "campaign target must run fault-free to completion, got {:?}",
+                golden.stop
+            );
+            let max_cycles = golden.stats.cycles.saturating_mul(cfg.timeout_factor);
+            let mut rng = Rng::seed_from_u64(cfg.seed);
+            let mut tally = Tally::default();
+            let span = casted_obs::span("faults.campaign_ns");
+            for _ in 0..cfg.trials {
+                let inj = draw(&mut rng, golden.stats.dyn_insns);
+                tally.record(run_trial(sp, &golden, inj, max_cycles));
+            }
+            record_campaign_metrics(&tally, None, span);
+            CampaignResult {
+                tally,
+                golden_cycles: golden.stats.cycles,
+                golden_dyn: golden.stats.dyn_insns,
+                engine: EngineStats::default(),
+            }
+        }
+        Engine::Checkpointed => {
+            let trace = golden_with_checkpoints(sp);
+            assert!(
+                matches!(trace.result.stop, StopReason::Halt(_)),
+                "campaign target must run fault-free to completion, got {:?}",
+                trace.result.stop
+            );
+            let golden_cycles = trace.result.stats.cycles;
+            let golden_dyn = trace.result.stats.dyn_insns;
+            let max_cycles = golden_cycles.saturating_mul(cfg.timeout_factor);
+
+            let mut rng = Rng::seed_from_u64(cfg.seed);
+            let injections: Vec<Injection> =
+                (0..cfg.trials).map(|_| draw(&mut rng, golden_dyn)).collect();
+
+            let span = casted_obs::span("faults.campaign_ns");
+            let outcomes = run_pool(
+                injections
+                    .into_iter()
+                    .map(|inj| {
+                        let trace: &GoldenTrace = &trace;
+                        move || {
+                            let (run, rs) = replay_trial(sp, trace, inj, max_cycles);
+                            let outcome = match run {
+                                TrialRun::Finished(r) => classify(&trace.result, &r),
+                                TrialRun::Converged => Outcome::Benign,
+                            };
+                            (outcome, rs)
+                        }
+                    })
+                    .collect(),
+            );
+
+            let mut tally = Tally::default();
+            let mut engine_stats = EngineStats {
+                checkpoints: trace.checkpoints_taken(),
+                ..EngineStats::default()
+            };
+            for (outcome, rs) in outcomes {
+                tally.record(outcome);
+                engine_stats.skipped_insns += rs.skipped_insns;
+                engine_stats.pruned_trials += rs.pruned as u64;
+            }
+            record_campaign_metrics(&tally, Some(&engine_stats), span);
+            CampaignResult {
+                tally,
+                golden_cycles,
+                golden_dyn,
+                engine: engine_stats,
+            }
+        }
     }
 }
 
@@ -287,8 +446,10 @@ fn outcome_counter(o: Outcome) -> &'static str {
 /// outcome tallies and trial count as deterministic counters, the
 /// campaign wall-time and trial throughput as timing metrics (span
 /// histogram + `faults.trials_per_sec` gauge, both excluded from the
-/// counter-only snapshot).
-fn record_campaign_metrics(tally: &Tally, span: casted_obs::Span) {
+/// counter-only snapshot). The checkpointed engine also flushes its
+/// `faults.checkpoint.*` work counters — the only counter-snapshot
+/// keys on which the two engines are allowed to differ.
+fn record_campaign_metrics(tally: &Tally, engine: Option<&EngineStats>, span: casted_obs::Span) {
     if !casted_obs::enabled() {
         return;
     }
@@ -296,6 +457,11 @@ fn record_campaign_metrics(tally: &Tally, span: casted_obs::Span) {
     casted_obs::add("faults.trials", trials);
     for o in Outcome::ALL {
         casted_obs::add(outcome_counter(o), tally.count(o) as u64);
+    }
+    if let Some(es) = engine {
+        casted_obs::add("faults.checkpoint.taken", es.checkpoints);
+        casted_obs::add("faults.checkpoint.skipped_insns", es.skipped_insns);
+        casted_obs::add("faults.checkpoint.pruned", es.pruned_trials);
     }
     let ns = span.elapsed_ns();
     if ns > 0 {
@@ -522,6 +688,69 @@ mod tests {
         assert!((sum - 1.0).abs() < 1e-9);
     }
 
+    /// The tentpole equivalence oracle at unit scale: same seed, same
+    /// trials ⇒ the checkpointed engine's tally is byte-identical to
+    /// the reference engine's, and the checkpoint engine actually did
+    /// engine work (snapshots + fast-forward).
+    #[test]
+    fn checkpointed_and_reference_engines_agree() {
+        let sp = unprotected();
+        let cfg = CampaignConfig {
+            trials: 80,
+            ..Default::default()
+        };
+        let reference = run_campaign_reference(&sp, &cfg);
+        let checkpointed = run_campaign_engine(&sp, &cfg, Engine::Checkpointed);
+        assert_eq!(reference.tally, checkpointed.tally, "engines diverged");
+        assert_eq!(reference.golden_cycles, checkpointed.golden_cycles);
+        assert_eq!(reference.golden_dyn, checkpointed.golden_dyn);
+        assert_eq!(reference.engine, EngineStats::default());
+        assert!(checkpointed.engine.checkpoints > 1, "no snapshots captured");
+        assert!(
+            checkpointed.engine.skipped_insns > 0,
+            "fast-forward never skipped a prefix"
+        );
+        // And the default entry point is the checkpointed engine.
+        let default = run_campaign(&sp, &cfg);
+        assert_eq!(default.tally, checkpointed.tally);
+        assert_eq!(default.engine, checkpointed.engine);
+    }
+
+    /// Convergence-pruned trials classify identically to full-run
+    /// classification: a campaign that demonstrably pruned (the
+    /// benign-heavy unprotected loop guarantees re-convergent faults)
+    /// still matches the reference tally class for class — pruning
+    /// only ever short-circuits trials the full run calls Benign.
+    #[test]
+    fn pruned_trials_classify_identically_to_full_runs() {
+        let sp = unprotected();
+        let cfg = CampaignConfig {
+            trials: 120,
+            ..Default::default()
+        };
+        let checkpointed = run_campaign_engine(&sp, &cfg, Engine::Checkpointed);
+        assert!(
+            checkpointed.engine.pruned_trials > 0,
+            "campaign never pruned — the test is vacuous: {:?}",
+            checkpointed.engine
+        );
+        let reference = run_campaign_reference(&sp, &cfg);
+        assert_eq!(reference.tally, checkpointed.tally);
+        // Pruned trials are a subset of the Benign class.
+        assert!(
+            checkpointed.engine.pruned_trials <= checkpointed.tally.count(Outcome::Benign) as u64
+        );
+    }
+
+    #[test]
+    fn engine_parse_round_trips() {
+        for e in [Engine::Reference, Engine::Checkpointed] {
+            assert_eq!(Engine::parse(e.name()), Some(e));
+        }
+        assert_eq!(Engine::parse("warp-drive"), None);
+        assert_eq!(Engine::default(), Engine::Checkpointed);
+    }
+
     #[test]
     fn classify_benign_vs_corrupt() {
         let sp = unprotected();
@@ -559,26 +788,31 @@ pub fn run_campaign_with_model(
     cfg: &CampaignConfig,
     model: FaultModel,
 ) -> CampaignResult {
+    run_campaign_with_model_engine(sp, cfg, model, Engine::default())
+}
+
+/// [`run_campaign_with_model`] with an explicit engine choice.
+pub fn run_campaign_with_model_engine(
+    sp: &ScheduledProgram,
+    cfg: &CampaignConfig,
+    model: FaultModel,
+    engine: Engine,
+) -> CampaignResult {
     if model == FaultModel::InstructionOutput {
-        return run_campaign(sp, cfg);
+        return run_campaign_engine(sp, cfg, engine);
     }
     use casted_ir::{Reg, RegClass};
-    let golden = simulate(sp, &SimOptions::default());
-    assert!(matches!(golden.stop, StopReason::Halt(_)));
-    let max_cycles = golden.stats.cycles.saturating_mul(cfg.timeout_factor);
+    // Uniform over all allocated registers of all classes; the counts
+    // are a property of the function, hoisted out of the trial loop.
     let func = sp.module.entry_fn();
-    let mut rng = Rng::seed_from_u64(cfg.seed);
-    let mut tally = Tally::default();
-    let span = casted_obs::span("faults.campaign_ns");
-    for _ in 0..cfg.trials {
-        let (at, bit) = draw_injection(&mut rng, golden.stats.dyn_insns);
-        // Uniform over all allocated registers of all classes.
-        let counts = [
-            func.reg_count(RegClass::Gp),
-            func.reg_count(RegClass::Fp),
-            func.reg_count(RegClass::Pr),
-        ];
-        let total: u32 = counts.iter().sum();
+    let counts = [
+        func.reg_count(RegClass::Gp),
+        func.reg_count(RegClass::Fp),
+        func.reg_count(RegClass::Pr),
+    ];
+    let total: u32 = counts.iter().sum();
+    campaign_core(sp, cfg, engine, &mut |rng, dyn_insns| {
+        let (at, bit) = draw_injection(rng, dyn_insns);
         let mut pick = rng.gen_range(0..total.max(1));
         let target = if pick < counts[0] {
             Reg::gp(pick)
@@ -591,24 +825,12 @@ pub fn run_campaign_with_model(
             pick -= counts[1];
             Reg::pr(pick)
         };
-        let outcome = run_trial(
-            sp,
-            &golden,
-            Injection {
-                at_dyn_insn: at,
-                bit,
-                target: Some(target),
-            },
-            max_cycles,
-        );
-        tally.record(outcome);
-    }
-    record_campaign_metrics(&tally, span);
-    CampaignResult {
-        tally,
-        golden_cycles: golden.stats.cycles,
-        golden_dyn: golden.stats.dyn_insns,
-    }
+        Injection {
+            at_dyn_insn: at,
+            bit,
+            target: Some(target),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -688,6 +910,20 @@ mod model_tests {
         for (i, &inj) in injections.iter().enumerate() {
             assert_eq!(batch[i], run_trial(&sp, &golden, inj, max_cycles));
         }
+    }
+
+    #[test]
+    fn register_file_model_engines_agree() {
+        let m = random_module(5, &GenOptions::default());
+        let sp = sequential_of(&m);
+        let cfg = CampaignConfig {
+            trials: 40,
+            ..Default::default()
+        };
+        let a = run_campaign_with_model_engine(&sp, &cfg, FaultModel::RegisterFile, Engine::Reference);
+        let b =
+            run_campaign_with_model_engine(&sp, &cfg, FaultModel::RegisterFile, Engine::Checkpointed);
+        assert_eq!(a.tally, b.tally, "register-file model engines diverged");
     }
 
     #[test]

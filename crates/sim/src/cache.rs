@@ -26,6 +26,7 @@ impl CacheStats {
 }
 
 /// One cache level: `sets × ways` of line tags with LRU stamps.
+#[derive(Clone)]
 struct Level {
     cfg: CacheLevelConfig,
     sets: usize,
@@ -34,6 +35,11 @@ struct Level {
     /// LRU timestamp parallel to `tags`.
     stamp: Vec<u64>,
     tick: u64,
+    /// Indices of ways that have ever been filled, in fill order.
+    /// Lines are never invalidated, so this is exactly the valid set;
+    /// it lets `fingerprint_into` scale with residency instead of
+    /// scanning every way of a mostly-empty multi-megabyte level.
+    touched: Vec<u32>,
 }
 
 impl Level {
@@ -46,6 +52,7 @@ impl Level {
             tags: vec![u64::MAX; sets * ways],
             stamp: vec![0; sets * ways],
             tick: 0,
+            touched: Vec::new(),
         }
     }
 
@@ -86,6 +93,9 @@ impl Level {
                 victim = idx;
             }
         }
+        if self.tags[victim] == u64::MAX {
+            self.touched.push(victim as u32);
+        }
         self.tags[victim] = line;
         self.stamp[victim] = self.tick;
     }
@@ -93,6 +103,11 @@ impl Level {
 
 /// The full hierarchy. `access` returns the latency of the satisfying
 /// level and fills all levels above it (inclusive fill on access).
+///
+/// `Clone` snapshots the complete replacement state (tags, LRU stamps,
+/// counters), which is what lets the checkpoint engine resume a run
+/// with bit-identical cache timing (see `crate::checkpoint`).
+#[derive(Clone)]
 pub struct CacheHierarchy {
     levels: Vec<Level>,
     memory_latency: u32,
@@ -144,6 +159,33 @@ impl CacheHierarchy {
             level.fill(addr);
         }
         self.memory_latency
+    }
+
+    /// Absorb the timing-relevant replacement state into `h`: per
+    /// level, the LRU tick plus every *valid* line's `(index, tag,
+    /// stamp)`. Two hierarchies that hash equal respond identically
+    /// to every future access sequence, which is what the convergence
+    /// pruning in `crate::checkpoint` relies on.
+    ///
+    /// Valid ways are enumerated through the fill-order `touched`
+    /// list, so the cost scales with residency rather than capacity
+    /// (the L3 alone has tens of thousands of mostly-empty ways).
+    /// Fill order is part of the hashed sequence, but that costs no
+    /// pruning in practice: `tick` counts every probe and fill, so
+    /// two runs whose access histories diverged at all already hash
+    /// differently, and runs with identical histories fill in the
+    /// same order.
+    pub fn fingerprint_into(&self, h: &mut casted_util::hash::Fnv64) {
+        h.write_u64_round(self.levels.len() as u64);
+        for level in &self.levels {
+            h.write_u64_round(level.tick);
+            for &idx in &level.touched {
+                let idx = idx as usize;
+                h.write_u64_round(idx as u64);
+                h.write_u64_round(level.tags[idx]);
+                h.write_u64_round(level.stamp[idx]);
+            }
+        }
     }
 }
 

@@ -1,0 +1,657 @@
+//! Checkpoint/replay engine for fault-injection campaigns.
+//!
+//! A Monte-Carlo campaign simulates the same program hundreds of
+//! times, and every faulty run is **identical to the fault-free run
+//! up to the injection site** — the simulator is deterministic and
+//! the injection is the first divergence. Re-executing that prefix per
+//! trial is where almost all campaign time goes (FastFlip makes the
+//! same observation for RTL fault injection; RepTFD frames the faulty
+//! suffix as the only part of a replay that carries information).
+//!
+//! This module removes the redundancy twice over:
+//!
+//! 1. **Golden snapshots + fast-forward replay.** During one quiet
+//!    golden run, [`golden_with_checkpoints`] clones the machine's
+//!    complete live state ([`MachineState`]) at ~√N evenly spaced
+//!    dynamic-instruction counts. A trial with injection site `at`
+//!    restores the last checkpoint *strictly before* `at` and
+//!    simulates only the suffix. Strictness matters: the injection
+//!    condition is `dyn_insns >= at`, so resuming from `dyn < at`
+//!    reproduces the original landing site exactly.
+//! 2. **Convergence pruning.** Most faults are benign, and a benign
+//!    faulty run usually *re-converges* with the golden run long
+//!    before halting (the flipped value is overwritten or masked).
+//!    The golden run records an FNV-64 fingerprint of the full
+//!    machine state at sampled block entries; a faulty trial whose
+//!    post-injection state fingerprints equal at the same dynamic
+//!    instruction is classified Benign on the spot.
+//!
+//! ## Why replay is exact
+//!
+//! The simulator's behaviour from a bundle boundary onward is a pure
+//! function of [`MachineState`] (registers, memory, cache replacement
+//! state, scoreboard, MSHRs, cycle, control position, emitted-stream
+//! contents) plus the static program. A restored checkpoint therefore
+//! continues bit-identically to the uninterrupted run — including
+//! stall timing and the watchdog, whose per-bundle check compares the
+//! same cycle values. `prop_checkpoint.rs` property-tests this end to
+//! end; the difftest oracle cross-checks whole campaign tallies.
+//!
+//! ## Why pruning is sound
+//!
+//! The fingerprint covers **everything** future behaviour can read:
+//! live registers (value + scoreboard entry), all of memory, the
+//! emitted stream, the cache tags/stamps/tick, pending MSHR entries,
+//! the cycle and the control position. Registers that are dead at the
+//! sample point — not read before being rewritten along *any* path of
+//! the scheduled code, per a bundle-order liveness analysis — are
+//! excluded: their values are unobservable, and excluding them is
+//! precisely what lets a "flipped a dead register" trial converge.
+//! Fingerprint equality at the same dynamic instruction therefore
+//! implies the faulty suffix replays the golden suffix exactly: same
+//! halt code, same remaining stream, same cycles — i.e. Benign, the
+//! same class a full run would produce. The only approximation is the
+//! 64-bit digest itself: a prune requires an FNV-64 collision *and*
+//! an unequal state to misclassify, which is vanishingly unlikely and
+//! continuously cross-checked by the difftest engine-equivalence
+//! oracle (see docs/PERFORMANCE.md).
+
+use std::collections::HashMap;
+
+use casted_ir::interp::OutVal;
+use casted_ir::vliw::ScheduledProgram;
+use casted_ir::{Opcode, Reg, RegClass};
+use casted_util::hash::Fnv64;
+
+use crate::machine::{run_machine, Boundary, Injection, MachineState, SimOptions, SimResult};
+
+/// Snapshot cadence and fingerprint cadence for one golden run.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointPlan {
+    /// Target dynamic-instruction spacing between checkpoints.
+    pub interval: u64,
+    /// Target dynamic-instruction spacing between fingerprint samples.
+    pub sample_every: u64,
+}
+
+/// Hard cap on captured checkpoints: each one clones the full machine
+/// state (memory + cache tags dominate), so √N is additionally bounded
+/// to keep a campaign's resident footprint modest. With 128 buckets
+/// the expected fast-forward remainder is N/256 — already negligible.
+pub const MAX_CHECKPOINTS: u64 = 128;
+
+/// Convergence checks a replayed trial attempts before giving up and
+/// running to completion. Benign trials converge at the first or
+/// second sampled block entry after the injection (the flipped value
+/// is dead or quickly overwritten); a trial still diverged after this
+/// many samples almost always stays diverged (Detected / DataCorrupt /
+/// Timeout), so further full-state fingerprints would be pure
+/// overhead. The cap affects only speed, never results: an unpruned
+/// trial is simulated to its natural stop and classified normally.
+const MAX_CONVERGENCE_ATTEMPTS: u32 = 8;
+
+impl CheckpointPlan {
+    /// Choose spacing from the golden dynamic length: ~√N checkpoint
+    /// buckets (capped), fingerprint samples at a quarter of the
+    /// checkpoint interval (bounded below so tiny programs don't
+    /// fingerprint at every block).
+    pub fn for_golden(dyn_insns: u64) -> Self {
+        let buckets = ((dyn_insns as f64).sqrt() as u64).clamp(1, MAX_CHECKPOINTS);
+        let interval = (dyn_insns / buckets).max(16);
+        let sample_every = (interval / 4).max(16);
+        CheckpointPlan {
+            interval,
+            sample_every,
+        }
+    }
+}
+
+/// Per-class bitmask of registers live at a block entry, computed on
+/// the *scheduled* code (see [`live_in_masks`]).
+#[derive(Clone, Debug, Default)]
+struct LiveMask {
+    gp: Vec<u64>,
+    fp: Vec<u64>,
+    pr: Vec<u64>,
+}
+
+impl LiveMask {
+    fn sized(func: &casted_ir::Function) -> Self {
+        let words = |n: u32| vec![0u64; (n as usize + 63) / 64];
+        LiveMask {
+            gp: words(func.reg_count(RegClass::Gp)),
+            fp: words(func.reg_count(RegClass::Fp)),
+            pr: words(func.reg_count(RegClass::Pr)),
+        }
+    }
+
+    fn class_bits(&self, class: RegClass) -> &[u64] {
+        match class {
+            RegClass::Gp => &self.gp,
+            RegClass::Fp => &self.fp,
+            RegClass::Pr => &self.pr,
+        }
+    }
+
+    fn insert(&mut self, r: Reg) {
+        let bits = match r.class {
+            RegClass::Gp => &mut self.gp,
+            RegClass::Fp => &mut self.fp,
+            RegClass::Pr => &mut self.pr,
+        };
+        bits[r.index as usize / 64] |= 1u64 << (r.index % 64);
+    }
+
+}
+
+/// Backward liveness at block entries, computed **over the scheduled
+/// bundles** rather than the source block order: scheduling permutes
+/// instructions within a block, so the upward-exposed-use sets can
+/// differ from the `casted_ir::liveness` view, and soundness here
+/// needs the order the simulator actually executes. Within a bundle,
+/// all operand reads happen before all writebacks (VLIW parallel
+/// read), so a register used and defined in the same bundle counts as
+/// upward-exposed.
+fn live_in_masks(sp: &ScheduledProgram) -> Vec<LiveMask> {
+    use std::collections::HashSet;
+    let func = sp.module.entry_fn();
+    let n = sp.blocks.len();
+    let mut use_set: Vec<HashSet<Reg>> = vec![HashSet::new(); n];
+    let mut def_set: Vec<HashSet<Reg>> = vec![HashSet::new(); n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, sb) in sp.blocks.iter().enumerate() {
+        let (u, d) = (&mut use_set[i], &mut def_set[i]);
+        for bundle in &sb.bundles {
+            for (_c, iid) in bundle.iter() {
+                for r in func.insn(iid).reg_uses() {
+                    if !d.contains(&r) {
+                        u.insert(r);
+                    }
+                }
+            }
+            for (_c, iid) in bundle.iter() {
+                let insn = func.insn(iid);
+                for &r in &insn.defs {
+                    d.insert(r);
+                }
+                if matches!(insn.op, Opcode::Br | Opcode::BrCond) {
+                    for t in [insn.target, insn.target2].into_iter().flatten() {
+                        if !succs[i].contains(&t.index()) {
+                            succs[i].push(t.index());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut live_in: Vec<HashSet<Reg>> = vec![HashSet::new(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in (0..n).rev() {
+            let mut inn = use_set[i].clone();
+            for &s in &succs[i] {
+                for &r in &live_in[s] {
+                    if !def_set[i].contains(&r) {
+                        inn.insert(r);
+                    }
+                }
+            }
+            if inn.len() != live_in[i].len() {
+                live_in[i] = inn;
+                changed = true;
+            }
+        }
+    }
+
+    live_in
+        .into_iter()
+        .map(|set| {
+            let mut m = LiveMask::sized(func);
+            for r in set {
+                m.insert(r);
+            }
+            m
+        })
+        .collect()
+}
+
+/// FNV-64 digest of everything future execution can observe from a
+/// block-entry boundary, masking dead registers (see module docs).
+fn fingerprint(st: &MachineState, live: &LiveMask) -> u64 {
+    // Word-round mixing throughout (`write_u64_round`): the digest
+    // hashes tens of thousands of words per sample and byte-wise FNV
+    // rounds were the engine's hottest loop. Every field is absorbed
+    // as canonical (tag, value) words, so equality of state still
+    // implies equality of digest.
+    let mut h = Fnv64::new();
+    h.write_u64_round(st.cycle);
+    h.write_u64_round(st.block.index() as u64);
+    h.write_u64_round(st.stats.dyn_insns);
+
+    // Live registers: value plus scoreboard entry, in class/index
+    // order so the digest is canonical.
+    for (class, tag) in [(RegClass::Gp, 1u64), (RegClass::Fp, 2), (RegClass::Pr, 3)] {
+        h.write_u64_round(tag);
+        for (w, &word) in live.class_bits(class).iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                let idx = (w * 64 + bit) as u32;
+                let r = Reg { class, index: idx };
+                h.write_u64_round(idx as u64);
+                match st.rf.get(r) {
+                    casted_ir::semantics::Val::I(v) => h.write_u64_round(v as u64),
+                    casted_ir::semantics::Val::F(v) => h.write_u64_round(v.to_bits()),
+                    casted_ir::semantics::Val::B(v) => h.write_u64_round(v as u64),
+                }
+                let (avail, writer) = st.ready.get(r);
+                h.write_u64_round(avail);
+                h.write_u64_round(writer as u64);
+            }
+        }
+    }
+
+    // All of memory (stores cannot be "dead" without a points-to
+    // analysis; covering every word keeps the argument airtight).
+    // Zero words are skipped and nonzero words are absorbed as
+    // (index, value) pairs: states that differ in any word — zero or
+    // not — still hash differently, but the common zero-filled heap
+    // slack costs nothing.
+    for i in 0..st.mem.len_words() {
+        let w = st.mem.word(i);
+        if w != 0 {
+            h.write_u64_round(i as u64);
+            h.write_u64_round(w as u64);
+        }
+    }
+
+    // Emitted stream: prefix equality is part of the Benign contract.
+    h.write_u64_round(st.stream.len() as u64);
+    for v in &st.stream {
+        match v {
+            OutVal::Int(i) => {
+                h.write_u64_round(0);
+                h.write_u64_round(*i as u64);
+            }
+            OutVal::Float(f) => {
+                h.write_u64_round(1);
+                h.write_u64_round(f.to_bits());
+            }
+        }
+    }
+
+    // Pending misses. Entries at or below the current cycle are dead —
+    // the next miss's retain() removes them before they can queue
+    // anything — so they are skipped to let replays whose stale
+    // entries differ still converge.
+    for &c in &st.mshr {
+        if c > st.cycle {
+            h.write_u64_round(c);
+        }
+    }
+
+    st.cache.fingerprint_into(&mut h);
+    h.finish()
+}
+
+/// The golden run plus everything a replay needs: checkpoints ordered
+/// by dynamic-instruction count (the power-on state first) and the
+/// fingerprint table keyed by dynamic instruction.
+pub struct GoldenTrace {
+    /// The fault-free result (flushes `sim.*` metrics exactly once,
+    /// like the plain golden run the reference engine performs).
+    pub result: SimResult,
+    /// Chosen cadence.
+    pub plan: CheckpointPlan,
+    checkpoints: Vec<MachineState>,
+    fingerprints: HashMap<u64, u64>,
+    live: Vec<LiveMask>,
+}
+
+impl GoldenTrace {
+    /// Number of snapshots captured (including the power-on state).
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.checkpoints.len() as u64
+    }
+
+    /// Number of fingerprint samples recorded.
+    pub fn fingerprints_recorded(&self) -> u64 {
+        self.fingerprints.len() as u64
+    }
+}
+
+/// Run the golden (fault-free) simulation, capturing checkpoints and
+/// convergence fingerprints.
+///
+/// Two passes: a plain metrics-flushing run to learn the dynamic
+/// length (the same single `sim.*` flush the reference engine's
+/// golden run performs, keeping counter snapshots engine-agnostic),
+/// then a quiet instrumented pass sized by [`CheckpointPlan`]. The
+/// second pass costs one extra golden run per campaign — noise next
+/// to the hundreds of trials it accelerates.
+pub fn golden_with_checkpoints(sp: &ScheduledProgram) -> GoldenTrace {
+    let result = crate::machine::simulate(sp, &SimOptions::default());
+    let plan = CheckpointPlan::for_golden(result.stats.dyn_insns);
+    let live = live_in_masks(sp);
+
+    let mut checkpoints = vec![MachineState::fresh(sp)];
+    let mut fingerprints: HashMap<u64, u64> = HashMap::new();
+    let mut next_ckpt = plan.interval;
+    let mut next_sample = plan.sample_every;
+    let mut st = checkpoints[0].clone();
+    let replayed = run_machine(
+        sp,
+        &SimOptions::default(),
+        &mut st,
+        false,
+        &mut |st: &MachineState| {
+            let dyn_insns = st.stats.dyn_insns;
+            if dyn_insns >= next_ckpt && (checkpoints.len() as u64) < MAX_CHECKPOINTS {
+                checkpoints.push(st.clone());
+                next_ckpt = (dyn_insns / plan.interval + 1) * plan.interval;
+            }
+            // Fingerprints only at block entries, where the pending
+            // branch/halt slots are empty and a per-block live mask is
+            // exact (mid-block boundaries would need per-bundle masks).
+            if st.bundle_idx == 0 && dyn_insns >= next_sample {
+                fingerprints.insert(dyn_insns, fingerprint(st, &live[st.block.index()]));
+                next_sample = (dyn_insns / plan.sample_every + 1) * plan.sample_every;
+            }
+            Boundary::Continue
+        },
+    )
+    .expect("golden capture run cannot be stopped by the hook");
+    debug_assert_eq!(replayed.stop, result.stop);
+    debug_assert_eq!(replayed.stats.dyn_insns, result.stats.dyn_insns);
+
+    GoldenTrace {
+        result,
+        plan,
+        checkpoints,
+        fingerprints,
+        live,
+    }
+}
+
+/// How one replayed trial ended.
+pub enum TrialRun {
+    /// The trial ran to a stop; classify its result normally.
+    Finished(SimResult),
+    /// The post-injection state re-converged with the golden run: the
+    /// remainder is provably identical, the trial is Benign.
+    Converged,
+}
+
+/// Engine-side accounting for one replayed trial.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplayStats {
+    /// Golden-prefix instructions skipped by restoring a checkpoint.
+    pub skipped_insns: u64,
+    /// Whether convergence pruning ended the trial.
+    pub pruned: bool,
+}
+
+/// Replay one faulty trial against a captured golden trace: restore
+/// the last checkpoint strictly before the injection site, run the
+/// suffix, and prune on post-injection convergence. For a trial that
+/// runs to a stop, the returned [`SimResult`] is bit-identical to a
+/// full `simulate` of the same injection (the property test pins
+/// this), so classification is unchanged; a pruned trial is Benign.
+pub fn replay_trial(
+    sp: &ScheduledProgram,
+    trace: &GoldenTrace,
+    inj: Injection,
+    max_cycles: u64,
+) -> (TrialRun, ReplayStats) {
+    // Last checkpoint with dyn_insns < at. `partition_point` on the
+    // sorted snapshot list; index 0 (the power-on state, dyn 0) always
+    // qualifies because injection sites are 1-based.
+    let idx = trace
+        .checkpoints
+        .partition_point(|c| c.stats.dyn_insns < inj.at_dyn_insn)
+        .saturating_sub(1);
+    let mut st = trace.checkpoints[idx].clone();
+    let stats = ReplayStats {
+        skipped_insns: st.stats.dyn_insns,
+        pruned: false,
+    };
+
+    let opts = SimOptions {
+        max_cycles,
+        injection: Some(inj),
+        trace_limit: 0,
+    };
+    let mut attempts = 0u32;
+    let finished = run_machine(sp, &opts, &mut st, false, &mut |st: &MachineState| {
+        if !st.injected || st.bundle_idx != 0 || attempts >= MAX_CONVERGENCE_ATTEMPTS {
+            return Boundary::Continue;
+        }
+        // Sample exactly where the golden run sampled: a hit in the
+        // table means the golden run passed a block entry at this
+        // dynamic-instruction count. The fingerprint also binds the
+        // block id, cycle and stream, so an aligned count in a
+        // diverged run cannot false-match.
+        match trace.fingerprints.get(&st.stats.dyn_insns) {
+            Some(&golden_fp) => {
+                attempts += 1;
+                if golden_fp == fingerprint(st, &trace.live[st.block.index()]) {
+                    Boundary::Stop
+                } else {
+                    Boundary::Continue
+                }
+            }
+            None => Boundary::Continue,
+        }
+    });
+
+    match finished {
+        Some(result) => (TrialRun::Finished(result), stats),
+        None => (
+            TrialRun::Converged,
+            ReplayStats {
+                pruned: true,
+                ..stats
+            },
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casted_ir::vliw::{Bundle, ScheduledBlock};
+    use casted_ir::{Cluster, CmpKind, FunctionBuilder, MachineConfig, Module, Operand};
+    use std::collections::HashMap as Map;
+
+    fn sequential(m: &Module, config: MachineConfig) -> ScheduledProgram {
+        let func = m.entry_fn();
+        let mut assignment = vec![None; func.insns.len()];
+        let mut home = Map::new();
+        let mut blocks = Vec::new();
+        for (bid, block) in func.iter_blocks() {
+            let mut bundles = Vec::new();
+            for &iid in &block.insns {
+                assignment[iid.index()] = Some(Cluster::MAIN);
+                for &d in &func.insn(iid).defs {
+                    home.entry(d).or_insert(Cluster::MAIN);
+                }
+                let mut b = Bundle::empty(config.clusters);
+                b.slots[0].push(iid);
+                bundles.push(b);
+            }
+            blocks.push(ScheduledBlock { block: bid, bundles });
+        }
+        ScheduledProgram {
+            module: m.clone(),
+            config,
+            assignment,
+            home,
+            blocks,
+        }
+    }
+
+    fn looping_module(iters: i64) -> Module {
+        let mut m = Module::new("t");
+        let (_, addr) = m.add_global("g", casted_ir::func::GlobalClass::Int, 16, (0..16).collect());
+        let mut b = FunctionBuilder::new("main");
+        let body = b.new_block("body");
+        let done = b.new_block("done");
+        let acc = b.imm(0);
+        let i = b.imm(0);
+        b.br(body);
+        b.switch_to(body);
+        let base = b.imm(addr);
+        let m16 = b.binop(Opcode::And, Operand::Reg(i), Operand::Imm(15));
+        let sh = b.binop(Opcode::Shl, Operand::Reg(m16), Operand::Imm(3));
+        let ea = b.binop(Opcode::Add, Operand::Reg(base), Operand::Reg(sh));
+        let v = b.load(ea, 0);
+        let acc1 = b.binop(Opcode::Add, Operand::Reg(acc), Operand::Reg(v));
+        b.push(Opcode::MovI, vec![acc], vec![Operand::Reg(acc1)]);
+        let i1 = b.binop(Opcode::Add, Operand::Reg(i), Operand::Imm(1));
+        b.push(Opcode::MovI, vec![i], vec![Operand::Reg(i1)]);
+        let p = b.cmp(CmpKind::Lt, Operand::Reg(i), Operand::Imm(iters));
+        b.br_cond(p, body, done);
+        b.switch_to(done);
+        b.out(Operand::Reg(acc));
+        b.halt_imm(0);
+        let id = m.add_function(b.finish());
+        m.entry = Some(id);
+        m
+    }
+
+    fn result_eq(a: &SimResult, b: &SimResult) -> bool {
+        a.stop == b.stop
+            && a.injected == b.injected
+            && a.stats == b.stats
+            && a.stream.len() == b.stream.len()
+            && a.stream.iter().zip(&b.stream).all(|(x, y)| x.bit_eq(y))
+    }
+
+    #[test]
+    fn plan_scales_with_golden_length() {
+        let tiny = CheckpointPlan::for_golden(10);
+        assert!(tiny.interval >= 16);
+        let big = CheckpointPlan::for_golden(1_000_000);
+        assert!(big.interval >= 1_000_000 / MAX_CHECKPOINTS);
+        assert!(big.sample_every < big.interval);
+    }
+
+    #[test]
+    fn golden_trace_checkpoints_cover_the_run() {
+        let m = looping_module(200);
+        let sp = sequential(&m, MachineConfig::itanium2_like(2, 2));
+        let t = golden_with_checkpoints(&sp);
+        assert!(t.checkpoints_taken() > 1, "expected mid-run checkpoints");
+        assert!(t.fingerprints_recorded() > 0);
+        // Snapshots are strictly ordered by dynamic-instruction count.
+        for w in t.checkpoints.windows(2) {
+            assert!(w[0].stats.dyn_insns < w[1].stats.dyn_insns);
+        }
+    }
+
+    #[test]
+    fn replay_matches_scratch_simulation_everywhere() {
+        let m = looping_module(60);
+        let sp = sequential(&m, MachineConfig::itanium2_like(2, 2));
+        let t = golden_with_checkpoints(&sp);
+        let max_cycles = t.result.stats.cycles * 10;
+        // Every 7th site, every bit position cycled: replays must be
+        // bit-identical to from-scratch faulty runs unless pruned.
+        for k in 0..40u64 {
+            let at = 1 + (k * 7) % t.result.stats.dyn_insns;
+            let inj = Injection {
+                at_dyn_insn: at,
+                bit: (k % 64) as u32,
+                target: None,
+            };
+            let scratch = crate::machine::simulate_quiet(
+                &sp,
+                &SimOptions {
+                    max_cycles,
+                    injection: Some(inj),
+                    trace_limit: 0,
+                },
+            );
+            match replay_trial(&sp, &t, inj, max_cycles) {
+                (TrialRun::Finished(r), st) => {
+                    assert!(
+                        result_eq(&r, &scratch),
+                        "replay diverged from scratch at site {at}: {:?} vs {:?}",
+                        r.stop,
+                        scratch.stop
+                    );
+                    assert!(st.skipped_insns < at);
+                }
+                (TrialRun::Converged, _) => {
+                    // Pruned trials must be ones a full run classifies
+                    // Benign: same halt + bit-equal stream as golden.
+                    assert_eq!(scratch.stop, t.result.stop, "pruned a non-benign trial");
+                    assert!(
+                        scratch.stream.len() == t.result.stream.len()
+                            && scratch
+                                .stream
+                                .iter()
+                                .zip(&t.result.stream)
+                                .all(|(x, y)| x.bit_eq(y)),
+                        "pruned trial's full run has a different stream"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_site_fast_forwards_from_last_checkpoint() {
+        let m = looping_module(120);
+        let sp = sequential(&m, MachineConfig::perfect_memory(1, 1));
+        let t = golden_with_checkpoints(&sp);
+        let inj = Injection {
+            at_dyn_insn: u64::MAX,
+            bit: 3,
+            target: None,
+        };
+        let (run, st) = replay_trial(&sp, &t, inj, t.result.stats.cycles * 10);
+        // The injection never lands; the replay starts at the deepest
+        // snapshot and finishes exactly like the golden run.
+        assert_eq!(
+            st.skipped_insns,
+            t.checkpoints.last().unwrap().stats.dyn_insns
+        );
+        match run {
+            TrialRun::Finished(r) => {
+                assert_eq!(r.stop, t.result.stop);
+                assert!(!r.injected);
+            }
+            TrialRun::Converged => panic!("cannot converge without an injection"),
+        }
+    }
+
+    #[test]
+    fn dead_register_strike_is_pruned() {
+        // A value that is computed, never used again and never
+        // rewritten: striking it after its last use must re-converge
+        // via the dead-register mask (the fingerprint would otherwise
+        // differ forever).
+        let m = looping_module(400);
+        let sp = sequential(&m, MachineConfig::perfect_memory(1, 1));
+        let t = golden_with_checkpoints(&sp);
+        let max_cycles = t.result.stats.cycles * 10;
+        let mut pruned = 0;
+        for at in (1..t.result.stats.dyn_insns).step_by(11) {
+            let inj = Injection {
+                at_dyn_insn: at,
+                bit: 1,
+                target: None,
+            };
+            if let (TrialRun::Converged, st) = replay_trial(&sp, &t, inj, max_cycles) {
+                assert!(st.pruned);
+                pruned += 1;
+            }
+        }
+        assert!(pruned > 0, "no trial converged on a loop-heavy benign-rich program");
+    }
+}
+

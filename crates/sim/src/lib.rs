@@ -29,9 +29,15 @@
 //! tests enforce.
 
 pub mod cache;
+pub mod checkpoint;
 pub mod machine;
 pub mod stats;
 
 pub use cache::{CacheHierarchy, CacheStats};
-pub use machine::{simulate, Injection, SimOptions, SimResult, TraceEntry};
+pub use checkpoint::{
+    golden_with_checkpoints, replay_trial, CheckpointPlan, GoldenTrace, ReplayStats, TrialRun,
+};
+pub use machine::{
+    simulate, simulate_quiet, Injection, MachineState, SimOptions, SimResult, TraceEntry,
+};
 pub use stats::SimStats;

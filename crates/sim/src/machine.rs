@@ -94,14 +94,15 @@ impl SimResult {
 /// `ready`; a consumer on the other cluster reads through the
 /// interconnect at `ready + inter_cluster_delay` (the paper's remote
 /// register-file access).
-struct Ready {
-    gp: Vec<(u64, u8)>,
-    fp: Vec<(u64, u8)>,
-    pr: Vec<(u64, u8)>,
+#[derive(Clone)]
+pub(crate) struct Ready {
+    pub(crate) gp: Vec<(u64, u8)>,
+    pub(crate) fp: Vec<(u64, u8)>,
+    pub(crate) pr: Vec<(u64, u8)>,
 }
 
 impl Ready {
-    fn new(func: &casted_ir::Function) -> Self {
+    pub(crate) fn new(func: &casted_ir::Function) -> Self {
         Ready {
             gp: vec![(0, 0); func.reg_count(RegClass::Gp) as usize],
             fp: vec![(0, 0); func.reg_count(RegClass::Fp) as usize],
@@ -110,7 +111,7 @@ impl Ready {
     }
 
     #[inline]
-    fn get(&self, r: Reg) -> (u64, u8) {
+    pub(crate) fn get(&self, r: Reg) -> (u64, u8) {
         match r.class {
             RegClass::Gp => self.gp[r.index as usize],
             RegClass::Fp => self.fp[r.index as usize],
@@ -119,7 +120,7 @@ impl Ready {
     }
 
     #[inline]
-    fn set(&mut self, r: Reg, cycle: u64, writer: u8) {
+    pub(crate) fn set(&mut self, r: Reg, cycle: u64, writer: u8) {
         match r.class {
             RegClass::Gp => self.gp[r.index as usize] = (cycle, writer),
             RegClass::Fp => self.fp[r.index as usize] = (cycle, writer),
@@ -148,26 +149,118 @@ fn record_run_metrics(stats: &SimStats) {
     casted_obs::add("sim.cache.memory_accesses", stats.cache.memory_accesses);
 }
 
-/// Run `sp` to completion (or exception/detection/timeout).
-pub fn simulate(sp: &ScheduledProgram, opts: &SimOptions) -> SimResult {
+/// The complete live state of the machine at a **bundle boundary** —
+/// everything `simulate` used to keep in locals, extracted so a run
+/// can be cloned mid-flight and resumed later with bit-identical
+/// behaviour. The checkpoint engine (`crate::checkpoint`) snapshots
+/// these during the golden run and restores them to fast-forward
+/// faulty trials past the fault-free prefix.
+///
+/// Fields are crate-private: external code interacts through
+/// [`simulate`] and the `checkpoint` module, plus the read-only
+/// accessors below.
+#[derive(Clone)]
+pub struct MachineState {
+    pub(crate) rf: RegFile,
+    pub(crate) mem: Memory,
+    pub(crate) cache: CacheHierarchy,
+    pub(crate) ready: Ready,
+    pub(crate) stats: SimStats,
+    pub(crate) stream: Vec<OutVal>,
+    /// In-flight miss completion cycles (bounded MSHRs).
+    pub(crate) mshr: Vec<u64>,
+    pub(crate) cycle: u64,
+    /// Block being executed.
+    pub(crate) block: casted_ir::BlockId,
+    /// Next bundle index within `block` (the boundary position).
+    pub(crate) bundle_idx: usize,
+    /// Branch target already resolved earlier in this block (branches
+    /// take effect at the end of the block).
+    pub(crate) next_block: Option<casted_ir::BlockId>,
+    /// Halt code already resolved earlier in this block (halts too
+    /// take effect at the end of the block).
+    pub(crate) halt: Option<i64>,
+    pub(crate) injected: bool,
+}
+
+impl MachineState {
+    /// Power-on state for `sp`: cycle 0, entry block, zeroed register
+    /// files, globals materialized, cold caches.
+    pub fn fresh(sp: &ScheduledProgram) -> Self {
+        let func = sp.module.entry_fn();
+        let mut stats = SimStats::default();
+        stats.per_cluster = vec![0; sp.config.clusters];
+        MachineState {
+            rf: RegFile::for_function(func),
+            mem: Memory::for_module(&sp.module),
+            cache: CacheHierarchy::new(&sp.config),
+            ready: Ready::new(func),
+            stats,
+            stream: Vec::new(),
+            mshr: Vec::new(),
+            cycle: 0,
+            block: func.entry,
+            bundle_idx: 0,
+            next_block: None,
+            halt: None,
+            injected: false,
+        }
+    }
+
+    /// Dynamic instructions retired so far.
+    pub fn dyn_insns(&self) -> u64 {
+        self.stats.dyn_insns
+    }
+
+    /// Current machine cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Values emitted so far.
+    pub fn stream_len(&self) -> usize {
+        self.stream.len()
+    }
+}
+
+/// What the bundle-boundary hook wants the run to do next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Boundary {
+    /// Keep executing.
+    Continue,
+    /// Stop here: the caller has proven the remainder of the run
+    /// (convergence pruning). `run_machine` returns `None`.
+    Stop,
+}
+
+/// Execute `sp` starting from `st` until it stops, mutating `st` in
+/// place. `boundary` is invoked at every bundle boundary (immediately
+/// before the bundle at `st.bundle_idx` issues) and may stop the run
+/// early; the checkpoint engine uses it to capture snapshots during
+/// the golden run and to test convergence during replays. When
+/// `flush_metrics` is false the run stays out of the `sim.*` counters
+/// (fault-injection trials would otherwise swamp them and make the
+/// two campaign engines' counter snapshots incomparable).
+///
+/// Returns `Some(result)` when the run stopped by itself, `None` when
+/// the hook stopped it. The semantics — stall rules, in-order issue,
+/// end-of-block branch/halt resolution, watchdog check per bundle,
+/// injection after writeback — are exactly those of the historical
+/// single-function `simulate`; `simulate` itself is now a thin
+/// wrapper over a fresh state and a no-op hook.
+pub(crate) fn run_machine(
+    sp: &ScheduledProgram,
+    opts: &SimOptions,
+    st: &mut MachineState,
+    flush_metrics: bool,
+    boundary: &mut dyn FnMut(&MachineState) -> Boundary,
+) -> Option<SimResult> {
     let func = sp.module.entry_fn();
     let config = &sp.config;
     let delay = config.inter_cluster_delay as u64;
     let lat = &config.latency;
-
-    let mut rf = RegFile::for_function(func);
-    let mut mem = Memory::for_module(&sp.module);
-    let mut cache = CacheHierarchy::new(config);
-    let mut ready = Ready::new(func);
-    let mut stats = SimStats::default();
-    stats.per_cluster = vec![0; config.clusters];
-    let mut stream: Vec<OutVal> = Vec::new();
-    let mut mshr: Vec<u64> = Vec::new();
-
-    let mut cycle: u64 = 0;
-    let mut block = func.entry;
-    let mut injected = false;
     let inj = opts.injection;
+
     // Reusable per-bundle operand buffers (the simulator's hottest
     // allocation site otherwise).
     let mut val_buf: Vec<Val> = Vec::with_capacity(64);
@@ -178,50 +271,57 @@ pub fn simulate(sp: &ScheduledProgram, opts: &SimOptions) -> SimResult {
     // Span-timed per run; counters are flushed in bulk on exit, so the
     // cycle loop itself carries no instrumentation (the disabled-
     // metrics fast path costs one relaxed load per whole run).
-    let _run_span = casted_obs::span("sim.run_ns");
-    let finish = |stop: StopReason,
-                  stream: Vec<OutVal>,
-                  mut stats: SimStats,
-                  cache: CacheHierarchy,
-                  cycle: u64,
-                  injected: bool,
-                  trace: Vec<TraceEntry>| {
-        stats.cycles = cycle;
-        stats.cache = cache.stats;
-        record_run_metrics(&stats);
-        SimResult {
-            stop,
-            stream,
-            stats,
-            injected,
-            trace,
-        }
+    let _run_span = if flush_metrics {
+        Some(casted_obs::span("sim.run_ns"))
+    } else {
+        None
     };
 
-    'outer: loop {
-        let sb = &sp.blocks[block.index()];
-        let mut next_block = None;
-        let mut halt: Option<i64> = None;
+    macro_rules! finish {
+        ($stop:expr, $cycle:expr) => {{
+            let cycle = $cycle;
+            st.cycle = cycle;
+            st.stats.cycles = cycle;
+            st.stats.cache = st.cache.stats.clone();
+            if flush_metrics {
+                record_run_metrics(&st.stats);
+            }
+            return Some(SimResult {
+                stop: $stop,
+                stream: std::mem::take(&mut st.stream),
+                stats: st.stats.clone(),
+                injected: st.injected,
+                trace,
+            });
+        }};
+    }
 
-        for bundle in &sb.bundles {
-            if cycle > opts.max_cycles {
-                return finish(StopReason::Timeout, stream, stats, cache, cycle, injected, trace);
+    loop {
+        let sb = &sp.blocks[st.block.index()];
+
+        while st.bundle_idx < sb.bundles.len() {
+            if boundary(st) == Boundary::Stop {
+                return None;
+            }
+            let bundle = &sb.bundles[st.bundle_idx];
+            if st.cycle > opts.max_cycles {
+                finish!(StopReason::Timeout, st.cycle);
             }
             // ---- stall until every operand of the bundle is usable ----
-            let mut issue = cycle;
+            let mut issue = st.cycle;
             for (cluster, iid) in bundle.iter() {
                 let insn = func.insn(iid);
                 for r in insn.reg_uses() {
-                    let (mut avail, writer) = ready.get(r);
+                    let (mut avail, writer) = st.ready.get(r);
                     if writer != cluster.0 {
                         avail += delay;
-                        stats.cross_reads += 1;
+                        st.stats.cross_reads += 1;
                     }
                     issue = issue.max(avail);
                 }
             }
-            stats.stall_cycles += issue - cycle;
-            stats.bundles += 1;
+            st.stats.stall_cycles += issue - st.cycle;
+            st.stats.bundles += 1;
 
             // ---- phase 1: read all operands (VLIW parallel read) ----
             val_buf.clear();
@@ -231,7 +331,7 @@ pub fn simulate(sp: &ScheduledProgram, opts: &SimOptions) -> SimResult {
                 let off = val_buf.len() as u32;
                 for o in &insn.uses {
                     val_buf.push(match o {
-                        Operand::Reg(r) => rf.get(*r),
+                        Operand::Reg(r) => st.rf.get(*r),
                         Operand::Imm(v) => Val::I(*v),
                         Operand::FImm(v) => Val::F(*v),
                     });
@@ -245,15 +345,15 @@ pub fn simulate(sp: &ScheduledProgram, opts: &SimOptions) -> SimResult {
                 let (cluster, iid, off, len) = meta_buf[k];
                 let vals = &val_buf[off as usize..(off + len) as usize];
                 let insn = func.insn(iid);
-                stats.dyn_insns += 1;
-                stats.per_cluster[cluster.index()] += 1;
+                st.stats.dyn_insns += 1;
+                st.stats.per_cluster[cluster.index()] += 1;
                 if trace.len() < opts.trace_limit {
                     trace.push(TraceEntry {
                         cycle: issue,
-                        block,
+                        block: st.block,
                         cluster,
                         insn: iid,
-                        stalled: issue - cycle,
+                        stalled: issue - st.cycle,
                     });
                 }
 
@@ -272,13 +372,13 @@ pub fn simulate(sp: &ScheduledProgram, opts: &SimOptions) -> SimResult {
                         let base = vals[0].as_i();
                         let addr = base.wrapping_add(insn.imm);
                         let loaded = if insn.op == Opcode::Load {
-                            mem.load_int(addr).map(Val::I)
+                            st.mem.load_int(addr).map(Val::I)
                         } else {
-                            mem.load_float(addr).map(Val::F)
+                            st.mem.load_float(addr).map(Val::F)
                         };
                         match loaded {
                             Ok(v) => {
-                                let mut l = cache.access(addr as u64).max(lat.load_hit);
+                                let mut l = st.cache.access(addr as u64).max(lat.load_hit);
                                 // Bounded MSHRs: a miss beyond the L1
                                 // latency occupies an entry; when all
                                 // entries are busy the new miss queues
@@ -289,58 +389,38 @@ pub fn simulate(sp: &ScheduledProgram, opts: &SimOptions) -> SimResult {
                                     .map(|c| c.latency)
                                     .unwrap_or(lat.load_hit);
                                 if l > l1_lat {
-                                    mshr.retain(|&c| c > issue);
-                                    if mshr.len() >= config.mshr_entries {
-                                        if let Some(&min) = mshr.iter().min() {
+                                    st.mshr.retain(|&c| c > issue);
+                                    if st.mshr.len() >= config.mshr_entries {
+                                        if let Some(&min) = st.mshr.iter().min() {
                                             l += (min.saturating_sub(issue)) as u32;
                                         }
                                     }
-                                    mshr.push(issue + l as u64);
+                                    st.mshr.push(issue + l as u64);
                                 }
-                                write_def(&mut rf, &mut ready, insn.defs[0], v, l);
+                                write_def(&mut st.rf, &mut st.ready, insn.defs[0], v, l);
                             }
-                            Err(e) => {
-                                return finish(
-                                    StopReason::Exception(e),
-                                    stream,
-                                    stats,
-                                    cache,
-                                    issue + 1,
-                                    injected,
-                                    trace,
-                                )
-                            }
+                            Err(e) => finish!(StopReason::Exception(e), issue + 1),
                         }
                     }
                     Opcode::Store | Opcode::FStore => {
                         let base = vals[0].as_i();
                         let addr = base.wrapping_add(insn.imm);
                         let res = match insn.op {
-                            Opcode::Store => mem.store_int(addr, vals[1].as_i()),
-                            _ => mem.store_float(addr, vals[1].as_f()),
+                            Opcode::Store => st.mem.store_int(addr, vals[1].as_i()),
+                            _ => st.mem.store_float(addr, vals[1].as_f()),
                         };
                         match res {
                             Ok(()) => {
-                                cache.access(addr as u64);
+                                st.cache.access(addr as u64);
                             }
-                            Err(e) => {
-                                return finish(
-                                    StopReason::Exception(e),
-                                    stream,
-                                    stats,
-                                    cache,
-                                    issue + 1,
-                                    injected,
-                                    trace,
-                                )
-                            }
+                            Err(e) => finish!(StopReason::Exception(e), issue + 1),
                         }
                     }
-                    Opcode::Out => stream.push(OutVal::Int(vals[0].as_i())),
-                    Opcode::FOut => stream.push(OutVal::Float(vals[0].as_f())),
-                    Opcode::Br => next_block = insn.target,
+                    Opcode::Out => st.stream.push(OutVal::Int(vals[0].as_i())),
+                    Opcode::FOut => st.stream.push(OutVal::Float(vals[0].as_f())),
+                    Opcode::Br => st.next_block = insn.target,
                     Opcode::BrCond => {
-                        next_block = if vals[0].as_b() {
+                        st.next_block = if vals[0].as_b() {
                             insn.target
                         } else {
                             insn.target2
@@ -360,63 +440,73 @@ pub fn simulate(sp: &ScheduledProgram, opts: &SimOptions) -> SimResult {
                             detect_fired = true;
                         }
                     }
-                    Opcode::Halt => halt = Some(vals[0].as_i()),
+                    Opcode::Halt => st.halt = Some(vals[0].as_i()),
                     Opcode::Nop => {}
                     op => match eval_pure(op, &vals) {
-                        Ok(v) => write_def(&mut rf, &mut ready, insn.defs[0], v, op.latency(lat)),
-                        Err(e) => {
-                            return finish(
-                                StopReason::Exception(e),
-                                stream,
-                                stats,
-                                cache,
-                                issue + 1,
-                                injected,
-                                trace,
-                            )
+                        Ok(v) => {
+                            write_def(&mut st.rf, &mut st.ready, insn.defs[0], v, op.latency(lat))
                         }
+                        Err(e) => finish!(StopReason::Exception(e), issue + 1),
                     },
                 }
 
                 // ---- fault injection after writeback ----
                 if let Some(inj) = inj {
-                    if !injected && stats.dyn_insns >= inj.at_dyn_insn {
+                    if !st.injected && st.stats.dyn_insns >= inj.at_dyn_insn {
                         let victim = match inj.target {
                             Some(r) => Some(r),
                             None => insn.def(),
                         };
                         if let Some(d) = victim {
-                            let flipped = rf.get(d).flip_bit(inj.bit % d.class.bits());
-                            rf.set(d, flipped);
-                            injected = true;
+                            let flipped = st.rf.get(d).flip_bit(inj.bit % d.class.bits());
+                            st.rf.set(d, flipped);
+                            st.injected = true;
                         }
                     }
                 }
             }
 
             if detect_fired {
-                return finish(StopReason::Detected, stream, stats, cache, issue + 1, injected, trace);
+                finish!(StopReason::Detected, issue + 1);
             }
-            cycle = issue + 1;
+            st.cycle = issue + 1;
+            st.bundle_idx += 1;
         }
 
-        if let Some(code) = halt {
-            return finish(StopReason::Halt(code), stream, stats, cache, cycle, injected, trace);
+        if let Some(code) = st.halt {
+            finish!(StopReason::Halt(code), st.cycle);
         }
-        match next_block {
-            Some(b) => block = b,
-            None => break 'outer,
+        match st.next_block {
+            Some(b) => {
+                st.block = b;
+                st.bundle_idx = 0;
+                st.next_block = None;
+                st.halt = None;
+            }
+            None => finish!(
+                StopReason::Exception(casted_ir::semantics::ExecError::MemOutOfBounds(-1)),
+                st.cycle
+            ),
         }
     }
-    finish(
-        StopReason::Exception(casted_ir::semantics::ExecError::MemOutOfBounds(-1)),
-        stream,
-        stats,
-        cache,
-        cycle,
-        injected,
-        trace,
-    )
+}
+
+/// Run `sp` to completion (or exception/detection/timeout).
+pub fn simulate(sp: &ScheduledProgram, opts: &SimOptions) -> SimResult {
+    let mut st = MachineState::fresh(sp);
+    run_machine(sp, opts, &mut st, true, &mut |_| Boundary::Continue)
+        .expect("no boundary hook can stop this run")
+}
+
+/// Like [`simulate`] but without flushing `sim.*` metrics: the entry
+/// point for fault-injection trials, which run the same program
+/// hundreds of times and would otherwise drown the per-run counters
+/// (and make the reference and checkpointed campaign engines'
+/// counter snapshots incomparable).
+pub fn simulate_quiet(sp: &ScheduledProgram, opts: &SimOptions) -> SimResult {
+    let mut st = MachineState::fresh(sp);
+    run_machine(sp, opts, &mut st, false, &mut |_| Boundary::Continue)
+        .expect("no boundary hook can stop this run")
 }
 
 #[cfg(test)]

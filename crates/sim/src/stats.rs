@@ -3,7 +3,7 @@
 use crate::cache::CacheStats;
 
 /// Counters gathered over one simulated run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Total machine cycles.
     pub cycles: u64,

@@ -202,8 +202,11 @@ impl Group<'_> {
     pub fn finish(self) {}
 }
 
-/// Median and median-absolute-deviation of a sample set (ns).
-fn median_mad(xs: &mut [f64]) -> (f64, f64) {
+/// Median and median-absolute-deviation of a sample set. Public so
+/// bench targets that do their own sampling (e.g. campaign
+/// throughput, where the metric is trials/sec rather than ns/iter)
+/// report the same robust statistics as the runner.
+pub fn median_mad(xs: &mut [f64]) -> (f64, f64) {
     let med = median(xs);
     let mut devs: Vec<f64> = xs.iter().map(|x| (x - med).abs()).collect();
     (med, median(&mut devs))

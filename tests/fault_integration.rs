@@ -3,7 +3,7 @@
 
 use casted::ir::MachineConfig;
 use casted::Scheme;
-use casted_faults::{run_campaign, CampaignConfig, Outcome};
+use casted_faults::{run_campaign, run_campaign_engine, CampaignConfig, Engine, Outcome};
 
 fn campaign(scheme: Scheme, trials: usize) -> casted_faults::CampaignResult {
     let module = casted_workloads::by_name("mpeg2dec").unwrap().compile().unwrap();
@@ -52,6 +52,35 @@ fn protection_reduces_silent_corruption() {
         casted_bad <= noed_bad,
         "CASTED corrupt {casted_bad:.2} > NOED corrupt {noed_bad:.2}"
     );
+}
+
+/// The checkpointed engine (golden-run snapshots, fast-forward
+/// replay, convergence pruning) must tally byte-identically to the
+/// reference engine on a real workload under every scheme — the
+/// integration-level face of the equivalence the unit tests, the
+/// difftest oracle layer and `scripts/ci.sh` all pin.
+#[test]
+fn engines_agree_on_real_workload_across_schemes() {
+    let module = casted_workloads::by_name("mpeg2dec").unwrap().compile().unwrap();
+    let cfg = MachineConfig::itanium2_like(2, 2);
+    let ccfg = CampaignConfig {
+        trials: 30,
+        seed: 7,
+        timeout_factor: 8,
+    };
+    for scheme in Scheme::ALL {
+        let prep = casted::build(&module, scheme, &cfg).unwrap();
+        let reference = run_campaign_engine(&prep.sp, &ccfg, Engine::Reference);
+        let checkpointed = run_campaign_engine(&prep.sp, &ccfg, Engine::Checkpointed);
+        assert_eq!(reference.tally, checkpointed.tally, "{scheme}: engines diverged");
+        assert_eq!(reference.golden_cycles, checkpointed.golden_cycles, "{scheme}");
+        assert_eq!(reference.golden_dyn, checkpointed.golden_dyn, "{scheme}");
+        assert!(
+            checkpointed.engine.checkpoints > 1 && checkpointed.engine.skipped_insns > 0,
+            "{scheme}: checkpoint engine did no engine work: {:?}",
+            checkpointed.engine
+        );
+    }
 }
 
 #[test]
