@@ -577,6 +577,62 @@ mod tests {
         assert!(table.get("absent", Scheme::Noed, 1, 1).is_none());
     }
 
+    /// The fallback must agree with the indexed path on a table that
+    /// has **no NOED baseline at all** — the case where `noed_cycles`
+    /// and `slowdown` must return `None` on both paths rather than
+    /// panic or disagree (e.g. a partial sweep that measured only the
+    /// protected schemes).
+    #[test]
+    fn fallback_agrees_on_table_with_missing_noed_baseline() {
+        let point = |scheme, issue, delay, cycles| PerfPoint {
+            benchmark: "tiny".into(),
+            scheme,
+            issue,
+            delay,
+            cycles,
+            dyn_insns: cycles,
+            spilled: 0,
+            code_growth: 2.0,
+            occupancy: vec![1, 1],
+        };
+        let pts = [
+            point(Scheme::Sced, 1, 1, 300),
+            point(Scheme::Dced, 1, 1, 250),
+            point(Scheme::Casted, 1, 1, 220),
+            point(Scheme::Casted, 2, 1, 150),
+        ];
+        // Indexed table (built through add_point)…
+        let mut indexed = PerfTable::default();
+        for p in &pts {
+            indexed.add_point(p.clone());
+        }
+        assert_eq!(indexed.index.len(), indexed.points.len());
+        // …and the same points pushed raw, forcing the scan fallback.
+        let mut scanned = PerfTable::default();
+        scanned.points.extend(pts.iter().cloned());
+        assert_ne!(scanned.index.len(), scanned.points.len());
+
+        for p in &pts {
+            let a = indexed.get(&p.benchmark, p.scheme, p.issue, p.delay);
+            let b = scanned.get(&p.benchmark, p.scheme, p.issue, p.delay);
+            assert_eq!(a.map(|p| p.cycles), b.map(|p| p.cycles));
+            assert_eq!(a.map(|p| p.cycles), Some(p.cycles));
+        }
+        // No NOED points ⇒ no baseline and no slowdown, on either path.
+        for table in [&indexed, &scanned] {
+            assert_eq!(table.noed_cycles("tiny", 1), None);
+            assert_eq!(table.slowdown("tiny", Scheme::Casted, 1, 1), None);
+            assert_eq!(table.get("tiny", Scheme::Noed, 1, 1).map(|p| p.cycles), None);
+        }
+        // Fig. 8-style scaling needs no NOED baseline and must still
+        // work on both paths.
+        assert_eq!(
+            indexed.scaling("tiny", Scheme::Casted, 1, 2),
+            scanned.scaling("tiny", Scheme::Casted, 1, 2)
+        );
+        assert_eq!(indexed.scaling("tiny", Scheme::Casted, 1, 2), Some(220.0 / 150.0));
+    }
+
     #[test]
     fn coverage_sweep_engines_agree() {
         let spec = GridSpec {

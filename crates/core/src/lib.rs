@@ -52,6 +52,7 @@ pub use casted_sim::SimResult;
 
 pub mod experiments;
 pub mod report;
+pub mod service_api;
 
 use casted_frontend::Diag;
 use casted_ir::{MachineConfig, Module};

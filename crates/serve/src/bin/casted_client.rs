@@ -1,0 +1,339 @@
+//! `casted-client` — command-line client for `casted-serve`.
+//!
+//! ```text
+//! casted-client --addr HOST:PORT <command> [options]
+//!
+//! commands:
+//!   ping                                  liveness probe
+//!   compile  --file F | --source S        scheduled-program statistics
+//!   simulate --file F | --source S        fault-free simulation summary
+//!   inject   --file F | --source S        Monte-Carlo fault campaign
+//!   counters                              server counter snapshot
+//!   shutdown                              graceful drain-then-exit
+//!   bench    --file F | --source S        closed-loop load generator
+//!
+//! shared job options:   --scheme noed|sced|dced|casted  --issue N  --delay N
+//! simulate option:      --max-cycles N
+//! inject options:       --trials N  --seed N  --engine reference|checkpointed
+//! bench options:        --requests N (per conn)  --conns N  --out PATH
+//! ```
+//!
+//! `bench` drives the cached hot path: one warm-up request populates
+//! the server's content-addressed cache, then `--conns` connections
+//! issue `--requests` identical requests each, closed-loop (next
+//! request only after the previous reply). Results land in
+//! `BENCH_serve.json` at the workspace root.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use casted::service_api::JobSpec;
+use casted::Scheme;
+use casted_faults::Engine;
+use casted_serve::client::Client;
+use casted_serve::protocol::{encode_request, Request, Response};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: casted-client --addr HOST:PORT \
+         <ping|compile|simulate|inject|counters|shutdown|bench> [options]\n\
+         job options: --file F | --source S  --scheme noed|sced|dced|casted  --issue N  --delay N\n\
+         simulate: --max-cycles N    inject: --trials N --seed N --engine reference|checkpointed\n\
+         bench: --requests N --conns N --out PATH"
+    );
+    std::process::exit(2);
+}
+
+fn parse_scheme(s: &str) -> Scheme {
+    match s {
+        "noed" => Scheme::Noed,
+        "sced" => Scheme::Sced,
+        "dced" => Scheme::Dced,
+        "casted" => Scheme::Casted,
+        other => {
+            eprintln!("casted-client: unknown scheme {other:?}");
+            usage();
+        }
+    }
+}
+
+struct Opts {
+    addr: String,
+    cmd: String,
+    spec: JobSpec,
+    have_source: bool,
+    max_cycles: u64,
+    trials: u64,
+    seed: u64,
+    engine: Engine,
+    requests: u64,
+    conns: usize,
+    out: String,
+}
+
+fn parse_args() -> Opts {
+    let mut o = Opts {
+        addr: String::new(),
+        cmd: String::new(),
+        spec: JobSpec {
+            source: String::new(),
+            scheme: Scheme::Casted,
+            issue: 2,
+            delay: 2,
+        },
+        have_source: false,
+        max_cycles: u64::MAX,
+        trials: 100,
+        seed: 0xCA57ED,
+        engine: Engine::Checkpointed,
+        requests: 20_000,
+        conns: 4,
+        out: format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR")),
+    };
+    let mut args = std::env::args().skip(1);
+    let need = |flag: &str, v: Option<String>| -> String {
+        v.unwrap_or_else(|| {
+            eprintln!("casted-client: {flag} needs a value");
+            usage();
+        })
+    };
+    // Decimal or 0x-prefixed hex, so seeds copied from REPLAY tokens
+    // and docs (`--seed 0xCA57ED`) work as-is.
+    let parse_num = |flag: &str, v: String| -> u64 {
+        let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16).ok(),
+            None => v.parse().ok(),
+        };
+        parsed.unwrap_or_else(|| {
+            eprintln!("casted-client: bad value {v:?} for {flag}");
+            usage();
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => o.addr = need("--addr", args.next()),
+            "--file" => {
+                let path = need("--file", args.next());
+                o.spec.source = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("casted-client: cannot read {path}: {e}");
+                    std::process::exit(2);
+                });
+                o.have_source = true;
+            }
+            "--source" => {
+                o.spec.source = need("--source", args.next());
+                o.have_source = true;
+            }
+            "--scheme" => o.spec.scheme = parse_scheme(&need("--scheme", args.next())),
+            "--issue" => o.spec.issue = parse_num("--issue", need("--issue", args.next())) as usize,
+            "--delay" => o.spec.delay = parse_num("--delay", need("--delay", args.next())) as u32,
+            "--max-cycles" => o.max_cycles = parse_num("--max-cycles", need("--max-cycles", args.next())),
+            "--trials" => o.trials = parse_num("--trials", need("--trials", args.next())),
+            "--seed" => o.seed = parse_num("--seed", need("--seed", args.next())),
+            "--engine" => {
+                let v = need("--engine", args.next());
+                o.engine = Engine::parse(&v).unwrap_or_else(|| {
+                    eprintln!("casted-client: unknown engine {v:?}");
+                    usage();
+                });
+            }
+            "--requests" => o.requests = parse_num("--requests", need("--requests", args.next())),
+            "--conns" => o.conns = parse_num("--conns", need("--conns", args.next())) as usize,
+            "--out" => o.out = need("--out", args.next()),
+            "--help" | "-h" => usage(),
+            cmd if o.cmd.is_empty() && !cmd.starts_with('-') => o.cmd = cmd.to_string(),
+            other => {
+                eprintln!("casted-client: unknown argument {other}");
+                usage();
+            }
+        }
+    }
+    if o.addr.is_empty() || o.cmd.is_empty() {
+        eprintln!("casted-client: --addr and a command are required");
+        usage();
+    }
+    o
+}
+
+fn print_response(resp: &Response) -> ExitCode {
+    match resp {
+        Response::Pong => println!("pong"),
+        Response::Compiled(c) => {
+            println!("bundles: {}", c.bundles);
+            println!("nop_slots: {}", c.nop_slots);
+            println!("cross_cluster_edges: {}", c.cross_cluster_edges);
+            println!("spilled: {}", c.spilled);
+            println!("code_growth_permille: {}", c.code_growth_permille);
+            let occ: Vec<String> = c.occupancy.iter().map(|n| n.to_string()).collect();
+            println!("occupancy: [{}]", occ.join(", "));
+        }
+        Response::Simulated(s) => {
+            println!("cycles: {}", s.cycles);
+            println!("dyn_insns: {}", s.dyn_insns);
+            println!("bundles: {}", s.bundles);
+            println!("stall_cycles: {}", s.stall_cycles);
+            println!("cross_reads: {}", s.cross_reads);
+            println!("exit_code: {}", s.exit_code);
+            println!("stream_len: {}", s.stream_len);
+            println!("stream_digest: {:#018x}", s.stream_digest);
+        }
+        Response::Injected(i) => {
+            println!("trials: {}", i.trials);
+            let labels = ["benign", "detected", "exception", "data_corrupt", "timeout"];
+            for (label, count) in labels.iter().zip(i.counts.iter()) {
+                println!("{label}: {count}");
+            }
+            println!("golden_cycles: {}", i.golden_cycles);
+            println!("golden_dyn: {}", i.golden_dyn);
+        }
+        Response::Busy => {
+            println!("busy");
+            return ExitCode::from(3);
+        }
+        Response::Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+        Response::Counters(json) => print!("{json}"),
+        Response::ShuttingDown => println!("shutting down"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn bench(o: &Opts) -> ExitCode {
+    let req = Request::Simulate {
+        spec: o.spec.clone(),
+        max_cycles: o.max_cycles,
+    };
+    let payload = encode_request(&req);
+
+    // Warm-up: the first request computes and populates the cache;
+    // everything after measures the cached hot path.
+    let mut warm = match Client::connect(&o.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("casted-client: connect failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let warm_reply = match warm.request(&req) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("casted-client: warm-up failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Response::Err(msg) = warm_reply {
+        eprintln!("casted-client: warm-up request rejected: {msg}");
+        return ExitCode::FAILURE;
+    }
+
+    let start = Instant::now();
+    let totals: Vec<Option<u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..o.conns)
+            .map(|_| {
+                let payload = &payload;
+                let addr = &o.addr;
+                let n = o.requests;
+                s.spawn(move || -> Option<u64> {
+                    let mut c = Client::connect(addr).ok()?;
+                    let mut done = 0u64;
+                    for _ in 0..n {
+                        c.request_raw(payload).ok()?;
+                        done += 1;
+                    }
+                    Some(done)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().ok().flatten()).collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    if totals.iter().any(|t| t.is_none()) {
+        eprintln!("casted-client: a bench connection failed");
+        return ExitCode::FAILURE;
+    }
+    let total: u64 = totals.iter().map(|t| t.unwrap()).sum();
+    let rps = total as f64 / elapsed;
+    println!("requests: {total}");
+    println!("conns: {}", o.conns);
+    println!("elapsed_s: {elapsed:.3}");
+    println!("requests_per_sec: {rps:.0}");
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_cached_throughput\",\n  \"workload\": \"simulate {} issue {} delay {} (cached)\",\n  \"conns\": {},\n  \"requests\": {},\n  \"elapsed_s\": {:.3},\n  \"requests_per_sec\": {:.0}\n}}\n",
+        match o.spec.scheme {
+            Scheme::Noed => "noed",
+            Scheme::Sced => "sced",
+            Scheme::Dced => "dced",
+            Scheme::Casted => "casted",
+        },
+        o.spec.issue,
+        o.spec.delay,
+        o.conns,
+        total,
+        elapsed,
+        rps,
+    );
+    match std::fs::File::create(&o.out).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("wrote {}", o.out),
+        Err(e) => {
+            eprintln!("casted-client: cannot write {}: {e}", o.out);
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let o = parse_args();
+    let needs_source = matches!(o.cmd.as_str(), "compile" | "simulate" | "inject" | "bench");
+    if needs_source && !o.have_source {
+        eprintln!("casted-client: {} needs --file or --source", o.cmd);
+        usage();
+    }
+
+    if o.cmd == "bench" {
+        return bench(&o);
+    }
+
+    let req = match o.cmd.as_str() {
+        "ping" => Request::Ping,
+        "compile" => Request::Compile {
+            spec: o.spec.clone(),
+        },
+        "simulate" => Request::Simulate {
+            spec: o.spec.clone(),
+            max_cycles: o.max_cycles,
+        },
+        "inject" => Request::Inject {
+            spec: o.spec.clone(),
+            trials: o.trials,
+            seed: o.seed,
+            engine: o.engine,
+        },
+        "counters" => Request::Counters,
+        "shutdown" => Request::Shutdown,
+        other => {
+            eprintln!("casted-client: unknown command {other:?}");
+            usage();
+        }
+    };
+
+    let mut client = match Client::connect(&o.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("casted-client: connect to {} failed: {e}", o.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.request(&req) {
+        Ok(resp) => print_response(&resp),
+        Err(e) => {
+            eprintln!("casted-client: request failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! `casted-serve` — run the compile-and-simulate service.
+//!
+//! ```text
+//! casted-serve [--addr HOST:PORT] [--workers N] [--queue N]
+//!              [--cache-bytes N] [--max-cycles N] [--max-trials N]
+//!              [--metrics] [--metrics-counters]
+//! ```
+//!
+//! Binds loopback (`127.0.0.1:0` → ephemeral port) by default, prints
+//! `casted-serve listening on ADDR`, and serves until a client sends
+//! `Shutdown` — then drains the job queue, finishes in-flight replies
+//! and exits 0. With `--metrics-counters` the deterministic counter
+//! snapshot is printed to stdout after the drain; with `--metrics` the
+//! full export (gauges + histograms) is printed instead.
+
+use std::process::ExitCode;
+
+use casted_serve::cache::CacheConfig;
+use casted_serve::server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: casted-serve [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--cache-bytes N] [--max-cycles N] [--max-trials N] \
+         [--metrics] [--metrics-counters]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    let Some(v) = v else {
+        eprintln!("casted-serve: {flag} needs a value");
+        usage();
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("casted-serve: bad value {v:?} for {flag}");
+        usage();
+    })
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ServerConfig::default();
+    let mut metrics = false;
+    let mut metrics_counters = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = parse("--addr", args.next()),
+            "--workers" => cfg.workers = parse("--workers", args.next()),
+            "--queue" => cfg.queue_depth = parse("--queue", args.next()),
+            "--cache-bytes" => {
+                cfg.cache = CacheConfig {
+                    byte_budget: parse("--cache-bytes", args.next()),
+                    ..cfg.cache
+                }
+            }
+            "--max-cycles" => cfg.max_cycles = parse("--max-cycles", args.next()),
+            "--max-trials" => cfg.max_trials = parse("--max-trials", args.next()),
+            "--metrics" => metrics = true,
+            "--metrics-counters" => metrics_counters = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("casted-serve: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+
+    if metrics || metrics_counters {
+        casted_obs::set_enabled(true);
+    }
+
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("casted-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The smoke tests and the bench harness scrape this line for the
+    // ephemeral port; keep its shape stable.
+    println!("casted-serve listening on {}", server.addr());
+
+    server.wait();
+
+    if metrics_counters {
+        print!("{}", casted_obs::snapshot_json());
+    } else if metrics {
+        print!("{}", casted_obs::export_json());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,64 @@
+//! Minimal blocking client for the `casted-serve` protocol.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use casted_util::codec::{read_frame, write_frame};
+
+use crate::protocol::{
+    decode_response, encode_request, Request, Response, MAX_FRAME,
+};
+
+/// A connected client. One request/response exchange at a time; the
+/// connection is reusable for any number of sequential requests.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server address (e.g. `127.0.0.1:4650`).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Set a read timeout so a wedged server cannot hang the client
+    /// forever. `None` removes the timeout.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Send one request and wait for the reply.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        let payload = self.request_raw(&encode_request(req))?;
+        decode_response(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Send a pre-encoded request payload and return the raw reply
+    /// payload bytes. Used by the determinism gate, which compares
+    /// reply *bytes*, and by the bench loop, which skips re-encoding.
+    pub fn request_raw(&mut self, payload: &[u8]) -> io::Result<Vec<u8>> {
+        write_frame(&mut self.stream, payload)?;
+        match read_frame(&mut self.stream, MAX_FRAME)? {
+            Some(reply) => Ok(reply),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection without replying",
+            )),
+        }
+    }
+
+    /// Send raw bytes as a frame without waiting for a reply (test
+    /// helper for hardening tests that feed the server garbage).
+    pub fn send_raw(&mut self, payload: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.stream, payload)
+    }
+
+    /// Read one reply frame without sending anything first.
+    pub fn read_reply(&mut self) -> io::Result<Option<Vec<u8>>> {
+        read_frame(&mut self.stream, MAX_FRAME)
+    }
+}

@@ -1,0 +1,26 @@
+//! `casted-serve` — a hermetic compile-and-simulate service.
+//!
+//! Turns the CASTED pipeline (MiniC frontend → error-detection passes
+//! → VLIW scheduler → cycle-accurate simulator → fault-injection
+//! campaigns) into a long-lived loopback TCP service:
+//!
+//! - [`protocol`] — length-prefixed binary frames with canonical
+//!   encoding (4-byte LE length, version + tag bytes, varint fields).
+//! - [`cache`] — sharded content-addressed reply cache (FNV-1a of the
+//!   canonical request bytes → encoded reply bytes) with LRU eviction
+//!   under a byte budget.
+//! - [`server`] — bounded job queue drained by the `casted_util`
+//!   thread pool, explicit backpressure (`Busy` on queue-full),
+//!   per-request simulated-cycle deadlines, graceful drain-then-exit.
+//! - [`client`] — a minimal blocking client used by the `casted-client`
+//!   CLI and the tests.
+//!
+//! Everything is `std`-only (no registry dependencies) and offline:
+//! the server binds loopback by default and the whole stack — protocol,
+//! cache, queue, pool — lives in this workspace. See `docs/SERVING.md`
+//! for the operational story and the wire-format field tables.
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;

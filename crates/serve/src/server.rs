@@ -1,0 +1,511 @@
+//! The long-lived compile-and-simulate server.
+//!
+//! Architecture (one box per thread kind):
+//!
+//! ```text
+//!             accept (supervisor, non-blocking poll)
+//!                │ one thread per connection
+//!                ▼
+//!   conn thread: read frame → decode → cache lookup ──hit──► reply
+//!                │ miss                                      (never
+//!                ▼                                           queues)
+//!        bounded job queue ──full──► Busy reply (backpressure:
+//!                │                   the request is dropped, nothing
+//!                ▼                   is buffered)
+//!        worker pool (casted_util::pool::run_pool, N worker loops)
+//!                │ service_api::{compile,simulate,inject} under a
+//!                │ cycle-limit deadline, panic-isolated
+//!                ▼
+//!        encode reply → insert into cache → send to conn thread
+//! ```
+//!
+//! **Backpressure.** The queue holds at most
+//! [`ServerConfig::queue_depth`] jobs. A miss that finds it full gets
+//! an immediate [`Response::Busy`]; the server never buffers
+//! unboundedly, so overload costs the client a retry, not the server
+//! its memory.
+//!
+//! **Deadlines.** Work requests run under the simulator/interpreter
+//! cycle limit ([`ServerConfig::max_cycles`]): a hostile or buggy
+//! program costs a bounded number of simulated cycles, after which the
+//! client receives a structured `Err` reply.
+//!
+//! **Shutdown.** A [`Request::Shutdown`] (or
+//! [`ServerHandle::shutdown`]) stops the acceptor and *closes* the
+//! queue: workers drain every already-accepted job, every in-flight
+//! reply is written, then idle connections are dropped and the server
+//! exits. New work during the drain gets [`Response::ShuttingDown`].
+
+use std::collections::HashMap;
+use std::io::{self, ErrorKind, Write};
+use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use casted::service_api;
+use casted_util::codec::{read_frame, write_frame};
+use casted_util::pool::{pool_threads, run_pool};
+
+use crate::cache::{Cache, CacheConfig};
+use crate::protocol::{
+    cache_key, decode_request, encode_response, Request, Response, MAX_FRAME,
+};
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; `127.0.0.1:0` (the default) picks an ephemeral
+    /// loopback port.
+    pub addr: String,
+    /// Worker threads draining the job queue (capped at the host's
+    /// available parallelism).
+    pub workers: usize,
+    /// Bounded job-queue capacity; a full queue means `Busy` replies.
+    pub queue_depth: usize,
+    /// Reply-cache sizing.
+    pub cache: CacheConfig,
+    /// Per-request deadline as a simulated-cycle budget (the cap for
+    /// client-requested `max_cycles`).
+    pub max_cycles: u64,
+    /// Maximum Monte-Carlo trials a single inject request may ask for.
+    pub max_trials: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: pool_threads(),
+            queue_depth: 64,
+            cache: CacheConfig::default(),
+            max_cycles: 200_000_000,
+            max_trials: 20_000,
+        }
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    req: Request,
+    key: u64,
+    reply: mpsc::SyncSender<Vec<u8>>,
+}
+
+/// Why [`JobQueue::try_push`] refused a job.
+enum PushError {
+    /// At capacity — the backpressure signal.
+    Full,
+    /// Draining for shutdown.
+    Closed,
+}
+
+struct QueueInner {
+    jobs: std::collections::VecDeque<Job>,
+    closed: bool,
+}
+
+/// Bounded MPMC job queue: `try_push` never blocks (that is the whole
+/// point — overload is reported, not buffered), `pop` blocks until a
+/// job arrives or the queue is closed *and* drained.
+struct JobQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl JobQueue {
+    fn new(cap: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(QueueInner {
+                jobs: std::collections::VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn try_push(&self, job: Job) -> Result<usize, PushError> {
+        let mut g = self.lock();
+        if g.closed {
+            return Err(PushError::Closed);
+        }
+        if g.jobs.len() >= self.cap {
+            return Err(PushError::Full);
+        }
+        g.jobs.push_back(job);
+        let depth = g.jobs.len();
+        drop(g);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let mut g = self.lock();
+        loop {
+            if let Some(job) = g.jobs.pop_front() {
+                casted_obs::gauge_set("serve.queue_depth", g.jobs.len() as u64);
+                return Some(job);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.ready.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    queue: JobQueue,
+    cache: Cache,
+    stop: AtomicBool,
+    active_conns: AtomicUsize,
+    in_flight: AtomicUsize,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicUsize,
+}
+
+impl Shared {
+    fn initiate_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+}
+
+/// A running server. Dropping the handle (or calling
+/// [`ServerHandle::shutdown`]) drains and stops it.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+/// Alias kept for readability at call sites.
+pub type ServerHandle = Server;
+
+impl Server {
+    /// Bind and start serving. Returns once the listener is live; the
+    /// actual serving happens on background threads.
+    pub fn start(cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(cfg.queue_depth),
+            cache: Cache::new(&cfg.cache),
+            cfg,
+            stop: AtomicBool::new(false),
+            active_conns: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicUsize::new(0),
+        });
+        let sh = shared.clone();
+        let supervisor = std::thread::Builder::new()
+            .name("serve-supervisor".into())
+            .spawn(move || supervise(listener, sh))?;
+        Ok(Server {
+            addr,
+            shared,
+            supervisor: Some(supervisor),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral `:0` bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until the server exits (a client sent `Shutdown`).
+    pub fn wait(mut self) {
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Drain and stop from the hosting process.
+    pub fn shutdown(mut self) {
+        self.shared.initiate_shutdown();
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.initiate_shutdown();
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Acceptor + shutdown sequencing.
+fn supervise(listener: TcpListener, shared: Arc<Shared>) {
+    let workers = shared.cfg.workers.clamp(1, pool_threads());
+    let pool_shared = shared.clone();
+    let pool_host = std::thread::Builder::new()
+        .name("serve-pool".into())
+        .spawn(move || {
+            run_pool(
+                (0..workers)
+                    .map(|_| {
+                        let sh = pool_shared.clone();
+                        move || worker_loop(&sh)
+                    })
+                    .collect(),
+            );
+        })
+        .expect("spawn worker pool host");
+
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                casted_obs::inc("serve.connections");
+                let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed) as u64;
+                if let Ok(clone) = stream.try_clone() {
+                    shared
+                        .conns
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(id, clone);
+                }
+                shared.active_conns.fetch_add(1, Ordering::SeqCst);
+                let sh = shared.clone();
+                let _ = std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || {
+                        handle_conn(&sh, stream);
+                        sh.conns
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .remove(&id);
+                        sh.active_conns.fetch_sub(1, Ordering::SeqCst);
+                    });
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(300));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+
+    // Drain: the queue is closed (initiate_shutdown); workers finish
+    // every accepted job, then exit.
+    let _ = pool_host.join();
+
+    // Every accepted job has produced a reply; wait for the connection
+    // threads to finish writing them out.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while shared.in_flight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Unblock connections idling in a read: drop their sockets.
+    for (_, s) in shared.conns.lock().unwrap_or_else(|e| e.into_inner()).drain() {
+        let _ = s.shutdown(SockShutdown::Both);
+    }
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while shared.active_conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// One worker: pop, execute, cache, reply — until the queue closes.
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let bytes = execute_encoded(shared, &job.req);
+        // Only successful replies are cached (tag check via decode is
+        // wasteful; the executor tells us directly).
+        if bytes.cacheable {
+            shared.cache.insert(job.key, bytes.payload.clone());
+        }
+        // The connection thread may have died; a lost reply is fine.
+        let _ = job.reply.send(bytes.payload);
+    }
+}
+
+struct Encoded {
+    payload: Vec<u8>,
+    cacheable: bool,
+}
+
+/// Run one work request through `service_api`, panic-isolated, and
+/// encode the reply.
+fn execute_encoded(shared: &Arc<Shared>, req: &Request) -> Encoded {
+    let hist: &'static str = match req {
+        Request::Compile { .. } => "serve.compile_ns",
+        Request::Simulate { .. } => "serve.simulate_ns",
+        Request::Inject { .. } => "serve.inject_ns",
+        _ => "serve.other_ns",
+    };
+    let span = casted_obs::span(hist);
+    let resp = match catch_unwind(AssertUnwindSafe(|| execute(shared, req))) {
+        Ok(resp) => resp,
+        Err(_) => {
+            casted_obs::inc("serve.panics");
+            Response::Err("internal error: request execution panicked".into())
+        }
+    };
+    drop(span);
+    if matches!(resp, Response::Err(_)) {
+        casted_obs::inc("serve.errors");
+    }
+    Encoded {
+        cacheable: resp.cacheable(),
+        payload: encode_response(&resp),
+    }
+}
+
+fn execute(shared: &Arc<Shared>, req: &Request) -> Response {
+    let cap = shared.cfg.max_cycles;
+    match req {
+        Request::Compile { spec } => match service_api::compile_stats(spec) {
+            Ok(r) => Response::Compiled(r),
+            Err(e) => Response::Err(e),
+        },
+        Request::Simulate { spec, max_cycles } => {
+            match service_api::simulate_stats(spec, (*max_cycles).min(cap)) {
+                Ok(r) => Response::Simulated(r),
+                Err(e) => Response::Err(e),
+            }
+        }
+        Request::Inject {
+            spec,
+            trials,
+            seed,
+            engine,
+        } => {
+            if *trials > shared.cfg.max_trials {
+                return Response::Err(format!(
+                    "{trials} trials exceeds the server's limit of {}",
+                    shared.cfg.max_trials
+                ));
+            }
+            match service_api::inject_tally(spec, *trials, *seed, *engine, cap) {
+                Ok(r) => Response::Injected(r),
+                Err(e) => Response::Err(e),
+            }
+        }
+        other => Response::Err(format!("{} is not a work request", other.kind())),
+    }
+}
+
+fn send_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    write_frame(stream, &encode_response(resp))
+}
+
+fn kind_counter(req: &Request) -> &'static str {
+    match req {
+        Request::Ping => "serve.requests.ping",
+        Request::Compile { .. } => "serve.requests.compile",
+        Request::Simulate { .. } => "serve.requests.simulate",
+        Request::Inject { .. } => "serve.requests.inject",
+        Request::Counters => "serve.requests.counters",
+        Request::Shutdown => "serve.requests.shutdown",
+    }
+}
+
+/// Serve one connection: a sequence of request/response frames until
+/// EOF, a protocol error, or shutdown.
+fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let payload = match read_frame(&mut stream, MAX_FRAME) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // clean EOF
+            Err(e) if e.kind() == ErrorKind::InvalidData => {
+                // Oversized length prefix: structured reply, close.
+                casted_obs::inc("serve.errors");
+                let _ = send_response(&mut stream, &Response::Err(format!("bad frame: {e}")));
+                return;
+            }
+            Err(_) => return, // truncated mid-frame / connection reset
+        };
+        let _span = casted_obs::span("serve.request_ns");
+        casted_obs::inc("serve.requests");
+        let req = match decode_request(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // Malformed request: structured reply, then close —
+                // the stream offset is not trustworthy any more.
+                casted_obs::inc("serve.errors");
+                let _ = send_response(&mut stream, &Response::Err(format!("bad request: {e}")));
+                return;
+            }
+        };
+        casted_obs::inc(kind_counter(&req));
+        match req {
+            Request::Ping => {
+                if send_response(&mut stream, &Response::Pong).is_err() {
+                    return;
+                }
+            }
+            Request::Counters => {
+                let snap = casted_obs::snapshot_json();
+                if send_response(&mut stream, &Response::Counters(snap)).is_err() {
+                    return;
+                }
+            }
+            Request::Shutdown => {
+                let _ = send_response(&mut stream, &Response::ShuttingDown);
+                shared.initiate_shutdown();
+                return;
+            }
+            req => {
+                // Work request: cache → queue → worker.
+                let key = cache_key(&payload);
+                if let Some(bytes) = shared.cache.get(key) {
+                    if write_frame(&mut stream, &bytes).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                let (tx, rx) = mpsc::sync_channel(1);
+                shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                let pushed = shared.queue.try_push(Job {
+                    req,
+                    key,
+                    reply: tx,
+                });
+                let outcome = match pushed {
+                    Ok(depth) => {
+                        casted_obs::gauge_set("serve.queue_depth", depth as u64);
+                        match rx.recv() {
+                            Ok(bytes) => write_frame(&mut stream, &bytes),
+                            Err(_) => send_response(
+                                &mut stream,
+                                &Response::Err("worker unavailable".into()),
+                            ),
+                        }
+                    }
+                    Err(PushError::Full) => {
+                        casted_obs::inc("serve.busy");
+                        send_response(&mut stream, &Response::Busy)
+                    }
+                    Err(PushError::Closed) => send_response(&mut stream, &Response::ShuttingDown),
+                };
+                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                if outcome.is_err() {
+                    return;
+                }
+                let _ = stream.flush();
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Hardening and backpressure tests: garbage bytes cannot panic or
+//! wedge a worker, queue-full returns `Busy` without buffering, and
+//! shutdown drains accepted work before exiting.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use casted::service_api::JobSpec;
+use casted::Scheme;
+use casted_faults::Engine;
+use casted_serve::cache::CacheConfig;
+use casted_serve::client::Client;
+use casted_serve::protocol::{encode_request, Request, Response, PROTOCOL_VERSION};
+use casted_serve::server::{Server, ServerConfig};
+
+const SRC: &str = "fn main() { var s: int = 0; for i in 0..30 { s = s + i; } out(s); }";
+
+fn spec() -> JobSpec {
+    JobSpec {
+        source: SRC.into(),
+        scheme: Scheme::Casted,
+        issue: 2,
+        delay: 2,
+    }
+}
+
+/// A request that keeps one worker busy for a while: a Monte-Carlo
+/// campaign re-runs the target once per trial, so `trials` is a
+/// work-duration dial that does not depend on machine speed for
+/// correctness (only the *amount* of work is fixed).
+fn slow_request(seed: u64) -> Request {
+    Request::Inject {
+        spec: spec(),
+        trials: 1500,
+        seed,
+        engine: Engine::Reference,
+    }
+}
+
+#[test]
+fn garbage_bytes_get_structured_err_and_clean_close() {
+    let server = Server::start(ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    // 1. A well-framed payload of garbage: structured Err, then close.
+    let mut c = Client::connect(addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    let reply = c.request_raw(&[0xde, 0xad, 0xbe, 0xef, 0x00]).unwrap();
+    match casted_serve::protocol::decode_response(&reply).unwrap() {
+        Response::Err(msg) => assert!(msg.contains("bad request"), "{msg}"),
+        other => panic!("expected Err reply, got {other:?}"),
+    }
+    assert_eq!(c.read_reply().unwrap(), None, "server must close after garbage");
+
+    // 2. A frame that decodes to a valid version but a junk tag.
+    let mut c = Client::connect(addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    let reply = c.request_raw(&[PROTOCOL_VERSION, 0x7f]).unwrap();
+    assert!(matches!(
+        casted_serve::protocol::decode_response(&reply).unwrap(),
+        Response::Err(_)
+    ));
+
+    // 3. An oversized length prefix: structured Err before any read of
+    //    the (absent) payload.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    raw.flush().unwrap();
+    let reply = casted_util::codec::read_frame(&mut raw, 1 << 20)
+        .unwrap()
+        .expect("structured reply to oversized frame");
+    match casted_serve::protocol::decode_response(&reply).unwrap() {
+        Response::Err(msg) => assert!(msg.contains("bad frame"), "{msg}"),
+        other => panic!("expected Err reply, got {other:?}"),
+    }
+
+    // 4. A connection that dies mid-frame: the server just drops it.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(&100u32.to_le_bytes()).unwrap();
+    raw.write_all(&[0xab; 10]).unwrap(); // 90 bytes short
+    drop(raw);
+
+    // After all of that abuse, real work still succeeds — no worker is
+    // wedged and nothing panicked.
+    let mut c = Client::connect(addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(60))).unwrap();
+    match c.request(&Request::Compile { spec: spec() }).unwrap() {
+        Response::Compiled(r) => assert!(r.bundles > 0),
+        other => panic!("expected Compiled, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn queue_full_returns_busy_without_buffering() {
+    // One worker, queue of one: request A occupies the worker, B sits
+    // in the queue, C must bounce with Busy immediately.
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        cache: CacheConfig {
+            byte_budget: 0, // no cache: every request is a miss
+            ..CacheConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let a = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.request(&slow_request(1)).unwrap()
+    });
+    // Give A time to reach the worker.
+    std::thread::sleep(Duration::from_millis(150));
+    let b = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.request(&slow_request(2)).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(150));
+
+    // C arrives while the worker chews A and the queue holds B.
+    let mut c = Client::connect(addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    let start = std::time::Instant::now();
+    let resp_c = c.request(&slow_request(3)).unwrap();
+    assert_eq!(resp_c, Response::Busy, "queue-full must bounce immediately");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "Busy must not wait for the queue to drain"
+    );
+
+    // A and B still complete correctly — backpressure dropped C only.
+    for handle in [a, b] {
+        match handle.join().unwrap() {
+            Response::Injected(i) => assert_eq!(i.trials, 1500),
+            other => panic!("expected Injected, got {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_queued_work_before_exit() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    // Occupy the single worker, then queue one more job behind it.
+    let early = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.request(&slow_request(10)).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    let queued = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.request(&slow_request(11)).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Ask for shutdown while both jobs are outstanding.
+    let mut c = Client::connect(addr).unwrap();
+    assert_eq!(c.request(&Request::Shutdown).unwrap(), Response::ShuttingDown);
+
+    // Both in-flight jobs still get real replies: drain, don't drop.
+    for handle in [early, queued] {
+        match handle.join().unwrap() {
+            Response::Injected(i) => assert_eq!(i.trials, 1500),
+            other => panic!("expected Injected, got {other:?}"),
+        }
+    }
+
+    // New work after the drain is refused or the port is gone.
+    match Client::connect(addr) {
+        Ok(mut c) => {
+            let _ = c.set_timeout(Some(Duration::from_secs(5)));
+            match c.request(&Request::Ping) {
+                Ok(Response::ShuttingDown) | Err(_) => {}
+                Ok(other) => panic!("post-shutdown request answered: {other:?}"),
+            }
+        }
+        Err(_) => {} // listener already closed
+    }
+    server.wait();
+}
+
+#[test]
+fn request_raw_roundtrip_matches_typed_path() {
+    let server = Server::start(ServerConfig::default()).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    let req = Request::Simulate {
+        spec: spec(),
+        max_cycles: u64::MAX,
+    };
+    let raw = c.request_raw(&encode_request(&req)).unwrap();
+    let typed = c.request(&req).unwrap();
+    assert_eq!(
+        casted_serve::protocol::decode_response(&raw).unwrap(),
+        typed,
+        "raw and typed paths must agree"
+    );
+    server.shutdown();
+}

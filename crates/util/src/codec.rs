@@ -1,0 +1,285 @@
+//! Wire codec primitives — varints and length-prefixed frames.
+//!
+//! `casted-serve` speaks a binary protocol over TCP; the encoding
+//! building blocks live here, next to the other zero-dependency
+//! foundations, so the protocol layer and any future wire format share
+//! one audited implementation:
+//!
+//! * **Unsigned varints** ([`put_uvarint`]/[`get_uvarint`]) — LEB128,
+//!   at most 10 bytes for a `u64`.
+//! * **Signed varints** ([`put_ivarint`]/[`get_ivarint`]) — zigzag
+//!   mapping over the unsigned form, so small negative numbers stay
+//!   small on the wire.
+//! * **Byte strings** ([`put_bytes`]/[`get_bytes`],
+//!   [`put_str`]/[`get_str`]) — varint length followed by the raw
+//!   bytes, with a caller-supplied bound so a corrupt length can never
+//!   force a huge allocation.
+//! * **Frames** ([`write_frame`]/[`read_frame`]) — a fixed 4-byte
+//!   little-endian `u32` length prefix followed by the payload.
+//!   Oversized lengths are rejected *before* any allocation
+//!   (`InvalidData`); a connection that dies mid-frame surfaces as
+//!   `UnexpectedEof`, never as a short, silently-truncated payload.
+//!
+//! Everything here is deterministic: the same value always encodes to
+//! the same bytes, which is what lets `casted-serve` use the encoded
+//! request itself as a content-addressed cache key.
+
+use std::io::{self, Read, Write};
+
+/// Maximum encoded size of a `u64` varint.
+pub const MAX_UVARINT_LEN: usize = 10;
+
+/// Append `v` to `buf` as a LEB128 unsigned varint.
+pub fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decode a LEB128 unsigned varint from `bytes` at `*pos`, advancing
+/// `*pos` past it. Strictly canonical: returns `None` on truncation,
+/// on overflow past [`MAX_UVARINT_LEN`] bytes, and on any non-minimal
+/// encoding (a terminating byte of `0x00` after a continuation, e.g.
+/// `80 00` for zero). Strictness means decode∘encode is the identity
+/// on byte strings, not just on values — the invariant the
+/// content-addressed cache key in `casted-serve` relies on.
+pub fn get_uvarint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    for i in 0..MAX_UVARINT_LEN {
+        let byte = *bytes.get(*pos + i)?;
+        let payload = (byte & 0x7f) as u64;
+        // The 10th byte may only carry the single remaining bit.
+        if i == MAX_UVARINT_LEN - 1 && payload > 1 {
+            return None;
+        }
+        v |= payload << (7 * i);
+        if byte & 0x80 == 0 {
+            // A zero terminating byte after a continuation byte is an
+            // over-long (non-minimal) encoding.
+            if i > 0 && payload == 0 {
+                return None;
+            }
+            *pos += i + 1;
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Zigzag-map a signed value so small magnitudes encode short.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append `v` to `buf` as a zigzag signed varint.
+pub fn put_ivarint(buf: &mut Vec<u8>, v: i64) {
+    put_uvarint(buf, zigzag(v));
+}
+
+/// Decode a zigzag signed varint.
+pub fn get_ivarint(bytes: &[u8], pos: &mut usize) -> Option<i64> {
+    get_uvarint(bytes, pos).map(unzigzag)
+}
+
+/// Append a length-prefixed byte string.
+pub fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    put_uvarint(buf, bytes.len() as u64);
+    buf.extend_from_slice(bytes);
+}
+
+/// Decode a length-prefixed byte string of at most `max_len` bytes.
+/// The bound is checked against the *remaining input* before any copy,
+/// so a corrupt length cannot trigger a large allocation.
+pub fn get_bytes<'a>(bytes: &'a [u8], pos: &mut usize, max_len: usize) -> Option<&'a [u8]> {
+    let len = get_uvarint(bytes, pos)?;
+    if len > max_len as u64 || *pos + len as usize > bytes.len() {
+        return None;
+    }
+    let out = &bytes[*pos..*pos + len as usize];
+    *pos += len as usize;
+    Some(out)
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+/// Decode a length-prefixed UTF-8 string (`None` on invalid UTF-8).
+pub fn get_str<'a>(bytes: &'a [u8], pos: &mut usize, max_len: usize) -> Option<&'a str> {
+    std::str::from_utf8(get_bytes(bytes, pos, max_len)?).ok()
+}
+
+/// Write one frame: 4-byte little-endian length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame payload over 4 GiB"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame of at most `max_len` payload bytes.
+///
+/// * `Ok(None)` — clean end of stream (EOF exactly at a frame
+///   boundary, i.e. the peer closed between requests).
+/// * `Err(UnexpectedEof)` — the stream died mid-frame (truncated
+///   length prefix or truncated payload).
+/// * `Err(InvalidData)` — the length prefix exceeds `max_len`; nothing
+///   is allocated or consumed past the prefix.
+pub fn read_frame(r: &mut impl Read, max_len: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut prefix[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame length prefix",
+                ))
+            }
+            n => got += n,
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > max_len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {max_len}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "stream ended inside a frame payload",
+            )
+        } else {
+            e
+        }
+    })?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn uvarint_round_trips_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            assert!(buf.len() <= MAX_UVARINT_LEN);
+            let mut pos = 0;
+            assert_eq!(get_uvarint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len(), "decoder must consume exactly what was written");
+        }
+    }
+
+    #[test]
+    fn uvarint_rejects_truncation_and_overlong() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(get_uvarint(&buf[..cut], &mut pos), None, "cut at {cut}");
+        }
+        // 10 continuation bytes never terminate; 10th byte with too
+        // many payload bits overflows.
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&[0x80; 10], &mut pos), None);
+        let mut overlong = vec![0xff; 9];
+        overlong.push(0x02); // bit 64 set
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&overlong, &mut pos), None);
+        // Non-minimal encodings of small values are rejected too.
+        for enc in [&[0x80, 0x00][..], &[0x81, 0x00][..], &[0xff, 0x80, 0x00][..]] {
+            let mut pos = 0;
+            assert_eq!(get_uvarint(enc, &mut pos), None, "{enc:02x?}");
+        }
+    }
+
+    #[test]
+    fn ivarint_round_trips_and_keeps_small_negatives_short() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            put_ivarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_ivarint(&buf, &mut pos), Some(v));
+        }
+        let mut buf = Vec::new();
+        put_ivarint(&mut buf, -2);
+        assert_eq!(buf.len(), 1, "zigzag must keep -2 to one byte");
+    }
+
+    #[test]
+    fn bytes_and_str_round_trip_with_bound() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "héllo");
+        put_bytes(&mut buf, &[1, 2, 3]);
+        let mut pos = 0;
+        assert_eq!(get_str(&buf, &mut pos, 64), Some("héllo"));
+        assert_eq!(get_bytes(&buf, &mut pos, 64), Some(&[1u8, 2, 3][..]));
+        assert_eq!(pos, buf.len());
+        // A bound below the encoded length rejects without reading.
+        let mut pos = 0;
+        assert_eq!(get_bytes(&buf, &mut pos, 2), None);
+        // A length prefix pointing past the input rejects too.
+        let mut corrupt = Vec::new();
+        put_uvarint(&mut corrupt, 1000);
+        let mut pos = 0;
+        assert_eq!(get_bytes(&corrupt, &mut pos, 1 << 20), None);
+    }
+
+    #[test]
+    fn get_str_rejects_invalid_utf8() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, &[0xff, 0xfe]);
+        let mut pos = 0;
+        assert_eq!(get_str(&buf, &mut pos, 64), None);
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload one").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = Cursor::new(wire);
+        assert_eq!(read_frame(&mut r, 64).unwrap().as_deref(), Some(&b"payload one"[..]));
+        assert_eq!(read_frame(&mut r, 64).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r, 64).unwrap(), None, "clean EOF between frames");
+    }
+
+    #[test]
+    fn frame_rejects_oversized_length_without_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame(&mut Cursor::new(wire), 1 << 20).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn frame_truncation_is_unexpected_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"abcdef").unwrap();
+        for cut in 1..wire.len() {
+            let err = read_frame(&mut Cursor::new(&wire[..cut]), 64).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+}

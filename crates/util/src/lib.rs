@@ -21,6 +21,8 @@
 //! * [`hash`] — streaming 64-bit FNV-1a digests, the shared
 //!   fingerprint format of the golden tests and of the
 //!   `casted-difftest` differential logs.
+//! * [`codec`] — varint + length-prefixed-frame wire primitives used
+//!   by the `casted-serve` binary protocol (see `docs/SERVING.md`).
 //!
 //! Its sibling `casted-obs` follows the same zero-dependency rule for
 //! observability (replacing `metrics`/`tracing`): atomic counters,
@@ -30,6 +32,7 @@
 //! can record without a dependency cycle.
 
 pub mod bench;
+pub mod codec;
 pub mod hash;
 pub mod pool;
 pub mod prop;

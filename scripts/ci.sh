@@ -66,4 +66,56 @@ grep -v 'faults\.checkpoint\.' "$log_dir/eng_ckpt/counters.json" > "$log_dir/ckp
 cmp "$log_dir/ref_common.json" "$log_dir/ckpt_common.json"
 echo "engines byte-identical over the quick grid (coverage CSV + common counters)"
 
+echo "== casted-serve loopback smoke (offline, ephemeral port) =="
+# Start the service on an ephemeral loopback port, push one request of
+# each kind through casted-client, assert the content-addressed cache
+# reports a hit for a repeated identical request, then shut down
+# gracefully — the server must drain and exit 0. Everything is local
+# TCP; no network access is involved. See docs/SERVING.md.
+serve_bin=target/release/casted-serve
+client_bin=target/release/casted-client
+smoke_src="$log_dir/smoke.mc"
+cat > "$smoke_src" <<'EOF'
+fn main() { var s: int = 0; for i in 0..60 { s = s + i * i; } out(s); }
+EOF
+"$serve_bin" --metrics-counters > "$log_dir/serve.log" &
+serve_pid=$!
+# A failure below must not orphan the server.
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$log_dir"' EXIT
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/^casted-serve listening on //p' "$log_dir/serve.log")"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "casted-serve did not come up" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+"$client_bin" --addr "$addr" ping | grep -q pong
+"$client_bin" --addr "$addr" compile  --file "$smoke_src" --scheme casted --issue 2 --delay 2 \
+  | grep -q '^bundles: '
+"$client_bin" --addr "$addr" simulate --file "$smoke_src" --scheme casted --issue 2 --delay 2 \
+  > "$log_dir/sim1.out"
+grep -q '^cycles: ' "$log_dir/sim1.out"
+"$client_bin" --addr "$addr" inject   --file "$smoke_src" --scheme casted --issue 2 --delay 2 \
+  --trials 60 --seed 0xCA57ED --engine checkpointed | grep -q '^trials: 60$'
+# The repeated identical request must be served from the cache and be
+# byte-identical to the first reply.
+"$client_bin" --addr "$addr" simulate --file "$smoke_src" --scheme casted --issue 2 --delay 2 \
+  > "$log_dir/sim2.out"
+cmp "$log_dir/sim1.out" "$log_dir/sim2.out"
+"$client_bin" --addr "$addr" counters > "$log_dir/serve_counters.json"
+hits="$(sed -n 's/.*"serve\.cache\.hit": \([0-9]*\).*/\1/p' "$log_dir/serve_counters.json")"
+if [ -z "$hits" ] || [ "$hits" -lt 1 ]; then
+  echo "expected at least one serve.cache.hit, got '${hits:-none}'" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+"$client_bin" --addr "$addr" shutdown | grep -q 'shutting down'
+wait "$serve_pid"   # graceful drain must exit 0 (set -e enforces it)
+grep -q '"serve\.cache\.hit"' "$log_dir/serve.log"
+echo "serve smoke green (cache hits: $hits, graceful exit 0)"
+
 echo "tier-1 green"

@@ -1,0 +1,120 @@
+//! Serve-level determinism gate: for the same request, the cached
+//! reply and the cold-path reply are **byte-identical** — across
+//! repeats on one server and across fresh server processes.
+//!
+//! This is the property the content-addressed cache rests on: the
+//! cache stores encoded reply frames keyed by the canonical request
+//! encoding, so a hit replays exactly what a recomputation would have
+//! written. The test closes the loop end to end over the real TCP
+//! path.
+
+use casted::service_api::JobSpec;
+use casted::Scheme;
+use casted_faults::Engine;
+use casted_serve::client::Client;
+use casted_serve::protocol::{decode_response, encode_request, Request, Response};
+use casted_serve::server::{Server, ServerConfig};
+
+const SRC: &str =
+    "fn main() { var s: int = 0; for i in 0..40 { s = s + i * i; } out(s); }";
+
+fn spec(scheme: Scheme) -> JobSpec {
+    JobSpec {
+        source: SRC.into(),
+        scheme,
+        issue: 2,
+        delay: 2,
+    }
+}
+
+fn start() -> Server {
+    Server::start(ServerConfig::default()).expect("bind loopback")
+}
+
+fn requests() -> Vec<Request> {
+    vec![
+        Request::Compile {
+            spec: spec(Scheme::Casted),
+        },
+        Request::Simulate {
+            spec: spec(Scheme::Sced),
+            max_cycles: u64::MAX,
+        },
+        Request::Inject {
+            spec: spec(Scheme::Casted),
+            trials: 30,
+            seed: 11,
+            engine: Engine::Checkpointed,
+        },
+    ]
+}
+
+#[test]
+fn cached_and_uncached_replies_are_byte_identical() {
+    let server = start();
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+    for req in requests() {
+        let payload = encode_request(&req);
+        let cold = client.request_raw(&payload).unwrap();
+        // Same connection, now a cache hit.
+        let hit = client.request_raw(&payload).unwrap();
+        assert_eq!(cold, hit, "cache hit differed from cold path for {req:?}");
+        // A different connection hits the same cache entry.
+        let mut other = Client::connect(addr).unwrap();
+        let hit2 = other.request_raw(&payload).unwrap();
+        assert_eq!(cold, hit2, "cross-connection hit differed for {req:?}");
+        // And it is a real, successful reply — not an error that
+        // accidentally compared equal.
+        let resp = decode_response(&cold).unwrap();
+        assert!(resp.cacheable(), "unexpected reply {resp:?} for {req:?}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn fresh_server_cold_path_reproduces_the_same_bytes() {
+    // Two independent server processes (well: instances), no shared
+    // state — the cold-path computation itself must be deterministic.
+    let replies: Vec<Vec<Vec<u8>>> = (0..2)
+        .map(|_| {
+            let server = start();
+            let mut client = Client::connect(server.addr()).unwrap();
+            let out = requests()
+                .iter()
+                .map(|req| client.request_raw(&encode_request(req)).unwrap())
+                .collect();
+            server.shutdown();
+            out
+        })
+        .collect();
+    assert_eq!(
+        replies[0], replies[1],
+        "fresh-server replies must be byte-identical"
+    );
+}
+
+#[test]
+fn inject_engines_agree_over_the_wire() {
+    let server = start();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let tally = |engine: Engine, client: &mut Client| {
+        let req = Request::Inject {
+            spec: spec(Scheme::Casted),
+            trials: 30,
+            seed: 5,
+            engine,
+        };
+        match client.request(&req).unwrap() {
+            Response::Injected(i) => i,
+            other => panic!("unexpected reply {other:?}"),
+        }
+    };
+    let reference = tally(Engine::Reference, &mut client);
+    let checkpointed = tally(Engine::Checkpointed, &mut client);
+    assert_eq!(
+        reference, checkpointed,
+        "campaign engines must agree field for field over the wire"
+    );
+    server.shutdown();
+}
