@@ -1,27 +1,35 @@
-//! Campaign throughput: the checkpointed fault-injection engine
-//! against the reference engine, measured in **trials/sec** over the
-//! quick coverage grid (three representative benchmarks × all four
-//! schemes at issue 2, delay 2 — the same cells `fig9 --quick` runs).
+//! Campaign throughput: the checkpointed and batched fault-injection
+//! engines against the reference engine, measured in **trials/sec**
+//! over the quick coverage grid (three representative benchmarks ×
+//! all four schemes at issue 2, delay 2 — the same cells `fig9
+//! --quick` runs).
 //!
-//! Both engines consume the identical frozen injection stream and, as
+//! All engines consume the identical frozen injection stream and, as
 //! a precondition of the measurement, are cross-checked here to
-//! produce byte-identical tallies. Results are printed in the
+//! produce byte-identical tallies. The batched engine is additionally
+//! swept over lane widths (8–300 lanes per batch) to expose how the
+//! structure-of-arrays stepping scales with batch width. Results are printed in the
 //! in-repo runner's format and written to `BENCH_faults.json` at the
-//! workspace root (median/MAD over the timed samples, plus the
-//! checkpointed/reference speedup) so the perf trajectory has a
-//! recorded datapoint. `CASTED_BENCH_QUICK=1` drops to a single
-//! sample for smoke runs.
+//! workspace root (median/MAD over the timed samples, plus each
+//! engine's speedup over reference) so the perf trajectory has a
+//! recorded datapoint; see `docs/PERFORMANCE.md` for the field
+//! reference. Samples are interleaved round-robin across all engines
+//! and widths so slow host drift cannot bias one row's median.
+//! `CASTED_BENCH_QUICK=1` drops to a single sample for smoke runs.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use casted_faults::{run_campaign_engine, CampaignConfig, Engine};
+use casted_faults::{
+    run_campaign_engine, run_campaign_engine_lanes, CampaignConfig, Engine, DEFAULT_LANE_WIDTH,
+};
 use casted_ir::vliw::ScheduledProgram;
 use casted_ir::MachineConfig;
 use casted_util::bench::median_mad;
 
-const TRIALS: usize = 40;
+const TRIALS: usize = 300;
 const SAMPLES: usize = 5;
+const LANE_SWEEP: &[usize] = &[8, 16, 64, 150, 300];
 
 struct Cell {
     label: String,
@@ -48,20 +56,43 @@ fn quick_grid_cells() -> Vec<Cell> {
 }
 
 /// Time one full pass over the grid with `engine`; returns trials/sec.
-fn sample(cells: &[Cell], campaign: &CampaignConfig, engine: Engine) -> f64 {
+fn sample(cells: &[Cell], campaign: &CampaignConfig, engine: Engine, lanes: usize) -> f64 {
     let t0 = Instant::now();
     for cell in cells {
-        casted_util::bench::black_box(run_campaign_engine(&cell.sp, campaign, engine));
+        casted_util::bench::black_box(run_campaign_engine_lanes(
+            &cell.sp, campaign, engine, lanes,
+        ));
     }
     let secs = t0.elapsed().as_secs_f64();
     (cells.len() * campaign.trials) as f64 / secs
 }
 
-fn measure(cells: &[Cell], campaign: &CampaignConfig, engine: Engine, samples: usize) -> (f64, f64) {
-    let mut rates: Vec<f64> = (0..samples)
-        .map(|_| sample(cells, campaign, engine))
-        .collect();
-    median_mad(&mut rates)
+/// Measure every configuration with samples interleaved round-robin
+/// (one sample of each per round) rather than back-to-back: the host's
+/// throughput drifts on a scale of minutes, and consecutive sampling
+/// would fold that drift into whichever engine happened to run during
+/// a slow stretch. Interleaving lands the drift evenly, so the
+/// *ratios* between rows compare like with like.
+fn measure_all(
+    cells: &[Cell],
+    campaign: &CampaignConfig,
+    configs: &[(Engine, usize)],
+    samples: usize,
+) -> Vec<(f64, f64)> {
+    let mut rates: Vec<Vec<f64>> = vec![Vec::with_capacity(samples); configs.len()];
+    for _ in 0..samples {
+        for (i, &(engine, lanes)) in configs.iter().enumerate() {
+            rates[i].push(sample(cells, campaign, engine, lanes));
+        }
+    }
+    rates.iter_mut().map(|r| median_mad(r)).collect()
+}
+
+fn print_row(label: &str, med: f64, mad: f64, samples: usize) {
+    println!(
+        "bench {:<50} median {:>10.0} trials/s  mad {:>9.0}  (n={samples})",
+        label, med, mad
+    );
 }
 
 fn main() {
@@ -77,23 +108,49 @@ fn main() {
     // tallies — otherwise trials/sec compares different work.
     for cell in &cells {
         let r = run_campaign_engine(&cell.sp, &campaign, Engine::Reference);
-        let c = run_campaign_engine(&cell.sp, &campaign, Engine::Checkpointed);
-        assert_eq!(r.tally, c.tally, "{}: engines disagree", cell.label);
+        for engine in [Engine::Checkpointed, Engine::Batched] {
+            let other = run_campaign_engine(&cell.sp, &campaign, engine);
+            assert_eq!(
+                r.tally,
+                other.tally,
+                "{}: {} disagrees with reference",
+                cell.label,
+                engine.name()
+            );
+        }
     }
 
-    let (ref_med, ref_mad) = measure(&cells, &campaign, Engine::Reference, samples);
-    let (ckpt_med, ckpt_mad) = measure(&cells, &campaign, Engine::Checkpointed, samples);
-    let speedup = ckpt_med / ref_med;
+    let mut configs: Vec<(Engine, usize)> = vec![
+        (Engine::Reference, 0),
+        (Engine::Checkpointed, 0),
+        (Engine::Batched, DEFAULT_LANE_WIDTH),
+    ];
+    configs.extend(LANE_SWEEP.iter().map(|&w| (Engine::Batched, w)));
+    let measured = measure_all(&cells, &campaign, &configs, samples);
 
-    println!(
-        "bench {:<50} median {:>10.0} trials/s  mad {:>9.0}  (n={samples})",
-        "faults_campaign/reference", ref_med, ref_mad
+    let (ref_med, ref_mad) = measured[0];
+    let (ckpt_med, ckpt_mad) = measured[1];
+    let (batch_med, batch_mad) = measured[2];
+    let ckpt_speedup = ckpt_med / ref_med;
+    let batch_speedup = batch_med / ref_med;
+
+    print_row("faults_campaign/reference", ref_med, ref_mad, samples);
+    print_row("faults_campaign/checkpointed", ckpt_med, ckpt_mad, samples);
+    print_row(
+        &format!("faults_campaign/batched(w={DEFAULT_LANE_WIDTH})"),
+        batch_med,
+        batch_mad,
+        samples,
     );
-    println!(
-        "bench {:<50} median {:>10.0} trials/s  mad {:>9.0}  (n={samples})",
-        "faults_campaign/checkpointed", ckpt_med, ckpt_mad
-    );
-    println!("checkpointed/reference speedup: {speedup:.2}x (median trials/sec)");
+
+    let mut sweep = Vec::new();
+    for (&w, &(med, mad)) in LANE_SWEEP.iter().zip(&measured[3..]) {
+        print_row(&format!("faults_campaign/batched/lanes={w}"), med, mad, samples);
+        sweep.push((w, med, mad));
+    }
+
+    println!("checkpointed/reference speedup: {ckpt_speedup:.2}x (median trials/sec)");
+    println!("batched/reference speedup: {batch_speedup:.2}x (median trials/sec)");
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -105,6 +162,7 @@ fn main() {
     let _ = writeln!(json, "  \"cells\": {},", cells.len());
     let _ = writeln!(json, "  \"trials_per_campaign\": {TRIALS},");
     let _ = writeln!(json, "  \"samples\": {samples},");
+    let _ = writeln!(json, "  \"lane_width\": {DEFAULT_LANE_WIDTH},");
     let _ = writeln!(json, "  \"trials_per_sec\": {{");
     let _ = writeln!(
         json,
@@ -112,10 +170,25 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "    \"checkpointed\": {{\"median\": {ckpt_med:.1}, \"mad\": {ckpt_mad:.1}}}"
+        "    \"checkpointed\": {{\"median\": {ckpt_med:.1}, \"mad\": {ckpt_mad:.1}}},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"batched\": {{\"median\": {batch_med:.1}, \"mad\": {batch_mad:.1}}}"
     );
     let _ = writeln!(json, "  }},");
-    let _ = writeln!(json, "  \"speedup_median\": {speedup:.2}");
+    let _ = writeln!(json, "  \"lane_sweep\": [");
+    for (i, (w, med, mad)) in sweep.iter().enumerate() {
+        let comma = if i + 1 < sweep.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"lanes\": {w}, \"median\": {med:.1}, \"mad\": {mad:.1}, \"speedup\": {:.2}}}{comma}",
+            med / ref_med
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedup_median\": {ckpt_speedup:.2},");
+    let _ = writeln!(json, "  \"speedup_batched_median\": {batch_speedup:.2}");
     let _ = writeln!(json, "}}");
 
     // cargo runs bench targets with the package directory as cwd;

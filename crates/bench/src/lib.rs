@@ -38,8 +38,8 @@ pub struct RunOpts {
     /// Write the deterministic counter-only metrics snapshot here
     /// (byte-reproducible for seeded runs; what CI `cmp`s).
     pub metrics_counters: Option<PathBuf>,
-    /// Fault-campaign engine (`--engine reference|checkpointed`).
-    /// Both produce byte-identical tallies; CI cross-checks them.
+    /// Fault-campaign engine (`--engine reference|checkpointed|batched`).
+    /// All produce byte-identical tallies; CI cross-checks them.
     pub engine: casted_faults::Engine,
 }
 
@@ -87,9 +87,15 @@ pub fn parse_args() -> RunOpts {
                 ));
             }
             "--engine" => {
-                let name = args.next().expect("--engine needs reference|checkpointed");
-                opts.engine = casted_faults::Engine::parse(&name)
-                    .unwrap_or_else(|| panic!("unknown engine {name:?} (want reference|checkpointed)"));
+                let name = args
+                    .next()
+                    .unwrap_or_else(|| panic!("--engine needs {}", casted_faults::Engine::ACCEPTED));
+                opts.engine = casted_faults::Engine::parse(&name).unwrap_or_else(|| {
+                    panic!(
+                        "unknown engine {name:?} (accepted values: {})",
+                        casted_faults::Engine::ACCEPTED
+                    )
+                });
             }
             other => {
                 eprintln!("warning: ignoring unknown argument {other:?}");

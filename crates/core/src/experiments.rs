@@ -645,10 +645,12 @@ mod tests {
             ..Default::default()
         };
         let a = coverage_sweep_with(&[tiny_workload()], &spec, &campaign, Engine::Reference);
-        let b = coverage_sweep_with(&[tiny_workload()], &spec, &campaign, Engine::Checkpointed);
-        assert_eq!(a.len(), b.len());
-        for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.tally, y.tally, "{} engines disagree", x.benchmark);
+        for engine in [Engine::Checkpointed, Engine::Batched] {
+            let b = coverage_sweep_with(&[tiny_workload()], &spec, &campaign, engine);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.tally, y.tally, "{} engines disagree", x.benchmark);
+            }
         }
     }
 

@@ -307,6 +307,8 @@ mod tests {
         assert_eq!(a, b);
         let r = inject_tally(&s, 40, 7, Engine::Reference, u64::MAX).unwrap();
         assert_eq!(a, r, "engines must agree field for field");
+        let bt = inject_tally(&s, 40, 7, Engine::Batched, u64::MAX).unwrap();
+        assert_eq!(a, bt, "batched engine must agree field for field");
         assert_eq!(a.trials, 40);
         assert_eq!(a.counts.iter().sum::<u64>(), 40);
     }

@@ -371,7 +371,8 @@ pub fn run_case_with(cfg: &CaseConfig, hooks: &Hooks) -> Result<CaseReport, Dive
             ..Default::default()
         };
         let reference = casted_faults::run_campaign_reference(&prep.sp, &ccfg);
-        let checkpointed = casted_faults::run_campaign(&prep.sp, &ccfg);
+        let checkpointed =
+            casted_faults::run_campaign_engine(&prep.sp, &ccfg, casted_faults::Engine::Checkpointed);
         if reference.tally != checkpointed.tally {
             return Err(Divergence::new(
                 stage,
@@ -381,6 +382,20 @@ pub fn run_case_with(cfg: &CaseConfig, hooks: &Hooks) -> Result<CaseReport, Dive
                     checkpointed.tally.counts,
                     checkpointed.engine.pruned_trials,
                     checkpointed.engine.skipped_insns,
+                ),
+            ));
+        }
+        let batched =
+            casted_faults::run_campaign_engine(&prep.sp, &ccfg, casted_faults::Engine::Batched);
+        if reference.tally != batched.tally {
+            return Err(Divergence::new(
+                stage,
+                format!(
+                    "campaign engines diverged over {ENGINE_TRIALS} trials: reference {:?} vs batched {:?} (lanes {}, diverged {})",
+                    reference.tally.counts,
+                    batched.tally.counts,
+                    batched.engine.batch.lanes,
+                    batched.engine.batch.divergences,
                 ),
             ));
         }

@@ -18,9 +18,11 @@ use casted_util::Rng;
 use casted_ir::interp::StopReason;
 use casted_ir::vliw::ScheduledProgram;
 use casted_sim::{
-    golden_with_checkpoints, replay_trial, simulate, simulate_quiet, GoldenTrace, Injection,
-    SimOptions, SimResult, TrialRun,
+    golden_with_checkpoints, replay_trial, run_batch, simulate, simulate_quiet, BatchStats,
+    GoldenTrace, Injection, LaneVerdict, SimOptions, SimResult, TrialRun,
 };
+
+pub use casted_sim::DEFAULT_LANE_WIDTH;
 
 /// The five outcome classes of §IV-C.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -137,8 +139,14 @@ impl Tally {
     /// "Coverage" in the loose sense used when discussing Fig. 9:
     /// everything except undetected corruption and timeouts (benign
     /// faults need no detection; exceptions are catchable).
+    ///
+    /// Clamped to `[0, 1]`: the two independently rounded divisions
+    /// can sum to just over 1.0 (e.g. counts `[0,0,0,4,1]` give
+    /// `1.0 - 4/5 - 1/5 ≈ -5.6e-17`), and the raw subtraction would
+    /// leak a negative coverage into results CSVs.
     pub fn safe_fraction(&self) -> f64 {
-        1.0 - self.fraction(Outcome::DataCorrupt) - self.fraction(Outcome::Timeout)
+        (1.0 - self.fraction(Outcome::DataCorrupt) - self.fraction(Outcome::Timeout))
+            .clamp(0.0, 1.0)
     }
 }
 
@@ -151,7 +159,7 @@ impl std::fmt::Display for Tally {
     }
 }
 
-/// Which campaign engine to run. Both produce byte-identical
+/// Which campaign engine to run. All engines produce byte-identical
 /// [`Tally`] results from the same seed — an invariant enforced by
 /// unit tests here, a difftest oracle layer and a `scripts/ci.sh`
 /// byte-compare (see docs/PERFORMANCE.md).
@@ -161,16 +169,28 @@ pub enum Engine {
     Reference,
     /// Checkpoint/replay engine: golden-run snapshots, fast-forward
     /// to the injection site, convergence pruning, pooled trials.
-    #[default]
     Checkpointed,
+    /// Batched structure-of-arrays engine: N trials stepped in
+    /// lockstep over the shared instruction stream from a shared
+    /// checkpoint, paying the structural per-instruction work once per
+    /// batch; structurally diverging lanes fall back to the
+    /// checkpointed replay path (see `casted_sim::batch`).
+    #[default]
+    Batched,
 }
 
 impl Engine {
-    /// Parse a `--engine` flag value.
+    /// Accepted `--engine` flag values, for error messages at every
+    /// flag site.
+    pub const ACCEPTED: &'static str = "reference|checkpointed|batched";
+
+    /// Parse a `--engine` flag value (case-insensitive, so `Reference`
+    /// and `BATCHED` work as well as the canonical lowercase names).
     pub fn parse(s: &str) -> Option<Engine> {
-        match s {
+        match s.to_ascii_lowercase().as_str() {
             "reference" => Some(Engine::Reference),
             "checkpointed" => Some(Engine::Checkpointed),
+            "batched" => Some(Engine::Batched),
             _ => None,
         }
     }
@@ -180,20 +200,26 @@ impl Engine {
         match self {
             Engine::Reference => "reference",
             Engine::Checkpointed => "checkpointed",
+            Engine::Batched => "batched",
         }
     }
 }
 
-/// Checkpoint-engine work accounting for one campaign (all zero under
-/// [`Engine::Reference`]).
+/// Engine-side work accounting for one campaign (all zero under
+/// [`Engine::Reference`]). The checkpoint fields cover snapshot
+/// capture and the single-trial replay path — which the batched
+/// engine also uses, for diverged lanes and singleton batches.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Golden-run snapshots captured (incl. the power-on state).
     pub checkpoints: u64,
-    /// Golden-prefix instructions trials skipped via fast-forward.
+    /// Golden-prefix instructions single-trial replays skipped via
+    /// fast-forward.
     pub skipped_insns: u64,
-    /// Trials ended early by convergence pruning.
+    /// Single-trial replays ended early by convergence pruning.
     pub pruned_trials: u64,
+    /// Batched-engine lane accounting (zeroed for the other engines).
+    pub batch: BatchStats,
 }
 
 /// Result of a whole campaign.
@@ -328,7 +354,21 @@ pub fn run_campaign_reference(sp: &ScheduledProgram, cfg: &CampaignConfig) -> Ca
 
 /// [`run_campaign`] with an explicit engine choice.
 pub fn run_campaign_engine(sp: &ScheduledProgram, cfg: &CampaignConfig, engine: Engine) -> CampaignResult {
-    campaign_core(sp, cfg, engine, &mut |rng, dyn_insns| {
+    run_campaign_engine_lanes(sp, cfg, engine, DEFAULT_LANE_WIDTH)
+}
+
+/// [`run_campaign_engine`] with an explicit batch lane width — only
+/// meaningful for [`Engine::Batched`] (the `bench_faults` lane-count
+/// sweep drives this); the other engines ignore it. The tally is
+/// independent of the width: lane grouping never changes per-trial
+/// classification, only how much structural work is shared.
+pub fn run_campaign_engine_lanes(
+    sp: &ScheduledProgram,
+    cfg: &CampaignConfig,
+    engine: Engine,
+    lane_width: usize,
+) -> CampaignResult {
+    campaign_core(sp, cfg, engine, lane_width, &mut |rng, dyn_insns| {
         let (at, bit) = draw_injection(rng, dyn_insns);
         Injection {
             at_dyn_insn: at,
@@ -351,6 +391,7 @@ fn campaign_core(
     sp: &ScheduledProgram,
     cfg: &CampaignConfig,
     engine: Engine,
+    lane_width: usize,
     draw: &mut dyn FnMut(&mut Rng, u64) -> Injection,
 ) -> CampaignResult {
     match engine {
@@ -428,6 +469,133 @@ fn campaign_core(
                 engine: engine_stats,
             }
         }
+        Engine::Batched => {
+            let trace = golden_with_checkpoints(sp);
+            assert!(
+                matches!(trace.result.stop, StopReason::Halt(_)),
+                "campaign target must run fault-free to completion, got {:?}",
+                trace.result.stop
+            );
+            let golden_cycles = trace.result.stats.cycles;
+            let golden_dyn = trace.result.stats.dyn_insns;
+            let max_cycles = golden_cycles.saturating_mul(cfg.timeout_factor);
+
+            let mut rng = Rng::seed_from_u64(cfg.seed);
+            let injections: Vec<Injection> =
+                (0..cfg.trials).map(|_| draw(&mut rng, golden_dyn)).collect();
+
+            let span = casted_obs::span("faults.campaign_ns");
+
+            // Sort trials by injection site and cut the sorted order
+            // into lane_width batches. Each batch restores the
+            // checkpoint strictly before its *earliest* site (the
+            // identical rule a single-trial replay uses, via
+            // `restore_index`); lanes with later sites stay virtual —
+            // costing nothing — until the shared leader reaches them,
+            // so one leader replay is amortized over the whole batch
+            // even when its sites span several checkpoint buckets,
+            // and the leaders' combined stepping telescopes to about
+            // one pass over the golden run per campaign. A singleton
+            // batch would be one lane of pure overhead — those trials
+            // go straight to `replay_trial`.
+            let lane_width = lane_width.max(2);
+            let mut order: Vec<usize> = (0..injections.len()).collect();
+            order.sort_by_key(|&i| (injections[i].at_dyn_insn, i));
+            let mut batches: Vec<(usize, Vec<usize>)> = Vec::new();
+            for chunk in order.chunks(lane_width) {
+                let ckpt = trace.restore_index(injections[chunk[0]].at_dyn_insn);
+                batches.push((ckpt, chunk.to_vec()));
+            }
+
+            let results = run_pool(
+                batches
+                    .into_iter()
+                    .map(|(ckpt, ids)| {
+                        let trace: &GoldenTrace = &trace;
+                        let injections: &[Injection] = &injections;
+                        move || {
+                            let mut outcomes: Vec<(usize, Outcome)> =
+                                Vec::with_capacity(ids.len());
+                            let mut bstats = BatchStats::default();
+                            let (mut skipped, mut pruned) = (0u64, 0u64);
+                            let replay_one = |inj: Injection,
+                                                  skipped: &mut u64,
+                                                  pruned: &mut u64| {
+                                let (run, rs) = replay_trial(sp, trace, inj, max_cycles);
+                                *skipped += rs.skipped_insns;
+                                *pruned += rs.pruned as u64;
+                                match run {
+                                    TrialRun::Finished(r) => classify(&trace.result, &r),
+                                    TrialRun::Converged => Outcome::Benign,
+                                }
+                            };
+                            if ids.len() == 1 {
+                                let o = replay_one(injections[ids[0]], &mut skipped, &mut pruned);
+                                outcomes.push((ids[0], o));
+                            } else {
+                                let injs: Vec<Injection> =
+                                    ids.iter().map(|&i| injections[i]).collect();
+                                let (verdicts, bs) =
+                                    run_batch(sp, trace, ckpt, &injs, max_cycles);
+                                bstats.accumulate(bs);
+                                for (&trial, &v) in ids.iter().zip(&verdicts) {
+                                    let o = match v {
+                                        LaneVerdict::Halted {
+                                            matches_golden: true,
+                                        }
+                                        | LaneVerdict::Converged => Outcome::Benign,
+                                        LaneVerdict::Halted {
+                                            matches_golden: false,
+                                        } => Outcome::DataCorrupt,
+                                        LaneVerdict::Detected => Outcome::Detected,
+                                        LaneVerdict::Exception => Outcome::Exception,
+                                        LaneVerdict::Timeout => Outcome::Timeout,
+                                        // The batch proves nothing
+                                        // about a structurally
+                                        // diverged lane: replay that
+                                        // one trial on the exact path.
+                                        LaneVerdict::Diverged => replay_one(
+                                            injections[trial],
+                                            &mut skipped,
+                                            &mut pruned,
+                                        ),
+                                    };
+                                    outcomes.push((trial, o));
+                                }
+                            }
+                            (outcomes, bstats, skipped, pruned)
+                        }
+                    })
+                    .collect(),
+            );
+
+            // Reduce in trial order regardless of batch shapes or pool
+            // interleaving: outcomes land in per-trial slots first.
+            let mut slots: Vec<Option<Outcome>> = vec![None; cfg.trials];
+            let mut engine_stats = EngineStats {
+                checkpoints: trace.checkpoints_taken(),
+                ..EngineStats::default()
+            };
+            for (outcomes, bs, skipped, pruned) in results {
+                engine_stats.batch.accumulate(bs);
+                engine_stats.skipped_insns += skipped;
+                engine_stats.pruned_trials += pruned;
+                for (i, o) in outcomes {
+                    slots[i] = Some(o);
+                }
+            }
+            let mut tally = Tally::default();
+            for o in slots {
+                tally.record(o.expect("every trial classified exactly once"));
+            }
+            record_campaign_metrics(&tally, Some(&engine_stats), span);
+            CampaignResult {
+                tally,
+                golden_cycles,
+                golden_dyn,
+                engine: engine_stats,
+            }
+        }
     }
 }
 
@@ -446,9 +614,11 @@ fn outcome_counter(o: Outcome) -> &'static str {
 /// outcome tallies and trial count as deterministic counters, the
 /// campaign wall-time and trial throughput as timing metrics (span
 /// histogram + `faults.trials_per_sec` gauge, both excluded from the
-/// counter-only snapshot). The checkpointed engine also flushes its
-/// `faults.checkpoint.*` work counters — the only counter-snapshot
-/// keys on which the two engines are allowed to differ.
+/// counter-only snapshot). The checkpointed and batched engines also
+/// flush their `faults.checkpoint.*` / `faults.batch.*` work counters
+/// — the only counter-snapshot keys on which the engines are allowed
+/// to differ (`scripts/ci.sh` strips exactly these before its
+/// byte-compare).
 fn record_campaign_metrics(tally: &Tally, engine: Option<&EngineStats>, span: casted_obs::Span) {
     if !casted_obs::enabled() {
         return;
@@ -462,6 +632,18 @@ fn record_campaign_metrics(tally: &Tally, engine: Option<&EngineStats>, span: ca
         casted_obs::add("faults.checkpoint.taken", es.checkpoints);
         casted_obs::add("faults.checkpoint.skipped_insns", es.skipped_insns);
         casted_obs::add("faults.checkpoint.pruned", es.pruned_trials);
+        if es.batch.lanes > 0 {
+            casted_obs::add("faults.batch.lanes", es.batch.lanes);
+            casted_obs::add("faults.batch.bundles", es.batch.bundles_stepped);
+            casted_obs::add("faults.batch.lane_steps", es.batch.lane_insn_steps);
+            casted_obs::add("faults.batch.divergences", es.batch.divergences);
+            casted_obs::add("faults.batch.skipped_insns", es.batch.skipped_insns);
+            casted_obs::add("faults.batch.retired.converged", es.batch.retired_converged);
+            casted_obs::add("faults.batch.retired.finished", es.batch.retired_finished);
+            casted_obs::add("faults.batch.retired.detected", es.batch.retired_detected);
+            casted_obs::add("faults.batch.retired.exception", es.batch.retired_exception);
+            casted_obs::add("faults.batch.retired.timeout", es.batch.retired_timeout);
+        }
     }
     let ns = span.elapsed_ns();
     if ns > 0 {
@@ -710,10 +892,110 @@ mod tests {
             checkpointed.engine.skipped_insns > 0,
             "fast-forward never skipped a prefix"
         );
-        // And the default entry point is the checkpointed engine.
+    }
+
+    /// The batched engine joins the same equivalence class: same seed,
+    /// same trials ⇒ byte-identical tally to the reference engine —
+    /// and the batches genuinely ran lanes (the speedup is real work
+    /// sharing, not everything falling back to single-trial replay).
+    #[test]
+    fn batched_engine_agrees_with_reference() {
+        let sp = unprotected();
+        let cfg = CampaignConfig {
+            trials: 80,
+            ..Default::default()
+        };
+        let reference = run_campaign_reference(&sp, &cfg);
+        let batched = run_campaign_engine(&sp, &cfg, Engine::Batched);
+        assert_eq!(reference.tally, batched.tally, "batched engine diverged");
+        assert_eq!(reference.golden_cycles, batched.golden_cycles);
+        assert_eq!(reference.golden_dyn, batched.golden_dyn);
+        assert!(batched.engine.batch.lanes > 0, "no lanes ever batched");
+        assert!(
+            batched.engine.batch.lanes > batched.engine.batch.divergences,
+            "every lane diverged — the batch engine shared no work: {:?}",
+            batched.engine.batch
+        );
+        // And the default entry point is the batched engine.
         let default = run_campaign(&sp, &cfg);
-        assert_eq!(default.tally, checkpointed.tally);
-        assert_eq!(default.engine, checkpointed.engine);
+        assert_eq!(default.tally, batched.tally);
+        assert_eq!(default.engine, batched.engine);
+    }
+
+    /// The tally (and therefore every published number) is independent
+    /// of the lane width — width only changes how much structural work
+    /// is shared, never per-trial classification.
+    #[test]
+    fn batched_tally_is_lane_width_independent() {
+        let sp = unprotected();
+        let cfg = CampaignConfig {
+            trials: 60,
+            ..Default::default()
+        };
+        let base = run_campaign_engine_lanes(&sp, &cfg, Engine::Batched, 2);
+        for width in [4usize, 16, 64] {
+            let r = run_campaign_engine_lanes(&sp, &cfg, Engine::Batched, width);
+            assert_eq!(base.tally, r.tally, "lane width {width} changed the tally");
+        }
+    }
+
+    /// Regression (satellite): one-dynamic-instruction programs (`halt`
+    /// alone) must campaign cleanly under all three engines and agree:
+    /// the lone instruction has no output register, every strike
+    /// slides off the end, and all trials are Benign.
+    #[test]
+    fn one_insn_program_campaigns_agree_across_engines() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main");
+        b.halt_imm(0);
+        let id = m.add_function(b.finish());
+        m.entry = Some(id);
+        let sp = sequential(&m);
+        let cfg = CampaignConfig {
+            trials: 25,
+            ..Default::default()
+        };
+        let reference = run_campaign_reference(&sp, &cfg);
+        assert_eq!(reference.golden_dyn, 1);
+        assert_eq!(reference.tally.count(Outcome::Benign), 25);
+        for engine in [Engine::Checkpointed, Engine::Batched] {
+            let r = run_campaign_engine(&sp, &cfg, engine);
+            assert_eq!(r.tally, reference.tally, "{} diverged", engine.name());
+        }
+    }
+
+    /// Regression (satellite): zero-dynamic-instruction programs (an
+    /// empty entry block that falls through) cannot be campaign
+    /// targets — the golden run never halts — and all three engines
+    /// must refuse identically instead of panicking deep inside
+    /// checkpoint or batch bookkeeping.
+    #[test]
+    fn zero_insn_program_is_refused_identically_by_all_engines() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main");
+        let _unreachable = b.new_block("dead");
+        let id = m.add_function(b.finish());
+        m.entry = Some(id);
+        let sp = sequential(&m);
+        let cfg = CampaignConfig {
+            trials: 5,
+            ..Default::default()
+        };
+        for engine in [Engine::Reference, Engine::Checkpointed, Engine::Batched] {
+            let sp = sp.clone();
+            let cfg = cfg.clone();
+            let err = std::panic::catch_unwind(move || run_campaign_engine(&sp, &cfg, engine))
+                .expect_err("engine accepted a never-halting golden run");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(
+                msg.contains("must run fault-free to completion"),
+                "{}: unexpected panic {msg:?}",
+                engine.name()
+            );
+        }
     }
 
     /// Convergence-pruned trials classify identically to full-run
@@ -744,11 +1026,57 @@ mod tests {
 
     #[test]
     fn engine_parse_round_trips() {
-        for e in [Engine::Reference, Engine::Checkpointed] {
+        for e in [Engine::Reference, Engine::Checkpointed, Engine::Batched] {
             assert_eq!(Engine::parse(e.name()), Some(e));
+            // Every canonical name appears in the advertised flag help.
+            assert!(Engine::ACCEPTED.contains(e.name()));
         }
         assert_eq!(Engine::parse("warp-drive"), None);
-        assert_eq!(Engine::default(), Engine::Checkpointed);
+        assert_eq!(Engine::default(), Engine::Batched);
+    }
+
+    /// Regression (satellite): `parse` used to silently reject case
+    /// variants like `Reference`, turning a shell-quoting slip into a
+    /// fallback to the default engine.
+    #[test]
+    fn engine_parse_is_case_insensitive() {
+        assert_eq!(Engine::parse("Reference"), Some(Engine::Reference));
+        assert_eq!(Engine::parse("CHECKPOINTED"), Some(Engine::Checkpointed));
+        assert_eq!(Engine::parse("Batched"), Some(Engine::Batched));
+        assert_eq!(Engine::parse("bAtChEd"), Some(Engine::Batched));
+        assert_eq!(Engine::parse(""), None);
+    }
+
+    /// Regression (satellite): `safe_fraction` subtracted two
+    /// independently rounded divisions from 1.0; when the non-safe
+    /// classes account for *all* trials the sum can exceed 1.0 by an
+    /// ulp and coverage went negative (counts [0,0,0,4,1]:
+    /// `1.0 - 4/5 - 1/5 = -5.55e-17`), leaking `-0.0000` into CSVs.
+    #[test]
+    fn safe_fraction_never_leaves_unit_interval() {
+        let ulp_overshoot = Tally {
+            counts: [0, 0, 0, 4, 1],
+        };
+        // The raw subtraction really does overshoot — this pins the
+        // arithmetic the clamp is protecting against.
+        let raw = 1.0
+            - ulp_overshoot.fraction(Outcome::DataCorrupt)
+            - ulp_overshoot.fraction(Outcome::Timeout);
+        assert!(raw < 0.0, "expected the ulp overshoot, got {raw:e}");
+        assert_eq!(ulp_overshoot.safe_fraction(), 0.0);
+        assert!(ulp_overshoot.safe_fraction().is_sign_positive());
+        // Sweep small tallies: always within [0, 1].
+        for dc in 0..12usize {
+            for to in 0..12usize {
+                for benign in 0..3usize {
+                    let t = Tally {
+                        counts: [benign, 0, 0, dc, to],
+                    };
+                    let f = t.safe_fraction();
+                    assert!((0.0..=1.0).contains(&f), "{t:?} -> {f}");
+                }
+            }
+        }
     }
 
     #[test]
@@ -811,7 +1139,7 @@ pub fn run_campaign_with_model_engine(
         func.reg_count(RegClass::Pr),
     ];
     let total: u32 = counts.iter().sum();
-    campaign_core(sp, cfg, engine, &mut |rng, dyn_insns| {
+    campaign_core(sp, cfg, engine, DEFAULT_LANE_WIDTH, &mut |rng, dyn_insns| {
         let (at, bit) = draw_injection(rng, dyn_insns);
         let mut pick = rng.gen_range(0..total.max(1));
         let target = if pick < counts[0] {

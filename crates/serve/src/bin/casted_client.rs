@@ -14,7 +14,7 @@
 //!
 //! shared job options:   --scheme noed|sced|dced|casted  --issue N  --delay N
 //! simulate option:      --max-cycles N
-//! inject options:       --trials N  --seed N  --engine reference|checkpointed
+//! inject options:       --trials N  --seed N  --engine reference|checkpointed|batched
 //! bench options:        --requests N (per conn)  --conns N  --out PATH
 //! ```
 //!
@@ -39,7 +39,7 @@ fn usage() -> ! {
         "usage: casted-client --addr HOST:PORT \
          <ping|compile|simulate|inject|counters|shutdown|bench> [options]\n\
          job options: --file F | --source S  --scheme noed|sced|dced|casted  --issue N  --delay N\n\
-         simulate: --max-cycles N    inject: --trials N --seed N --engine reference|checkpointed\n\
+         simulate: --max-cycles N    inject: --trials N --seed N --engine reference|checkpointed|batched\n\
          bench: --requests N --conns N --out PATH"
     );
     std::process::exit(2);
@@ -86,7 +86,7 @@ fn parse_args() -> Opts {
         max_cycles: u64::MAX,
         trials: 100,
         seed: 0xCA57ED,
-        engine: Engine::Checkpointed,
+        engine: Engine::default(),
         requests: 20_000,
         conns: 4,
         out: format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR")),
@@ -134,7 +134,10 @@ fn parse_args() -> Opts {
             "--engine" => {
                 let v = need("--engine", args.next());
                 o.engine = Engine::parse(&v).unwrap_or_else(|| {
-                    eprintln!("casted-client: unknown engine {v:?}");
+                    eprintln!(
+                        "casted-client: unknown engine {v:?} (accepted values: {})",
+                        Engine::ACCEPTED
+                    );
                     usage();
                 });
             }

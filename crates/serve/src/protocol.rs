@@ -143,6 +143,7 @@ fn engine_to_u8(e: Engine) -> u8 {
     match e {
         Engine::Reference => 0,
         Engine::Checkpointed => 1,
+        Engine::Batched => 2,
     }
 }
 
@@ -150,6 +151,7 @@ fn engine_from_u8(b: u8) -> Result<Engine, String> {
     match b {
         0 => Ok(Engine::Reference),
         1 => Ok(Engine::Checkpointed),
+        2 => Ok(Engine::Batched),
         other => Err(format!("unknown engine tag {other}")),
     }
 }
@@ -448,6 +450,12 @@ mod tests {
                 trials: 300,
                 seed: 0xCA57ED,
                 engine: Engine::Checkpointed,
+            },
+            Request::Inject {
+                spec: spec(),
+                trials: 300,
+                seed: 0xCA57ED,
+                engine: Engine::Batched,
             },
             Request::Counters,
             Request::Shutdown,

@@ -26,12 +26,21 @@ fn spec() -> JobSpec {
 }
 
 /// A request that keeps one worker busy for a while: a Monte-Carlo
-/// campaign re-runs the target once per trial, so `trials` is a
-/// work-duration dial that does not depend on machine speed for
-/// correctness (only the *amount* of work is fixed).
+/// campaign on the reference engine re-runs the target from cycle 0
+/// once per trial, so the loop count × trial count is a work-duration
+/// dial that does not depend on machine speed for correctness (only
+/// the *amount* of work is fixed). Sized to hold the worker for well
+/// over a second — the backpressure tests below need it still running
+/// after several hundred ms of setup sleeps.
 fn slow_request(seed: u64) -> Request {
     Request::Inject {
-        spec: spec(),
+        spec: JobSpec {
+            source: "fn main() { var s: int = 0; for i in 0..1200 { s = s + i; } out(s); }"
+                .into(),
+            scheme: Scheme::Casted,
+            issue: 2,
+            delay: 2,
+        },
         trials: 1500,
         seed,
         engine: Engine::Reference,

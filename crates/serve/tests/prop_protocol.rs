@@ -48,7 +48,7 @@ fn gen_request(rng: &mut Rng) -> Request {
             spec: gen_spec(rng),
             trials: rng.next_u64(),
             seed: rng.next_u64(),
-            engine: *rng.pick(&[Engine::Reference, Engine::Checkpointed]),
+            engine: *rng.pick(&[Engine::Reference, Engine::Checkpointed, Engine::Batched]),
         },
         4 => Request::Counters,
         _ => Request::Shutdown,

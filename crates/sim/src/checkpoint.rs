@@ -321,6 +321,28 @@ impl GoldenTrace {
     pub fn fingerprints_recorded(&self) -> u64 {
         self.fingerprints.len() as u64
     }
+
+    /// Index of the checkpoint a trial with injection site
+    /// `at_dyn_insn` restores: the last snapshot whose
+    /// dynamic-instruction count is *strictly below* the site.
+    /// Strictness matters — the landing condition is `dyn_insns >= at`,
+    /// so resuming from `dyn < at` reproduces the original landing
+    /// site exactly (a checkpoint taken *at* the site would skip it).
+    /// Returns 0 (the power-on state) for 1-based sites on a normal
+    /// trace, and stays 0 even on a degenerate trace with no
+    /// mid-run snapshots.
+    pub fn restore_index(&self, at_dyn_insn: u64) -> usize {
+        self.checkpoints
+            .partition_point(|c| c.stats.dyn_insns < at_dyn_insn)
+            .saturating_sub(1)
+    }
+
+    /// The snapshot at `idx`, if captured (the batch engine restores
+    /// through this; `None` lets callers fall back to the power-on
+    /// state instead of indexing out of bounds).
+    pub(crate) fn checkpoint(&self, idx: usize) -> Option<&MachineState> {
+        self.checkpoints.get(idx)
+    }
 }
 
 /// Run the golden (fault-free) simulation, capturing checkpoints and
@@ -406,14 +428,16 @@ pub fn replay_trial(
     inj: Injection,
     max_cycles: u64,
 ) -> (TrialRun, ReplayStats) {
-    // Last checkpoint with dyn_insns < at. `partition_point` on the
-    // sorted snapshot list; index 0 (the power-on state, dyn 0) always
-    // qualifies because injection sites are 1-based.
-    let idx = trace
+    // Last checkpoint with dyn_insns < at (see `restore_index`). A
+    // trace always carries at least the power-on snapshot, but a
+    // degenerate or hand-built one must not panic here — fall back to
+    // the power-on state, which every replay may legally start from.
+    let idx = trace.restore_index(inj.at_dyn_insn);
+    let mut st = trace
         .checkpoints
-        .partition_point(|c| c.stats.dyn_insns < inj.at_dyn_insn)
-        .saturating_sub(1);
-    let mut st = trace.checkpoints[idx].clone();
+        .get(idx)
+        .cloned()
+        .unwrap_or_else(|| MachineState::fresh(sp));
     let stats = ReplayStats {
         skipped_insns: st.stats.dyn_insns,
         pruned: false,
@@ -626,6 +650,70 @@ mod tests {
                 assert!(!r.injected);
             }
             TrialRun::Converged => panic!("cannot converge without an injection"),
+        }
+    }
+
+    #[test]
+    fn zero_dynamic_instruction_program_replays_safely() {
+        // An empty entry block retires nothing: the golden run stops
+        // with dyn_insns == 0 via the missing-branch exception. The
+        // engine must still produce a usable trace (the power-on
+        // snapshot only) and replay the degenerate no-op injection the
+        // frozen stream draws for such programs (`at = u64::MAX`).
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main");
+        // A second (unreachable) block stops `finish()` from patching
+        // the empty entry with an implicit halt: the entry block truly
+        // retires nothing and falls through.
+        let _unreachable = b.new_block("dead");
+        let id = m.add_function(b.finish());
+        m.entry = Some(id);
+        let sp = sequential(&m, MachineConfig::perfect_memory(1, 1));
+        let t = golden_with_checkpoints(&sp);
+        assert_eq!(t.result.stats.dyn_insns, 0);
+        assert_eq!(t.checkpoints_taken(), 1, "power-on snapshot only");
+        assert_eq!(t.restore_index(u64::MAX), 0);
+        let inj = Injection {
+            at_dyn_insn: u64::MAX,
+            bit: 7,
+            target: None,
+        };
+        match replay_trial(&sp, &t, inj, 1000) {
+            (TrialRun::Finished(r), st) => {
+                assert_eq!(r.stop, t.result.stop);
+                assert!(!r.injected);
+                assert_eq!(st.skipped_insns, 0);
+            }
+            (TrialRun::Converged, _) => panic!("cannot converge without an injection"),
+        }
+    }
+
+    #[test]
+    fn one_dynamic_instruction_program_replays_safely() {
+        // `halt 0` alone: exactly one dynamic instruction, which has
+        // no output register, so a site-1 injection slides forever and
+        // never lands. Replay must match the golden run bit for bit.
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main");
+        b.halt_imm(0);
+        let id = m.add_function(b.finish());
+        m.entry = Some(id);
+        let sp = sequential(&m, MachineConfig::perfect_memory(1, 1));
+        let t = golden_with_checkpoints(&sp);
+        assert_eq!(t.result.stats.dyn_insns, 1);
+        for bit in [0u32, 17, 63] {
+            let inj = Injection {
+                at_dyn_insn: 1,
+                bit,
+                target: None,
+            };
+            match replay_trial(&sp, &t, inj, 1000) {
+                (TrialRun::Finished(r), _) => {
+                    assert_eq!(r.stop, t.result.stop);
+                    assert!(!r.injected, "halt has no def: the strike must slide off");
+                }
+                (TrialRun::Converged, _) => panic!("cannot converge without an injection"),
+            }
         }
     }
 

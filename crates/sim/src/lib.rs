@@ -28,11 +28,15 @@
 //! bit-identical to the interpreter's — an invariant the integration
 //! tests enforce.
 
+pub mod batch;
 pub mod cache;
 pub mod checkpoint;
 pub mod machine;
 pub mod stats;
 
+pub use batch::{
+    run_batch, run_batch_auto, BatchState, BatchStats, LaneVerdict, DEFAULT_LANE_WIDTH,
+};
 pub use cache::{CacheHierarchy, CacheStats};
 pub use checkpoint::{
     golden_with_checkpoints, replay_trial, CheckpointPlan, GoldenTrace, ReplayStats, TrialRun,

@@ -46,24 +46,26 @@ test -s "$log_dir/metrics_full.json"
 grep -c '"' "$log_dir/counters1.json" > /dev/null
 echo "counter snapshots identical ($(grep -c ':' "$log_dir/counters1.json") counters)"
 
-echo "== campaign engine cross-check (fig9 --quick, reference vs checkpointed) =="
-# The checkpointed fault-injection engine (snapshots, fast-forward
-# replay, convergence pruning — see docs/PERFORMANCE.md) must
-# reproduce the reference engine byte for byte: identical coverage
-# CSV, and identical counter snapshot once the checkpoint engine's own
-# work counters (faults.checkpoint.*, the only permitted difference)
-# are stripped.
-mkdir -p "$log_dir/eng_ref" "$log_dir/eng_ckpt"
-cargo run --release --offline -q -p casted-bench --bin fig9 -- \
-  --quick --engine reference --out "$log_dir/eng_ref" \
-  --metrics-counters "$log_dir/eng_ref/counters.json" > /dev/null
-cargo run --release --offline -q -p casted-bench --bin fig9 -- \
-  --quick --engine checkpointed --out "$log_dir/eng_ckpt" \
-  --metrics-counters "$log_dir/eng_ckpt/counters.json" > /dev/null
-cmp "$log_dir/eng_ref/fig9.csv" "$log_dir/eng_ckpt/fig9.csv"
-grep -v 'faults\.checkpoint\.' "$log_dir/eng_ref/counters.json" > "$log_dir/ref_common.json"
-grep -v 'faults\.checkpoint\.' "$log_dir/eng_ckpt/counters.json" > "$log_dir/ckpt_common.json"
-cmp "$log_dir/ref_common.json" "$log_dir/ckpt_common.json"
+echo "== campaign engine cross-check (fig9 --quick, all three engines) =="
+# The checkpointed engine (snapshots, fast-forward replay, convergence
+# pruning) and the batched engine (lockstep lanes over one shared
+# golden replay — see docs/PERFORMANCE.md for both) must reproduce the
+# reference engine byte for byte: identical coverage CSV, and
+# identical counter snapshot once each engine's own work counters
+# (faults.checkpoint.* and faults.batch.*, the only permitted
+# differences) are stripped.
+for engine in reference checkpointed batched; do
+  mkdir -p "$log_dir/eng_$engine"
+  cargo run --release --offline -q -p casted-bench --bin fig9 -- \
+    --quick --engine "$engine" --out "$log_dir/eng_$engine" \
+    --metrics-counters "$log_dir/eng_$engine/counters.json" > /dev/null
+  grep -v 'faults\.\(checkpoint\|batch\)\.' "$log_dir/eng_$engine/counters.json" \
+    > "$log_dir/eng_$engine/common.json"
+done
+for engine in checkpointed batched; do
+  cmp "$log_dir/eng_reference/fig9.csv" "$log_dir/eng_$engine/fig9.csv"
+  cmp "$log_dir/eng_reference/common.json" "$log_dir/eng_$engine/common.json"
+done
 echo "engines byte-identical over the quick grid (coverage CSV + common counters)"
 
 echo "== casted-serve loopback smoke (offline, ephemeral port) =="

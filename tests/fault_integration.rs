@@ -55,10 +55,11 @@ fn protection_reduces_silent_corruption() {
 }
 
 /// The checkpointed engine (golden-run snapshots, fast-forward
-/// replay, convergence pruning) must tally byte-identically to the
-/// reference engine on a real workload under every scheme — the
-/// integration-level face of the equivalence the unit tests, the
-/// difftest oracle layer and `scripts/ci.sh` all pin.
+/// replay, convergence pruning) and the batched engine (lockstep
+/// lanes over one shared golden replay) must both tally
+/// byte-identically to the reference engine on a real workload under
+/// every scheme — the integration-level face of the equivalence the
+/// unit tests, the difftest oracle layer and `scripts/ci.sh` all pin.
 #[test]
 fn engines_agree_on_real_workload_across_schemes() {
     let module = casted_workloads::by_name("mpeg2dec").unwrap().compile().unwrap();
@@ -79,6 +80,15 @@ fn engines_agree_on_real_workload_across_schemes() {
             checkpointed.engine.checkpoints > 1 && checkpointed.engine.skipped_insns > 0,
             "{scheme}: checkpoint engine did no engine work: {:?}",
             checkpointed.engine
+        );
+        let batched = run_campaign_engine(&prep.sp, &ccfg, Engine::Batched);
+        assert_eq!(reference.tally, batched.tally, "{scheme}: batched engine diverged");
+        assert_eq!(reference.golden_cycles, batched.golden_cycles, "{scheme}");
+        assert_eq!(reference.golden_dyn, batched.golden_dyn, "{scheme}");
+        assert!(
+            batched.engine.batch.lanes > 0,
+            "{scheme}: batched engine ran no lanes: {:?}",
+            batched.engine.batch
         );
     }
 }

@@ -111,10 +111,13 @@ fn inject_engines_agree_over_the_wire() {
         }
     };
     let reference = tally(Engine::Reference, &mut client);
-    let checkpointed = tally(Engine::Checkpointed, &mut client);
-    assert_eq!(
-        reference, checkpointed,
-        "campaign engines must agree field for field over the wire"
-    );
+    for engine in [Engine::Checkpointed, Engine::Batched] {
+        let other = tally(engine, &mut client);
+        assert_eq!(
+            reference, other,
+            "campaign engines must agree field for field over the wire ({})",
+            engine.name()
+        );
+    }
     server.shutdown();
 }
