@@ -21,7 +21,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use casted_faults::{
-    run_campaign_engine, run_campaign_engine_lanes, CampaignConfig, Engine, DEFAULT_LANE_WIDTH,
+    run_campaign_engine, run_campaign_engine_lanes, run_campaign_incremental, CampaignConfig,
+    Engine, SectionStore, DEFAULT_LANE_WIDTH,
 };
 use casted_ir::vliw::ScheduledProgram;
 use casted_ir::MachineConfig;
@@ -36,14 +37,28 @@ struct Cell {
     sp: ScheduledProgram,
 }
 
-fn quick_grid_cells() -> Vec<Cell> {
+/// The fig9 --quick cells; with `edit`, cjpeg's halt immediate is
+/// flipped first — the one-section edit of the incremental-rerun
+/// scenario (only cjpeg's epilogue sections change; everything
+/// upstream of them, and the two untouched benchmarks entirely,
+/// stays cached).
+fn quick_grid_cells(edit: bool) -> Vec<Cell> {
     let config = MachineConfig::itanium2_like(2, 2);
     let mut cells = Vec::new();
     for name in ["cjpeg", "h263enc", "181.mcf"] {
-        let module = casted_workloads::by_name(name)
+        let mut module = casted_workloads::by_name(name)
             .unwrap_or_else(|| panic!("unknown benchmark {name}"))
             .compile()
             .expect("compile failed");
+        if edit && name == "cjpeg" {
+            let f = module.entry_fn_mut();
+            let h = f
+                .insns
+                .iter()
+                .position(|i| i.op == casted_ir::Opcode::Halt)
+                .expect("entry fn halts");
+            f.insns[h].imm = 7;
+        }
         for scheme in casted::Scheme::ALL {
             let prep = casted_passes::prepare(&module, scheme, &config).expect("prepare failed");
             cells.push(Cell {
@@ -98,7 +113,7 @@ fn print_row(label: &str, med: f64, mad: f64, samples: usize) {
 fn main() {
     let quick = std::env::var("CASTED_BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
     let samples = if quick { 1 } else { SAMPLES };
-    let cells = quick_grid_cells();
+    let cells = quick_grid_cells(false);
     let campaign = CampaignConfig {
         trials: TRIALS,
         ..Default::default()
@@ -152,6 +167,53 @@ fn main() {
     println!("checkpointed/reference speedup: {ckpt_speedup:.2}x (median trials/sec)");
     println!("batched/reference speedup: {batch_speedup:.2}x (median trials/sec)");
 
+    // Incremental section-cache scenario (docs/INCREMENTAL.md): a cold
+    // run populates the store, then the program is edited in one
+    // section (epilogue halt code) and re-run warm — only the
+    // invalidated epilogue sections re-inject; every other trial
+    // recombines from the cache. Each sample round starts from an
+    // empty store so cold stays cold and the warm store always holds
+    // exactly one cold run's records.
+    let edited = quick_grid_cells(true);
+    let dir = std::env::temp_dir().join(format!("casted-bench-sections-{}", std::process::id()));
+    let trials_per_pass = (cells.len() * campaign.trials) as f64;
+    let mut cold_rates = Vec::with_capacity(samples);
+    let mut warm_rates = Vec::with_capacity(samples);
+    for s in 0..samples {
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SectionStore::open(&dir).expect("open bench section store");
+        let t0 = Instant::now();
+        for cell in &cells {
+            casted_util::bench::black_box(run_campaign_incremental(&cell.sp, &campaign, &store));
+        }
+        cold_rates.push(trials_per_pass / t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        for cell in &edited {
+            let r = run_campaign_incremental(&cell.sp, &campaign, &store);
+            if s == 0 {
+                assert!(
+                    r.engine.sections.hit > 0,
+                    "{}: edited rerun reused nothing",
+                    cell.label
+                );
+            }
+            casted_util::bench::black_box(r);
+        }
+        warm_rates.push(trials_per_pass / t0.elapsed().as_secs_f64());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let (inc_cold_med, inc_cold_mad) = median_mad(&mut cold_rates);
+    let (inc_warm_med, inc_warm_mad) = median_mad(&mut warm_rates);
+    let inc_speedup = inc_warm_med / inc_cold_med;
+    print_row("faults_campaign/incremental_cold", inc_cold_med, inc_cold_mad, samples);
+    print_row(
+        "faults_campaign/incremental_warm(edit 1 section)",
+        inc_warm_med,
+        inc_warm_mad,
+        samples,
+    );
+    println!("incremental warm/cold speedup: {inc_speedup:.2}x (median trials/sec)");
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"faults_campaign_throughput\",");
@@ -187,6 +249,17 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"incremental\": {{");
+    let _ = writeln!(
+        json,
+        "    \"cold\": {{\"median\": {inc_cold_med:.1}, \"mad\": {inc_cold_mad:.1}}},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"warm_after_edit\": {{\"median\": {inc_warm_med:.1}, \"mad\": {inc_warm_mad:.1}}},"
+    );
+    let _ = writeln!(json, "    \"speedup_incremental_warm\": {inc_speedup:.2}");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"speedup_median\": {ckpt_speedup:.2},");
     let _ = writeln!(json, "  \"speedup_batched_median\": {batch_speedup:.2}");
     let _ = writeln!(json, "}}");

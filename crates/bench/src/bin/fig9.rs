@@ -2,7 +2,7 @@
 //! issue-width 2, delay 2, with 300 Monte-Carlo injections per
 //! (benchmark, scheme), classified into the five outcome classes.
 
-use casted::experiments::{coverage_sweep_with, GridSpec};
+use casted::experiments::{coverage_sweep_incremental, coverage_sweep_with, GridSpec};
 use casted::report;
 use casted_faults::CampaignConfig;
 
@@ -19,12 +19,20 @@ fn main() {
         ..Default::default()
     };
     eprintln!(
-        "fault campaign: {} benchmarks x 4 schemes x {} trials ({} engine) ...",
+        "fault campaign: {} benchmarks x 4 schemes x {} trials ({}) ...",
         benchmarks.len(),
         campaign.trials,
-        opts.engine.name()
+        if opts.incremental {
+            "incremental section cache"
+        } else {
+            opts.engine.name()
+        }
     );
-    let points = coverage_sweep_with(&benchmarks, &spec, &campaign, opts.engine);
+    let points = if opts.incremental {
+        coverage_sweep_incremental(&benchmarks, &spec, &campaign, &opts.section_cache)
+    } else {
+        coverage_sweep_with(&benchmarks, &spec, &campaign, opts.engine)
+    };
     println!("{}", report::coverage_panel(&points));
     casted_bench::maybe_write(&opts, "fig9.csv", &report::coverage_csv(&points));
 

@@ -41,6 +41,12 @@ pub struct RunOpts {
     /// Fault-campaign engine (`--engine reference|checkpointed|batched`).
     /// All produce byte-identical tallies; CI cross-checks them.
     pub engine: casted_faults::Engine,
+    /// Run fault campaigns through the compositional section cache
+    /// (`--incremental`); tallies stay byte-identical to the engines.
+    pub incremental: bool,
+    /// On-disk section store for `--incremental`
+    /// (`--section-cache DIR`, default `.casted-sections`).
+    pub section_cache: PathBuf,
 }
 
 impl Default for RunOpts {
@@ -52,12 +58,15 @@ impl Default for RunOpts {
             metrics: None,
             metrics_counters: None,
             engine: casted_faults::Engine::default(),
+            incremental: false,
+            section_cache: PathBuf::from(".casted-sections"),
         }
     }
 }
 
 /// Parse `--quick`, `--trials N`, `--out DIR`, `--metrics FILE`,
-/// `--metrics-counters FILE`, `--engine NAME` from `std::env::args`.
+/// `--metrics-counters FILE`, `--engine NAME`, `--incremental`,
+/// `--section-cache DIR` from `std::env::args`.
 /// Passing either metrics flag switches global metric recording on
 /// for the run.
 pub fn parse_args() -> RunOpts {
@@ -96,6 +105,11 @@ pub fn parse_args() -> RunOpts {
                         casted_faults::Engine::ACCEPTED
                     )
                 });
+            }
+            "--incremental" => opts.incremental = true,
+            "--section-cache" => {
+                opts.section_cache =
+                    PathBuf::from(args.next().expect("--section-cache needs a path"));
             }
             other => {
                 eprintln!("warning: ignoring unknown argument {other:?}");

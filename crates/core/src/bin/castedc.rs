@@ -14,6 +14,12 @@
 //!   --delay N                        inter-cluster delay (default 2)
 //!   --trials N                       injection trials (default 300)
 //!   --seed N                         campaign seed
+//!   --incremental                    inject through the section cache
+//!                                    (compositional campaign; same
+//!                                    tally bytes as a cold run)
+//!   --section-cache DIR              on-disk section store for
+//!                                    --incremental (default
+//!                                    .casted-sections)
 //!   --metrics FILE                   write full metrics JSON on exit
 //!   --metrics-counters FILE          write the deterministic
 //!                                    counter-only snapshot on exit
@@ -32,6 +38,8 @@ struct Args {
     delay: u32,
     trials: usize,
     seed: u64,
+    incremental: bool,
+    section_cache: String,
     metrics: Option<String>,
     metrics_counters: Option<String>,
 }
@@ -56,6 +64,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         delay: 2,
         trials: 300,
         seed: 0xCA57ED,
+        incremental: false,
+        section_cache: ".casted-sections".to_string(),
         metrics: None,
         metrics_counters: None,
     };
@@ -78,6 +88,8 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--delay" => args.delay = val()?.parse().map_err(|_| usage())?,
             "--trials" => args.trials = val()?.parse().map_err(|_| usage())?,
             "--seed" => args.seed = val()?.parse().map_err(|_| usage())?,
+            "--incremental" => args.incremental = true,
+            "--section-cache" => args.section_cache = val()?,
             "--metrics" => args.metrics = Some(val()?),
             "--metrics-counters" => args.metrics_counters = Some(val()?),
             other => {
@@ -213,14 +225,32 @@ fn main() -> ExitCode {
             eprintln!("-- ({} of {} dynamic instructions)", r.trace.len(), r.stats.dyn_insns);
         }
         "inject" => {
-            let r = casted_faults::run_campaign(
-                &prep.sp,
-                &casted_faults::CampaignConfig {
-                    trials: args.trials,
-                    seed: args.seed,
-                    timeout_factor: 10,
-                },
-            );
+            let cfg = casted_faults::CampaignConfig {
+                trials: args.trials,
+                seed: args.seed,
+                timeout_factor: 10,
+            };
+            let r = if args.incremental {
+                let store = match casted_faults::SectionStore::open(std::path::Path::new(
+                    &args.section_cache,
+                )) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("castedc: cannot open section cache {}: {e}", args.section_cache);
+                        return ExitCode::from(1);
+                    }
+                };
+                casted_faults::run_campaign_incremental(&prep.sp, &cfg, &store)
+            } else {
+                casted_faults::run_campaign(&prep.sp, &cfg)
+            };
+            if args.incremental {
+                let s = r.engine.sections;
+                eprintln!(
+                    "-- sections: {} total, {} hit, {} miss, {} trials recombined",
+                    s.total, s.hit, s.miss, s.recombined
+                );
+            }
             println!(
                 "{} trials into {} ({} @ issue {} delay {}):",
                 args.trials,

@@ -417,6 +417,63 @@ pub fn coverage_sweep_with(
     points
 }
 
+/// [`coverage_sweep`] through the compositional section cache
+/// ([`casted_faults::run_campaign_incremental`]): every cell keys its
+/// sections into the shared on-disk store at `store_dir`, so a rerun
+/// of an unchanged grid recombines from cache and an edited benchmark
+/// re-injects only the sections it touched. Tallies are byte-identical
+/// to [`coverage_sweep_with`] on any engine — the fig9 incremental
+/// smoke in `scripts/ci.sh` byte-compares the CSVs.
+pub fn coverage_sweep_incremental(
+    benchmarks: &[Workload],
+    spec: &GridSpec,
+    campaign: &CampaignConfig,
+    store_dir: &std::path::Path,
+) -> Vec<CoveragePoint> {
+    let store = casted_faults::SectionStore::open(store_dir)
+        .unwrap_or_else(|e| panic!("cannot open section cache {}: {e}", store_dir.display()));
+    let modules: Vec<(String, casted_ir::Module)> = benchmarks
+        .iter()
+        .map(|w| (w.name.to_string(), w.compile().expect("compile failed")))
+        .collect();
+
+    let meter = SweepMeter::start("core.coverage_sweep.cell_ns");
+    let mut tasks = Vec::new();
+    for (name, module) in &modules {
+        for &scheme in &spec.schemes {
+            for &issue in &spec.issues {
+                for &delay in &spec.delays {
+                    let campaign = campaign.clone();
+                    let meter = &meter;
+                    let store = &store;
+                    tasks.push(move || meter.observe_cell(|| {
+                        let config = MachineConfig::itanium2_like(issue, delay);
+                        let prep = casted_passes::prepare(module, scheme, &config)
+                            .expect("prepare failed");
+                        let r = casted_faults::run_campaign_incremental(&prep.sp, &campaign, store);
+                        CoveragePoint {
+                            benchmark: name.clone(),
+                            scheme,
+                            issue,
+                            delay,
+                            tally: r.tally,
+                        }
+                    }));
+                }
+            }
+        }
+    }
+    let n_tasks = tasks.len();
+    let points = run_pool(tasks);
+    casted_obs::add("core.coverage_sweep.cells", n_tasks as u64);
+    meter.finish(
+        n_tasks,
+        "core.coverage_sweep.wall_ns",
+        "core.coverage_sweep.pool_utilization_permille",
+    );
+    points
+}
+
 /// Headline slowdown statistics for one scheme (§IV-B quotes SCED
 /// 1.34–2.22 avg 1.7; DCED 1.31–3.32 avg 2.1; CASTED 1.19–2.1 avg
 /// 1.58 on the authors' setup).

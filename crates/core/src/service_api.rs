@@ -21,7 +21,9 @@
 //! a recomputed one — the property `casted-serve`'s content-addressed
 //! cache rests on (see `docs/SERVING.md`).
 
-use casted_faults::{run_campaign_engine, CampaignConfig, Engine, Outcome};
+use casted_faults::{
+    run_campaign_engine, run_campaign_incremental, CampaignConfig, Engine, Outcome, SectionStore,
+};
 use casted_ir::interp::{OutVal, StopReason};
 use casted_ir::MachineConfig;
 use casted_passes::Scheme;
@@ -230,16 +232,63 @@ pub fn inject_tally(
         ..Default::default()
     };
     let r = run_campaign_engine(&prep.sp, &cfg, engine);
+    Ok(reply_of(&r))
+}
+
+/// [`inject_tally`] through the compositional section cache: the
+/// campaign keys each golden-trace section into the on-disk store at
+/// `section_cache`, so a repeat request — or a request for an *edited*
+/// program sharing most sections — recombines cached section evidence
+/// and re-injects only what changed. The reply is byte-identical to
+/// [`inject_tally`] on any engine (the recombination exactness
+/// guarantee, `docs/INCREMENTAL.md`), which is what lets
+/// `casted-serve` substitute this path under its exact-reply cache:
+/// whole-request hits still come from the reply cache, and misses now
+/// degrade to *partial* section hits instead of cold campaigns.
+pub fn inject_tally_incremental(
+    spec: &JobSpec,
+    trials: u64,
+    seed: u64,
+    section_cache: &std::path::Path,
+    max_cycles: u64,
+) -> Result<InjectReply, String> {
+    let prep = prepare(spec)?;
+    let screen = simulate_quiet(
+        &prep.sp,
+        &SimOptions {
+            max_cycles,
+            injection: None,
+            trace_limit: 0,
+        },
+    );
+    if !matches!(screen.stop, StopReason::Halt(_)) {
+        return Err(format!(
+            "campaign target must halt fault-free within {max_cycles} cycles, got {:?}",
+            screen.stop
+        ));
+    }
+    let store = SectionStore::open(section_cache)
+        .map_err(|e| format!("cannot open section cache {}: {e}", section_cache.display()))?;
+    let cfg = CampaignConfig {
+        trials: trials as usize,
+        seed,
+        ..Default::default()
+    };
+    let r = run_campaign_incremental(&prep.sp, &cfg, &store);
+    Ok(reply_of(&r))
+}
+
+fn reply_of(r: &casted_faults::CampaignResult) -> InjectReply {
     let mut counts = [0u64; 5];
     for o in Outcome::ALL {
         counts[o.index()] = r.tally.count(o) as u64;
     }
-    Ok(InjectReply {
+    InjectReply {
         trials: r.tally.total() as u64,
         counts,
         golden_cycles: r.golden_cycles,
         golden_dyn: r.golden_dyn,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -311,6 +360,34 @@ mod tests {
         assert_eq!(a, bt, "batched engine must agree field for field");
         assert_eq!(a.trials, 40);
         assert_eq!(a.counts.iter().sum::<u64>(), 40);
+    }
+
+    /// The serve-facing exactness contract: the incremental path's
+    /// reply is byte-identical to every engine's, cold and warm — a
+    /// cached serve reply computed cold can be reproduced through the
+    /// section cache and nobody can tell the difference.
+    #[test]
+    fn inject_tally_incremental_matches_engines_cold_and_warm() {
+        let s = spec(Scheme::Casted);
+        let dir = std::env::temp_dir().join(format!("casted-api-sect-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold = inject_tally_incremental(&s, 40, 7, &dir, u64::MAX).unwrap();
+        let full = inject_tally(&s, 40, 7, Engine::Batched, u64::MAX).unwrap();
+        assert_eq!(cold, full, "incremental reply diverged from the engines");
+        let warm = inject_tally_incremental(&s, 40, 7, &dir, u64::MAX).unwrap();
+        assert_eq!(warm, cold, "warm recombination changed the reply");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inject_incremental_screens_non_halting_targets() {
+        let mut s = spec(Scheme::Noed);
+        s.source = "fn main() { var x: int = 1; for i in 0..1000000 { x = x + i; } out(x); }".into();
+        let dir = std::env::temp_dir().join(format!("casted-api-screen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let err = inject_tally_incremental(&s, 10, 1, &dir, 100).unwrap_err();
+        assert!(err.contains("must halt"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -168,6 +168,35 @@ fn check_module(name: &str, m: &casted_ir::Module) -> Result<usize, Divergence> 
                 }
             }
             checks += 1;
+
+            // Incremental-sections equivalence on the same seed: the
+            // recombined tally — cold, then warm from the on-disk
+            // store — must match the reference engine byte-for-byte
+            // (docs/INCREMENTAL.md, oracle layer 8 for the corpus).
+            let dir = std::env::temp_dir().join(format!(
+                "casted-corpus-sections-{}-{name}-{scheme}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            if let Ok(store) = casted_faults::SectionStore::open(&dir) {
+                for pass in ["cold", "warm"] {
+                    let inc = casted_faults::run_campaign_incremental(&prep.sp, &ccfg, &store);
+                    if inc.tally != reference.tally {
+                        let detail = format!(
+                            "incremental ({pass}) diverged: reference {:?} vs {:?} (sections {:?})",
+                            reference.tally.counts, inc.tally.counts, inc.engine.sections
+                        );
+                        let _ = std::fs::remove_dir_all(&dir);
+                        return Err(Divergence::new_corpus(
+                            name,
+                            &format!("sections:{stage}"),
+                            detail,
+                        ));
+                    }
+                }
+                checks += 1;
+            }
+            let _ = std::fs::remove_dir_all(&dir);
         }
     }
     Ok(checks)

@@ -38,6 +38,10 @@
 //!    0) and the checkpointed engine (snapshots, fast-forward replay,
 //!    convergence pruning) — the standing cross-check that the perf
 //!    engine never changes a result (see `docs/PERFORMANCE.md`).
+//! 8. **incremental sections** — the same campaign run through the
+//!    compositional section cache (`casted_faults::sections`), cold
+//!    and then warm from the on-disk store, must recombine to the
+//!    reference engine's exact tally (see `docs/INCREMENTAL.md`).
 //!
 //! ## Replay
 //!

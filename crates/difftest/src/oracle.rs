@@ -403,6 +403,47 @@ pub fn run_case_with(cfg: &CaseConfig, hooks: &Hooks) -> Result<CaseReport, Dive
             digest.write_u64(c as u64);
         }
         stages += 1;
+
+        // Layer 8: incremental-campaign exactness — the compositional
+        // section-cache campaign must recombine to the same tally
+        // bytes as the engines, cold (all sections freshly injected)
+        // AND warm (all sections recombined from the store written by
+        // the cold run). Only tallies are compared: a store that fails
+        // to persist (full disk, read-only tmp) degrades to a cold
+        // rerun, which is still required to be exact, not a
+        // divergence.
+        let stage = format!("sections:{scheme}:iw2d2");
+        let dir = std::env::temp_dir().join(format!(
+            "casted-difftest-sections-{}-{:x}-{scheme}",
+            std::process::id(),
+            cfg.seed
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        match casted_faults::SectionStore::open(&dir) {
+            Ok(store) => {
+                for pass in ["cold", "warm"] {
+                    let inc = casted_faults::run_campaign_incremental(&prep.sp, &ccfg, &store);
+                    if reference.tally != inc.tally {
+                        let _ = std::fs::remove_dir_all(&dir);
+                        return Err(Divergence::new(
+                            &stage,
+                            format!(
+                                "incremental ({pass}) recombination diverged over {ENGINE_TRIALS} trials: reference {:?} vs incremental {:?} (sections {:?}, case {})",
+                                reference.tally.counts,
+                                inc.tally.counts,
+                                inc.engine.sections,
+                                cfg.replay_line(None)
+                            ),
+                        ));
+                    }
+                }
+                let _ = std::fs::remove_dir_all(&dir);
+                stages += 1;
+            }
+            // No usable tmp dir on this host: skip the layer rather
+            // than fail a case for an environment problem.
+            Err(_) => {}
+        }
     }
 
     Ok(CaseReport {

@@ -15,6 +15,10 @@
 use casted_util::pool::run_pool;
 use casted_util::Rng;
 
+pub mod sections;
+
+pub use sections::{run_campaign_incremental, SectionStats, SectionStore};
+
 use casted_ir::interp::StopReason;
 use casted_ir::vliw::ScheduledProgram;
 use casted_sim::{
@@ -220,6 +224,9 @@ pub struct EngineStats {
     pub pruned_trials: u64,
     /// Batched-engine lane accounting (zeroed for the other engines).
     pub batch: BatchStats,
+    /// Incremental-campaign section accounting (zeroed unless the
+    /// campaign ran through [`run_campaign_incremental`]).
+    pub sections: SectionStats,
 }
 
 /// Result of a whole campaign.
@@ -616,10 +623,15 @@ fn outcome_counter(o: Outcome) -> &'static str {
 /// histogram + `faults.trials_per_sec` gauge, both excluded from the
 /// counter-only snapshot). The checkpointed and batched engines also
 /// flush their `faults.checkpoint.*` / `faults.batch.*` work counters
-/// — the only counter-snapshot keys on which the engines are allowed
-/// to differ (`scripts/ci.sh` strips exactly these before its
+/// — and incremental campaigns their `faults.sections.*` cache
+/// counters — the only counter-snapshot keys on which the engines are
+/// allowed to differ (`scripts/ci.sh` strips exactly these before its
 /// byte-compare).
-fn record_campaign_metrics(tally: &Tally, engine: Option<&EngineStats>, span: casted_obs::Span) {
+pub(crate) fn record_campaign_metrics(
+    tally: &Tally,
+    engine: Option<&EngineStats>,
+    span: casted_obs::Span,
+) {
     if !casted_obs::enabled() {
         return;
     }
@@ -643,6 +655,12 @@ fn record_campaign_metrics(tally: &Tally, engine: Option<&EngineStats>, span: ca
             casted_obs::add("faults.batch.retired.detected", es.batch.retired_detected);
             casted_obs::add("faults.batch.retired.exception", es.batch.retired_exception);
             casted_obs::add("faults.batch.retired.timeout", es.batch.retired_timeout);
+        }
+        if es.sections.total > 0 {
+            casted_obs::add("faults.sections.total", es.sections.total);
+            casted_obs::add("faults.sections.hit", es.sections.hit);
+            casted_obs::add("faults.sections.miss", es.sections.miss);
+            casted_obs::add("faults.sections.recombined", es.sections.recombined);
         }
     }
     let ns = span.elapsed_ns();

@@ -1,0 +1,1216 @@
+//! Compositional (incremental) fault campaigns with an on-disk
+//! content-addressed section cache — FastFlip's observation applied
+//! to the Monte-Carlo campaigns of §IV-C: per-section injection
+//! results compose, so after an edit only the sections whose code
+//! actually changed need re-injection.
+//!
+//! ## How a campaign decomposes
+//!
+//! The golden dynamic trace is cut into sections at block entries
+//! (`casted_sim::section`); every trial of the frozen injection
+//! stream belongs to exactly one section (the one owning its `at`
+//! site). Per section the store keeps one [`SectionRecord`]: the
+//! per-trial *evidence* — not the final [`Outcome`] — in trial order,
+//! plus the validation list of blocks the section's golden span and
+//! trial runs visited.
+//!
+//! Evidence comes in three shapes, and the split is what makes
+//! recombination **byte-identical to a cold campaign** (the headline
+//! claim, enforced at four levels — see `docs/INCREMENTAL.md`):
+//!
+//! * [`TrialEntry::Resolved`] — Detected / Exception / Timeout stops,
+//!   and convergence-proved Benign. These classifications cannot
+//!   depend on anything outside the (validated) section.
+//! * [`TrialEntry::Halted`] — the trial halted in-span. Halts
+//!   classify *against the current golden run* (exit code + output
+//!   stream), which an edit downstream of the section can change, so
+//!   the record stores the raw halt evidence and classification
+//!   happens at recombine time.
+//! * [`TrialEntry::Escaped`] — the trial left its span still
+//!   diverged. Nothing in-span can classify it; the *first* recombine
+//!   replays it against the whole-program golden trace (the
+//!   checkpointed-engine path) and caches the replay's verdict as
+//!   [`EscapeEvidence`] with its own validation list — the blocks the
+//!   replay touched after the fault landed (plus, for a pruned
+//!   replay, the golden path up to the convergence point). Later
+//!   recombines re-replay only the escapes an edit actually
+//!   invalidated.
+//!
+//! A fully-warm rerun goes further: a [`ProgramRecord`] keyed by the
+//! *entire program content* ([`program_key`]) caches the golden run's
+//! summary (cycles, dynamic length, exit code, output stream) and the
+//! section partition, so when every consulted section — escape
+//! evidence included — validates, the campaign recombines without
+//! simulating a single cycle, golden run included.
+//!
+//! ## Cache key and invalidation
+//!
+//! A record is addressed by [`section_key`]: an Fnv64 hash of the
+//! store format version, the machine config, the watchdog bound, the
+//! golden run's shape (`cycles`/`dyn`), the section bounds, an
+//! *unmasked digest of the section-start machine state* (binding
+//! everything upstream), and the section's injection-stream slice. A
+//! lookup additionally validates that every block the recorded runs
+//! visited still has the same code hash and live-in-mask hash on the
+//! current program; any mismatch is a miss and the section is
+//! re-injected. Records carry a whole-file checksum — a corrupted
+//! byte anywhere turns the record into a miss, never a wrong tally
+//! (the sabotage self-test below pins this).
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use casted_ir::interp::{OutVal, StopReason};
+use casted_ir::vliw::ScheduledProgram;
+use casted_ir::RegClass;
+use casted_sim::section::{block_validation_hashes, capture_sections, run_section_trial, SectionTrial};
+use casted_sim::{golden_with_checkpoints, replay_trial_observed, GoldenTrace, Injection, TrialRun};
+use casted_util::codec::{get_ivarint, get_uvarint, put_ivarint, put_uvarint};
+use casted_util::hash::{fnv1a, Fnv64};
+use casted_util::pool::run_pool;
+use casted_util::Rng;
+
+use crate::{classify, CampaignConfig, CampaignResult, EngineStats, Outcome, Tally};
+
+/// Bumped on any change to the record encoding *or* to the meaning of
+/// any hashed key component (hash inputs, digest coverage, section
+/// cutting policy). Part of the key, so stale-format records simply
+/// miss instead of decoding garbage.
+pub const STORE_FORMAT_VERSION: u64 = 2;
+
+/// Section-cache accounting for one incremental campaign.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SectionStats {
+    /// Sections in the campaign's partition of the golden trace.
+    pub total: u64,
+    /// Consulted sections whose cached record validated (no
+    /// re-injection).
+    pub hit: u64,
+    /// Consulted sections re-injected (no record, stale record,
+    /// failed integrity or block validation).
+    pub miss: u64,
+    /// Trials whose evidence came from cached records rather than
+    /// fresh injection.
+    pub recombined: u64,
+}
+
+/// Stored per-trial evidence (see the module docs for why halts stay
+/// raw while the other stops are pre-resolved).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrialEntry {
+    /// Section-local classification: Detected, Exception, Timeout, or
+    /// convergence-proved Benign.
+    Resolved(Outcome),
+    /// Halted in-span; classified against the current golden run at
+    /// recombine time.
+    Halted { code: i64, stream: Vec<OutVal> },
+    /// Left the span diverged. `None` until the first recombine's
+    /// whole-program replay; afterwards the replay's cached verdict,
+    /// reused while its own validation list holds.
+    Escaped(Option<EscapeEvidence>),
+}
+
+/// How an escaped trial's whole-program replay ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EscapeOutcome {
+    /// Golden-independent stop: Detected, Exception or Timeout.
+    Resolved(Outcome),
+    /// Ran to a halt; classified against the current golden run at
+    /// recombine time (same rule as [`TrialEntry::Halted`]).
+    Halted { code: i64, stream: Vec<OutVal> },
+    /// Re-converged with the golden run: provably Benign.
+    Converged,
+}
+
+/// Cached whole-program replay verdict for one escaped trial, plus
+/// the extra validation surface beyond the section's own list: the
+/// blocks the replay visited *after the fault landed* — the faulty
+/// suffix is instruction-identical while they are unchanged — and,
+/// for a converged verdict, the golden blocks between the span exit
+/// and the convergence point (the stored Benign also asserts what the
+/// *golden* state there is).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EscapeEvidence {
+    /// The replay's verdict.
+    pub outcome: EscapeOutcome,
+    /// `(block index, code hash, live-mask hash)` triples that must
+    /// match the current program for the verdict to be reusable.
+    pub validation: Vec<(u32, u64, u64)>,
+}
+
+/// Whole-program cache entry: the golden run's summary and the
+/// section partition, keyed by [`program_key`] (the full program
+/// content). With a validated program record and every consulted
+/// section record intact, a warm rerun skips the golden simulation
+/// and the section capture entirely.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProgramRecord {
+    /// Fault-free cycle count.
+    pub golden_cycles: u64,
+    /// Fault-free dynamic instruction count.
+    pub golden_dyn: u64,
+    /// Fault-free exit code.
+    pub halt_code: i64,
+    /// Fault-free output stream (halt-evidence classification target).
+    pub stream: Vec<OutVal>,
+    /// Per section `(lo, hi, start_digest)`, in trace order.
+    pub partition: Vec<(u64, u64, u64)>,
+}
+
+/// Content hash addressing a [`ProgramRecord`]: everything that
+/// determines the golden run and the section partition. The per-block
+/// hashes cover the scheduled code (instructions, clusters, exact
+/// immediates — global *addresses* included) and the live-in masks;
+/// the globals' initial images, layout and the register-file sizes
+/// are hashed explicitly because no block hash covers them.
+pub fn program_key(sp: &ScheduledProgram, hashes: &[(u64, u64)]) -> u64 {
+    let func = sp.module.entry_fn();
+    let mut h = Fnv64::new();
+    h.write_u64(STORE_FORMAT_VERSION);
+    h.write(format!("{:?}", sp.config).as_bytes());
+    h.write_u64(func.entry.index() as u64);
+    h.write_u64(hashes.len() as u64);
+    for &(code, live) in hashes {
+        h.write_u64(code);
+        h.write_u64(live);
+    }
+    h.write_u64(sp.module.data_end() as u64);
+    h.write_u64(sp.module.globals.len() as u64);
+    for g in &sp.module.globals {
+        h.write(format!("{:?}", g.class).as_bytes());
+        h.write_u64(g.len as u64);
+        h.write_u64(g.addr as u64);
+        h.write_u64(g.init.len() as u64);
+        for &v in &g.init {
+            h.write_u64(v as u64);
+        }
+    }
+    for class in [RegClass::Gp, RegClass::Fp, RegClass::Pr] {
+        h.write_u64(func.reg_count(class) as u64);
+    }
+    h.finish()
+}
+
+/// One cached section: per-trial evidence in trial order plus the
+/// validation list `(block index, code hash, live-mask hash)` for
+/// every block the golden span or any trial visited.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SectionRecord {
+    /// Entries, one per trial of the section's injection slice.
+    pub entries: Vec<TrialEntry>,
+    /// Blocks whose current-program hashes must match for reuse.
+    pub validation: Vec<(u32, u64, u64)>,
+}
+
+/// Content hash addressing one section's record. Every input that
+/// could change the bounded trial runs is mixed in; two programs (or
+/// two edits of one program) share a record exactly when the section
+/// is provably equivalent for these trials.
+#[allow(clippy::too_many_arguments)]
+pub fn section_key(
+    sp: &ScheduledProgram,
+    max_cycles: u64,
+    golden_cycles: u64,
+    golden_dyn: u64,
+    lo: u64,
+    hi: u64,
+    start_digest: u64,
+    injections: &[Injection],
+) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(STORE_FORMAT_VERSION);
+    // MachineConfig derives Debug over every field; the Debug form is
+    // injective on its values and hashed once per section.
+    h.write(format!("{:?}", sp.config).as_bytes());
+    h.write_u64(max_cycles);
+    // golden cycles/dyn pin the watchdog bound and the sampling
+    // cadence the capture derived (a per-section view alone would not
+    // imply them).
+    h.write_u64(golden_cycles);
+    h.write_u64(golden_dyn);
+    h.write_u64(lo);
+    h.write_u64(hi);
+    h.write_u64(start_digest);
+    h.write_u64(injections.len() as u64);
+    for inj in injections {
+        h.write_u64(inj.at_dyn_insn);
+        h.write_u64(inj.bit as u64);
+    }
+    h.finish()
+}
+
+fn put_stream(buf: &mut Vec<u8>, stream: &[OutVal]) {
+    put_uvarint(buf, stream.len() as u64);
+    for v in stream {
+        match v {
+            OutVal::Int(i) => {
+                put_uvarint(buf, 0);
+                put_uvarint(buf, *i as u64);
+            }
+            OutVal::Float(f) => {
+                put_uvarint(buf, 1);
+                put_uvarint(buf, f.to_bits());
+            }
+        }
+    }
+}
+
+fn get_stream(payload: &[u8], pos: &mut usize) -> Option<Vec<OutVal>> {
+    let len = get_uvarint(payload, pos)?;
+    let mut stream = Vec::with_capacity(len.min(1 << 20) as usize);
+    for _ in 0..len {
+        stream.push(match get_uvarint(payload, pos)? {
+            0 => OutVal::Int(get_uvarint(payload, pos)? as i64),
+            1 => OutVal::Float(f64::from_bits(get_uvarint(payload, pos)?)),
+            _ => return None,
+        });
+    }
+    Some(stream)
+}
+
+fn put_validation(buf: &mut Vec<u8>, validation: &[(u32, u64, u64)]) {
+    put_uvarint(buf, validation.len() as u64);
+    for &(block, code, live) in validation {
+        put_uvarint(buf, block as u64);
+        put_uvarint(buf, code);
+        put_uvarint(buf, live);
+    }
+}
+
+fn get_validation(payload: &[u8], pos: &mut usize) -> Option<Vec<(u32, u64, u64)>> {
+    let n = get_uvarint(payload, pos)?;
+    let mut validation = Vec::with_capacity(n.min(1 << 20) as usize);
+    for _ in 0..n {
+        let block = get_uvarint(payload, pos)?;
+        let code = get_uvarint(payload, pos)?;
+        let live = get_uvarint(payload, pos)?;
+        validation.push((u32::try_from(block).ok()?, code, live));
+    }
+    Some(validation)
+}
+
+fn encode_record(key: u64, rec: &SectionRecord) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_uvarint(&mut buf, STORE_FORMAT_VERSION);
+    put_uvarint(&mut buf, key);
+    put_uvarint(&mut buf, rec.entries.len() as u64);
+    for e in &rec.entries {
+        match e {
+            TrialEntry::Resolved(o) => {
+                put_uvarint(&mut buf, 0);
+                put_uvarint(&mut buf, o.index() as u64);
+            }
+            TrialEntry::Halted { code, stream } => {
+                put_uvarint(&mut buf, 1);
+                put_ivarint(&mut buf, *code);
+                put_stream(&mut buf, stream);
+            }
+            TrialEntry::Escaped(ev) => {
+                put_uvarint(&mut buf, 2);
+                match ev {
+                    None => put_uvarint(&mut buf, 0),
+                    Some(ev) => {
+                        put_uvarint(&mut buf, 1);
+                        match &ev.outcome {
+                            EscapeOutcome::Resolved(o) => {
+                                put_uvarint(&mut buf, 0);
+                                put_uvarint(&mut buf, o.index() as u64);
+                            }
+                            EscapeOutcome::Halted { code, stream } => {
+                                put_uvarint(&mut buf, 1);
+                                put_ivarint(&mut buf, *code);
+                                put_stream(&mut buf, stream);
+                            }
+                            EscapeOutcome::Converged => put_uvarint(&mut buf, 2),
+                        }
+                        put_validation(&mut buf, &ev.validation);
+                    }
+                }
+            }
+        }
+    }
+    put_validation(&mut buf, &rec.validation);
+    let sum = fnv1a(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+fn decode_record(key: u64, bytes: &[u8]) -> Option<SectionRecord> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    if fnv1a(payload) != u64::from_le_bytes(tail.try_into().ok()?) {
+        return None;
+    }
+    let mut pos = 0;
+    if get_uvarint(payload, &mut pos)? != STORE_FORMAT_VERSION {
+        return None;
+    }
+    if get_uvarint(payload, &mut pos)? != key {
+        return None;
+    }
+    let n = get_uvarint(payload, &mut pos)?;
+    let mut entries = Vec::with_capacity(n.min(1 << 20) as usize);
+    for _ in 0..n {
+        entries.push(match get_uvarint(payload, &mut pos)? {
+            0 => TrialEntry::Resolved(*Outcome::ALL.get(get_uvarint(payload, &mut pos)? as usize)?),
+            1 => {
+                let code = get_ivarint(payload, &mut pos)?;
+                TrialEntry::Halted { code, stream: get_stream(payload, &mut pos)? }
+            }
+            2 => match get_uvarint(payload, &mut pos)? {
+                0 => TrialEntry::Escaped(None),
+                1 => {
+                    let outcome = match get_uvarint(payload, &mut pos)? {
+                        0 => EscapeOutcome::Resolved(
+                            *Outcome::ALL.get(get_uvarint(payload, &mut pos)? as usize)?,
+                        ),
+                        1 => {
+                            let code = get_ivarint(payload, &mut pos)?;
+                            EscapeOutcome::Halted { code, stream: get_stream(payload, &mut pos)? }
+                        }
+                        2 => EscapeOutcome::Converged,
+                        _ => return None,
+                    };
+                    let validation = get_validation(payload, &mut pos)?;
+                    TrialEntry::Escaped(Some(EscapeEvidence { outcome, validation }))
+                }
+                _ => return None,
+            },
+            _ => return None,
+        });
+    }
+    let validation = get_validation(payload, &mut pos)?;
+    // Strictly canonical: trailing bytes mean a foreign or damaged
+    // record, not a shorter one.
+    if pos != payload.len() {
+        return None;
+    }
+    Some(SectionRecord { entries, validation })
+}
+
+fn encode_program(key: u64, rec: &ProgramRecord) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_uvarint(&mut buf, STORE_FORMAT_VERSION);
+    put_uvarint(&mut buf, key);
+    put_uvarint(&mut buf, rec.golden_cycles);
+    put_uvarint(&mut buf, rec.golden_dyn);
+    put_ivarint(&mut buf, rec.halt_code);
+    put_stream(&mut buf, &rec.stream);
+    put_uvarint(&mut buf, rec.partition.len() as u64);
+    for &(lo, hi, digest) in &rec.partition {
+        put_uvarint(&mut buf, lo);
+        put_uvarint(&mut buf, hi);
+        put_uvarint(&mut buf, digest);
+    }
+    let sum = fnv1a(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+fn decode_program(key: u64, bytes: &[u8]) -> Option<ProgramRecord> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    if fnv1a(payload) != u64::from_le_bytes(tail.try_into().ok()?) {
+        return None;
+    }
+    let mut pos = 0;
+    if get_uvarint(payload, &mut pos)? != STORE_FORMAT_VERSION {
+        return None;
+    }
+    if get_uvarint(payload, &mut pos)? != key {
+        return None;
+    }
+    let golden_cycles = get_uvarint(payload, &mut pos)?;
+    let golden_dyn = get_uvarint(payload, &mut pos)?;
+    let halt_code = get_ivarint(payload, &mut pos)?;
+    let stream = get_stream(payload, &mut pos)?;
+    let n = get_uvarint(payload, &mut pos)?;
+    let mut partition = Vec::with_capacity(n.min(1 << 20) as usize);
+    for _ in 0..n {
+        let lo = get_uvarint(payload, &mut pos)?;
+        let hi = get_uvarint(payload, &mut pos)?;
+        let digest = get_uvarint(payload, &mut pos)?;
+        partition.push((lo, hi, digest));
+    }
+    if pos != payload.len() {
+        return None;
+    }
+    Some(ProgramRecord { golden_cycles, golden_dyn, halt_code, stream, partition })
+}
+
+/// On-disk content-addressed store: one file per section key under a
+/// flat directory, `"{key:016x}.sect"`, encoded with the canonical
+/// codec and protected by a whole-file FNV checksum. `casted_util`
+/// and `std` only.
+pub struct SectionStore {
+    dir: PathBuf,
+}
+
+impl SectionStore {
+    /// Open (creating the directory if needed).
+    pub fn open(dir: &Path) -> io::Result<SectionStore> {
+        std::fs::create_dir_all(dir)?;
+        Ok(SectionStore { dir: dir.to_path_buf() })
+    }
+
+    fn path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.sect"))
+    }
+
+    fn prog_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.prog"))
+    }
+
+    /// Load and integrity-check a record. Any damage — truncation, a
+    /// flipped byte, a foreign format — returns `None` (a cache miss),
+    /// never a wrong record.
+    pub fn load(&self, key: u64) -> Option<SectionRecord> {
+        let bytes = std::fs::read(self.path(key)).ok()?;
+        decode_record(key, &bytes)
+    }
+
+    /// Persist a record atomically (temp file + rename), so a reader
+    /// never observes a half-written record even across concurrent
+    /// campaigns sharing the directory.
+    pub fn save(&self, key: u64, rec: &SectionRecord) -> io::Result<()> {
+        static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, encode_record(key, rec))?;
+        std::fs::rename(&tmp, self.path(key))
+    }
+
+    /// Load and integrity-check a program record; any damage is a
+    /// miss, exactly like [`SectionStore::load`].
+    pub fn load_program(&self, key: u64) -> Option<ProgramRecord> {
+        let bytes = std::fs::read(self.prog_path(key)).ok()?;
+        decode_program(key, &bytes)
+    }
+
+    /// Persist a program record atomically (same temp + rename
+    /// discipline as [`SectionStore::save`]).
+    pub fn save_program(&self, key: u64, rec: &ProgramRecord) -> io::Result<()> {
+        static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            ".tmpp-{}-{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, encode_program(key, rec))?;
+        std::fs::rename(&tmp, self.prog_path(key))
+    }
+}
+
+/// Classify stored halt evidence against the current golden run — the
+/// same rule [`classify`] applies to a live `Halt` stop. Takes the
+/// golden summary as `(code, stream)` so both the live golden result
+/// and a cached [`ProgramRecord`] can serve as the reference.
+fn classify_halt_evidence(
+    golden_code: i64,
+    golden_stream: &[OutVal],
+    code: i64,
+    stream: &[OutVal],
+) -> Outcome {
+    let same_code = golden_code == code;
+    let same_stream = golden_stream.len() == stream.len()
+        && golden_stream.iter().zip(stream).all(|(a, b)| a.bit_eq(b));
+    if same_code && same_stream {
+        Outcome::Benign
+    } else {
+        Outcome::DataCorrupt
+    }
+}
+
+/// Turn one bounded trial verdict into its stored evidence.
+fn entry_of(trial: SectionTrial, golden: &casted_sim::SimResult) -> TrialEntry {
+    match trial {
+        SectionTrial::Finished(r) => match r.stop {
+            StopReason::Detected => TrialEntry::Resolved(Outcome::Detected),
+            StopReason::Exception(_) => TrialEntry::Resolved(Outcome::Exception),
+            StopReason::Timeout => TrialEntry::Resolved(Outcome::Timeout),
+            StopReason::Halt(code) => TrialEntry::Halted { code, stream: r.stream },
+        },
+        SectionTrial::Converged => {
+            // Convergence proves the trial equals the golden run from
+            // the convergence point on; resolve it now. (The stored
+            // Benign stays valid across edits the validation admits:
+            // a hit implies the golden in-span states are unchanged,
+            // so the convergence re-proves itself — see
+            // docs/INCREMENTAL.md.)
+            debug_assert!(matches!(golden.stop, StopReason::Halt(_)));
+            TrialEntry::Resolved(Outcome::Benign)
+        }
+        SectionTrial::Escaped => TrialEntry::Escaped(None),
+    }
+}
+
+/// Run a Monte-Carlo campaign through the section cache.
+///
+/// Draws the identical frozen injection stream as every other engine,
+/// buckets trials by section, reuses validated cached records,
+/// injects only miss sections (bounded per-section runs), replays
+/// escapes whole-program, and reduces the tally **in trial order** —
+/// the recombined tally is byte-identical to
+/// [`crate::run_campaign_engine`] on any engine with the same config
+/// (the four-level gate stack enforces this; see `docs/INCREMENTAL.md`
+/// for the argument). Only the default `InstructionOutput` fault
+/// model is supported — the register-file model's third stream draw
+/// is not part of the section key vocabulary.
+pub fn run_campaign_incremental(
+    sp: &ScheduledProgram,
+    cfg: &CampaignConfig,
+    store: &SectionStore,
+) -> CampaignResult {
+    let hashes = block_validation_hashes(sp);
+    let pkey = program_key(sp, &hashes);
+    if let Some(prog) = store.load_program(pkey) {
+        if let Some(result) = recombine_from_cache(sp, cfg, store, &hashes, &prog) {
+            return result;
+        }
+    }
+    run_campaign_cold(sp, cfg, store, &hashes, pkey)
+}
+
+/// The fully-warm fast path: with a validated [`ProgramRecord`] and
+/// every consulted section record — per-escape evidence included —
+/// intact, the whole campaign recombines from the store without
+/// simulating a single cycle, golden run included. Any gap (a missing
+/// or stale section, an escape without reusable evidence, a damaged
+/// partition) returns `None` and the caller falls back to the full
+/// path.
+fn recombine_from_cache(
+    sp: &ScheduledProgram,
+    cfg: &CampaignConfig,
+    store: &SectionStore,
+    hashes: &[(u64, u64)],
+    prog: &ProgramRecord,
+) -> Option<CampaignResult> {
+    // A malformed partition (foreign or damaged record) is a miss.
+    if prog.golden_dyn == 0
+        || prog.partition.is_empty()
+        || prog.partition[0].0 != 0
+        || prog.partition.last().unwrap().1 != prog.golden_dyn
+    {
+        return None;
+    }
+    let golden_cycles = prog.golden_cycles;
+    let golden_dyn = prog.golden_dyn;
+    let max_cycles = golden_cycles.saturating_mul(cfg.timeout_factor);
+
+    // The frozen stream: identical draw order to every other engine.
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let injections: Vec<Injection> = (0..cfg.trials)
+        .map(|_| {
+            let (at, bit) = crate::draw_injection(&mut rng, golden_dyn);
+            Injection { at_dyn_insn: at, bit, target: None }
+        })
+        .collect();
+
+    let span = casted_obs::span("faults.campaign_ns");
+    let nsec = prog.partition.len();
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); nsec];
+    for (i, inj) in injections.iter().enumerate() {
+        let j = prog
+            .partition
+            .partition_point(|&(_, hi, _)| hi < inj.at_dyn_insn)
+            .min(nsec - 1);
+        buckets[j].push(i);
+    }
+
+    let valid = |v: &[(u32, u64, u64)]| {
+        v.iter()
+            .all(|&(block, code, live)| hashes.get(block as usize) == Some(&(code, live)))
+    };
+
+    let mut stats = SectionStats { total: nsec as u64, ..SectionStats::default() };
+    let mut slots: Vec<Option<Outcome>> = vec![None; cfg.trials];
+    for (j, ids) in buckets.iter().enumerate() {
+        if ids.is_empty() {
+            continue;
+        }
+        let (lo, hi, start_digest) = prog.partition[j];
+        let slice: Vec<Injection> = ids.iter().map(|&i| injections[i]).collect();
+        let key =
+            section_key(sp, max_cycles, golden_cycles, golden_dyn, lo, hi, start_digest, &slice);
+        let rec = store.load(key)?;
+        if rec.entries.len() != ids.len() || !valid(&rec.validation) {
+            return None;
+        }
+        for (&i, entry) in ids.iter().zip(&rec.entries) {
+            slots[i] = Some(match entry {
+                TrialEntry::Resolved(o) => *o,
+                TrialEntry::Halted { code, stream } => {
+                    classify_halt_evidence(prog.halt_code, &prog.stream, *code, stream)
+                }
+                TrialEntry::Escaped(Some(ev)) if valid(&ev.validation) => match &ev.outcome {
+                    EscapeOutcome::Resolved(o) => *o,
+                    EscapeOutcome::Halted { code, stream } => {
+                        classify_halt_evidence(prog.halt_code, &prog.stream, *code, stream)
+                    }
+                    EscapeOutcome::Converged => Outcome::Benign,
+                },
+                TrialEntry::Escaped(_) => return None,
+            });
+        }
+        stats.hit += 1;
+        stats.recombined += ids.len() as u64;
+    }
+
+    let mut tally = Tally::default();
+    for o in slots {
+        tally.record(o.expect("every trial classified exactly once"));
+    }
+    let engine_stats = EngineStats { sections: stats, ..EngineStats::default() };
+    crate::record_campaign_metrics(&tally, Some(&engine_stats), span);
+    Some(CampaignResult { tally, golden_cycles, golden_dyn, engine: engine_stats })
+}
+
+/// The full path: golden run, section capture, per-section cache
+/// consultation, bounded injection of the misses, whole-program
+/// replay of the escapes an edit invalidated — and write-back of
+/// every refreshed record (escape evidence included) plus the
+/// program record, so the next run can take the fast path.
+fn run_campaign_cold(
+    sp: &ScheduledProgram,
+    cfg: &CampaignConfig,
+    store: &SectionStore,
+    hashes: &[(u64, u64)],
+    pkey: u64,
+) -> CampaignResult {
+    let trace: GoldenTrace = golden_with_checkpoints(sp);
+    assert!(
+        matches!(trace.result.stop, StopReason::Halt(_)),
+        "campaign target must run fault-free to completion, got {:?}",
+        trace.result.stop
+    );
+    let StopReason::Halt(golden_code) = trace.result.stop else { unreachable!() };
+    let golden_cycles = trace.result.stats.cycles;
+    let golden_dyn = trace.result.stats.dyn_insns;
+    let max_cycles = golden_cycles.saturating_mul(cfg.timeout_factor);
+
+    // The frozen stream: identical draw order to every other engine.
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let injections: Vec<Injection> = (0..cfg.trials)
+        .map(|_| {
+            let (at, bit) = crate::draw_injection(&mut rng, golden_dyn);
+            Injection { at_dyn_insn: at, bit, target: None }
+        })
+        .collect();
+
+    let span = casted_obs::span("faults.campaign_ns");
+
+    let cap = capture_sections(sp, golden_dyn);
+    let nsec = cap.sections.len();
+
+    // Bucket trial indices per section. The golden run halted, so
+    // golden_dyn >= 1 and no draw is degenerate (at = u64::MAX).
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); nsec];
+    for (i, inj) in injections.iter().enumerate() {
+        debug_assert!(inj.at_dyn_insn >= 1 && inj.at_dyn_insn <= golden_dyn);
+        buckets[cap.section_of(inj.at_dyn_insn)].push(i);
+    }
+
+    let validates = |rec: &SectionRecord, trials: usize| {
+        rec.entries.len() == trials
+            && rec.validation.iter().all(|&(block, code, live)| {
+                hashes.get(block as usize) == Some(&(code, live))
+            })
+    };
+
+    // Consult the store per non-empty section.
+    let mut stats = SectionStats { total: nsec as u64, ..SectionStats::default() };
+    let mut cached: Vec<Option<SectionRecord>> = vec![None; nsec];
+    let mut keys: Vec<u64> = vec![0; nsec];
+    let mut misses: Vec<usize> = Vec::new();
+    for (j, ids) in buckets.iter().enumerate() {
+        if ids.is_empty() {
+            continue;
+        }
+        let sec = &cap.sections[j];
+        let slice: Vec<Injection> = ids.iter().map(|&i| injections[i]).collect();
+        keys[j] = section_key(
+            sp, max_cycles, golden_cycles, golden_dyn, sec.lo, sec.hi, sec.start_digest, &slice,
+        );
+        match store.load(keys[j]) {
+            Some(rec) if validates(&rec, ids.len()) => {
+                stats.hit += 1;
+                stats.recombined += ids.len() as u64;
+                cached[j] = Some(rec);
+            }
+            _ => {
+                stats.miss += 1;
+                misses.push(j);
+            }
+        }
+    }
+
+    // Inject the miss sections (each runs its trials bounded to the
+    // section), pooled across sections.
+    let fresh = run_pool(
+        misses
+            .iter()
+            .map(|&j| {
+                let cap = &cap;
+                let trace = &trace;
+                let hashes: &[(u64, u64)] = hashes;
+                let ids: &[usize] = &buckets[j];
+                let injections: &[Injection] = &injections;
+                move || {
+                    let mut visited: std::collections::BTreeSet<u32> =
+                        cap.sections[j].golden_blocks.iter().copied().collect();
+                    let entries: Vec<TrialEntry> = ids
+                        .iter()
+                        .map(|&i| {
+                            let (verdict, blocks) =
+                                run_section_trial(sp, cap, j, injections[i], max_cycles);
+                            visited.extend(blocks);
+                            entry_of(verdict, &trace.result)
+                        })
+                        .collect();
+                    let validation: Vec<(u32, u64, u64)> = visited
+                        .into_iter()
+                        .map(|b| {
+                            let (code, live) = hashes[b as usize];
+                            (b, code, live)
+                        })
+                        .collect();
+                    (j, SectionRecord { entries, validation })
+                }
+            })
+            .collect(),
+    );
+    let mut dirty: Vec<bool> = vec![false; nsec];
+    for (j, rec) in fresh {
+        cached[j] = Some(rec);
+        dirty[j] = true;
+    }
+
+    // Recombine into per-trial outcome slots. Halts classify against
+    // the *current* golden run; escapes resolve from cached evidence
+    // where it still validates, and only the rest replay
+    // whole-program — pooled, in trial order.
+    let valid = |v: &[(u32, u64, u64)]| {
+        v.iter()
+            .all(|&(block, code, live)| hashes.get(block as usize) == Some(&(code, live)))
+    };
+    let mut slots: Vec<Option<Outcome>> = vec![None; cfg.trials];
+    // (trial, section, entry index) per escape needing a live replay.
+    let mut pending: Vec<(usize, usize, usize)> = Vec::new();
+    for (j, ids) in buckets.iter().enumerate() {
+        if ids.is_empty() {
+            continue;
+        }
+        let rec = cached[j].as_ref().expect("every consulted section resolved");
+        for (k, (&i, entry)) in ids.iter().zip(&rec.entries).enumerate() {
+            slots[i] = match entry {
+                TrialEntry::Resolved(o) => Some(*o),
+                TrialEntry::Halted { code, stream } => Some(classify_halt_evidence(
+                    golden_code,
+                    &trace.result.stream,
+                    *code,
+                    stream,
+                )),
+                TrialEntry::Escaped(Some(ev)) if valid(&ev.validation) => {
+                    Some(match &ev.outcome {
+                        EscapeOutcome::Resolved(o) => *o,
+                        EscapeOutcome::Halted { code, stream } => classify_halt_evidence(
+                            golden_code,
+                            &trace.result.stream,
+                            *code,
+                            stream,
+                        ),
+                        EscapeOutcome::Converged => Outcome::Benign,
+                    })
+                }
+                TrialEntry::Escaped(_) => {
+                    pending.push((i, j, k));
+                    None
+                }
+            };
+        }
+    }
+    pending.sort_unstable();
+    let mut engine_stats = EngineStats {
+        checkpoints: trace.checkpoints_taken(),
+        sections: stats,
+        ..EngineStats::default()
+    };
+    let replays = run_pool(
+        pending
+            .iter()
+            .map(|&(i, _, _)| {
+                let trace = &trace;
+                let inj = injections[i];
+                move || replay_trial_observed(sp, trace, inj, max_cycles)
+            })
+            .collect(),
+    );
+    for (&(i, j, k), (run, rs, blocks, converged_at)) in pending.iter().zip(replays) {
+        engine_stats.skipped_insns += rs.skipped_insns;
+        engine_stats.pruned_trials += rs.pruned as u64;
+        let (outcome, evidence_outcome) = match run {
+            TrialRun::Finished(r) => {
+                let o = classify(&trace.result, &r);
+                let eo = match r.stop {
+                    StopReason::Detected => EscapeOutcome::Resolved(Outcome::Detected),
+                    StopReason::Exception(_) => EscapeOutcome::Resolved(Outcome::Exception),
+                    StopReason::Timeout => EscapeOutcome::Resolved(Outcome::Timeout),
+                    StopReason::Halt(code) => EscapeOutcome::Halted { code, stream: r.stream },
+                };
+                (o, eo)
+            }
+            TrialRun::Converged => (Outcome::Benign, EscapeOutcome::Converged),
+        };
+        slots[i] = Some(outcome);
+        // Evidence validation surface: the blocks the replay visited
+        // after the fault landed, plus — for a converged verdict —
+        // the golden blocks between the span exit and the convergence
+        // point (the stored Benign also asserts the *golden* state
+        // there; the in-span golden blocks are already in the
+        // section's own validation list).
+        let mut vset: BTreeSet<u32> = blocks.into_iter().collect();
+        if let Some(d) = converged_at {
+            let sd = cap.section_of(d);
+            for sec in cap.sections.iter().take(sd + 1).skip(j + 1) {
+                vset.extend(sec.golden_blocks.iter().copied());
+            }
+        }
+        let validation: Vec<(u32, u64, u64)> = vset
+            .into_iter()
+            .map(|b| {
+                let (code, live) = hashes[b as usize];
+                (b, code, live)
+            })
+            .collect();
+        let rec = cached[j].as_mut().expect("escape came from a resolved section");
+        rec.entries[k] = TrialEntry::Escaped(Some(EscapeEvidence {
+            outcome: evidence_outcome,
+            validation,
+        }));
+        dirty[j] = true;
+    }
+
+    // Persist every re-injected or evidence-refreshed record, plus
+    // the program record — best-effort: a full disk or read-only
+    // cache degrades to a cold section next run, never a wrong tally.
+    for (j, rec) in cached.iter().enumerate() {
+        if dirty[j] {
+            if let Some(rec) = rec {
+                let _ = store.save(keys[j], rec);
+            }
+        }
+    }
+    let _ = store.save_program(
+        pkey,
+        &ProgramRecord {
+            golden_cycles,
+            golden_dyn,
+            halt_code: golden_code,
+            stream: trace.result.stream.clone(),
+            partition: cap.sections.iter().map(|s| (s.lo, s.hi, s.start_digest)).collect(),
+        },
+    );
+
+    let mut tally = Tally::default();
+    for o in slots {
+        tally.record(o.expect("every trial classified exactly once"));
+    }
+    crate::record_campaign_metrics(&tally, Some(&engine_stats), span);
+    CampaignResult {
+        tally,
+        golden_cycles,
+        golden_dyn,
+        engine: engine_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_campaign_engine, Engine};
+    use casted_ir::vliw::{Bundle, ScheduledBlock};
+    use casted_ir::{Cluster, FunctionBuilder, MachineConfig, Module, Opcode, Operand};
+    use std::collections::HashMap as Map;
+
+    fn sequential(module: &Module, config: MachineConfig) -> ScheduledProgram {
+        let func = module.entry_fn();
+        let mut assignment = vec![None; func.insns.len()];
+        let mut home = Map::new();
+        let mut blocks = Vec::new();
+        for (bid, block) in func.iter_blocks() {
+            let mut bundles = Vec::new();
+            for &iid in &block.insns {
+                assignment[iid.index()] = Some(Cluster::MAIN);
+                for &d in &func.insn(iid).defs {
+                    home.entry(d).or_insert(Cluster::MAIN);
+                }
+                let mut b = Bundle::empty(config.clusters);
+                b.slots[0].push(iid);
+                bundles.push(b);
+            }
+            blocks.push(ScheduledBlock { block: bid, bundles });
+        }
+        ScheduledProgram {
+            module: module.clone(),
+            config,
+            assignment,
+            home,
+            blocks,
+        }
+    }
+
+    fn summing_module(iters: i64) -> Module {
+        let mut m = Module::new("t");
+        let (_, addr) = m.add_global("g", casted_ir::func::GlobalClass::Int, 64, (0..64).collect());
+        let mut b = FunctionBuilder::new("main");
+        let body = b.new_block("body");
+        let done = b.new_block("done");
+        let acc = b.imm(0);
+        let i = b.imm(0);
+        b.br(body);
+        b.switch_to(body);
+        let base = b.imm(addr);
+        let m63 = b.binop(Opcode::And, Operand::Reg(i), Operand::Imm(63));
+        let sh = b.binop(Opcode::Shl, Operand::Reg(m63), Operand::Imm(3));
+        let ea = b.binop(Opcode::Add, Operand::Reg(base), Operand::Reg(sh));
+        let v = b.load(ea, 0);
+        let acc1 = b.binop(Opcode::Add, Operand::Reg(acc), Operand::Reg(v));
+        b.push(Opcode::MovI, vec![acc], vec![Operand::Reg(acc1)]);
+        let i1 = b.binop(Opcode::Add, Operand::Reg(i), Operand::Imm(1));
+        b.push(Opcode::MovI, vec![i], vec![Operand::Reg(i1)]);
+        let p = b.cmp(casted_ir::CmpKind::Lt, Operand::Reg(i), Operand::Imm(iters));
+        b.br_cond(p, body, done);
+        b.switch_to(done);
+        b.out(Operand::Reg(acc));
+        b.halt_imm(0);
+        let id = m.add_function(b.finish());
+        m.entry = Some(id);
+        m
+    }
+
+    fn program() -> ScheduledProgram {
+        sequential(&summing_module(200), MachineConfig::itanium2_like(2, 2))
+    }
+
+    fn tmp_store(tag: &str) -> (PathBuf, SectionStore) {
+        let dir = std::env::temp_dir().join(format!(
+            "casted-sections-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        (dir.clone(), SectionStore::open(&dir).expect("open store"))
+    }
+
+    #[test]
+    fn record_codec_round_trips() {
+        let rec = SectionRecord {
+            entries: vec![
+                TrialEntry::Resolved(Outcome::Detected),
+                TrialEntry::Halted {
+                    code: -7,
+                    stream: vec![OutVal::Int(-1), OutVal::Float(2.5), OutVal::Int(i64::MAX)],
+                },
+                TrialEntry::Escaped(None),
+                TrialEntry::Escaped(Some(EscapeEvidence {
+                    outcome: EscapeOutcome::Halted { code: 3, stream: vec![OutVal::Int(8)] },
+                    validation: vec![(4, 5, 6)],
+                })),
+                TrialEntry::Escaped(Some(EscapeEvidence {
+                    outcome: EscapeOutcome::Converged,
+                    validation: vec![],
+                })),
+                TrialEntry::Escaped(Some(EscapeEvidence {
+                    outcome: EscapeOutcome::Resolved(Outcome::Timeout),
+                    validation: vec![(0, 0, 0), (u32::MAX, 1, 2)],
+                })),
+                TrialEntry::Resolved(Outcome::Benign),
+            ],
+            validation: vec![(0, 1, 2), (9, u64::MAX, 0x1234)],
+        };
+        let bytes = encode_record(42, &rec);
+        assert_eq!(decode_record(42, &bytes), Some(rec.clone()));
+        // Wrong key: the echo check rejects.
+        assert_eq!(decode_record(43, &bytes), None);
+        // Truncation and trailing garbage both reject.
+        assert_eq!(decode_record(42, &bytes[..bytes.len() - 1]), None);
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert_eq!(decode_record(42, &longer), None);
+    }
+
+    /// The headline claim at unit scale: cold incremental == cold full
+    /// campaign on every engine, byte for byte, and a warm rerun (no
+    /// edit) recombines entirely from cache to the same bytes.
+    #[test]
+    fn incremental_matches_all_engines_cold_and_warm() {
+        let sp = program();
+        let cfg = CampaignConfig { trials: 120, ..Default::default() };
+        let (dir, store) = tmp_store("coldwarm");
+        let cold = run_campaign_incremental(&sp, &cfg, &store);
+        for engine in [Engine::Reference, Engine::Checkpointed, Engine::Batched] {
+            let full = run_campaign_engine(&sp, &cfg, engine);
+            assert_eq!(cold.tally, full.tally, "{} disagrees", engine.name());
+            assert_eq!(cold.golden_cycles, full.golden_cycles);
+            assert_eq!(cold.golden_dyn, full.golden_dyn);
+        }
+        assert!(cold.engine.sections.total > 1, "single-section plan is vacuous");
+        assert_eq!(cold.engine.sections.hit, 0);
+        assert!(cold.engine.sections.miss > 0);
+
+        let warm = run_campaign_incremental(&sp, &cfg, &store);
+        assert_eq!(warm.tally, cold.tally, "warm recombination changed the tally");
+        assert_eq!(warm.engine.sections.miss, 0, "warm rerun re-injected");
+        assert_eq!(warm.engine.sections.hit, cold.engine.sections.miss);
+        assert_eq!(warm.engine.sections.recombined as usize, cfg.trials);
+        // The fully-warm rerun takes the fast path: no golden run, no
+        // checkpoints, no replays — everything from the store.
+        assert_eq!(warm.engine.checkpoints, 0, "warm rerun re-simulated the golden run");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Codec round-trip for the whole-program record, plus the same
+    /// damage rejections as the section codec.
+    #[test]
+    fn program_record_codec_round_trips() {
+        let rec = ProgramRecord {
+            golden_cycles: 123_456,
+            golden_dyn: 7890,
+            halt_code: -3,
+            stream: vec![OutVal::Int(1), OutVal::Float(-0.5)],
+            partition: vec![(0, 100, 11), (100, 7890, u64::MAX)],
+        };
+        let bytes = encode_program(7, &rec);
+        assert_eq!(decode_program(7, &bytes), Some(rec.clone()));
+        assert_eq!(decode_program(8, &bytes), None);
+        assert_eq!(decode_program(7, &bytes[..bytes.len() - 1]), None);
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert_eq!(decode_program(7, &longer), None);
+    }
+
+    /// A corrupted program record degrades to the full path (golden
+    /// run and all), never a wrong tally — and the full run heals it,
+    /// so the run after that takes the fast path again.
+    #[test]
+    fn corrupted_program_record_falls_back_and_heals() {
+        let sp = program();
+        let cfg = CampaignConfig { trials: 80, ..Default::default() };
+        let (dir, store) = tmp_store("progsab");
+        let cold = run_campaign_incremental(&sp, &cfg, &store);
+
+        let victim = std::fs::read_dir(&dir)
+            .expect("read cache dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "prog"))
+            .expect("cache has a program record");
+        let mut bytes = std::fs::read(&victim).expect("read record");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&victim, &bytes).expect("write sabotage");
+
+        let warm = run_campaign_incremental(&sp, &cfg, &store);
+        assert_eq!(warm.tally, cold.tally, "sabotaged program record changed the tally");
+        assert!(warm.engine.checkpoints > 0, "damage must force the full path");
+        assert_eq!(warm.engine.sections.miss, 0, "section records were untouched");
+
+        let healed = run_campaign_incremental(&sp, &cfg, &store);
+        assert_eq!(healed.tally, cold.tally);
+        assert_eq!(healed.engine.checkpoints, 0, "heal must restore the fast path");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Edit the program's halt code (an epilogue-only change): the
+    /// warm rerun hits every section that never visits the final
+    /// block, re-injects the rest, and the recombined tally is still
+    /// byte-identical to a cold full campaign *of the edited program*.
+    #[test]
+    fn edit_invalidates_only_touched_sections() {
+        let sp = program();
+        let cfg = CampaignConfig { trials: 150, ..Default::default() };
+        let (dir, store) = tmp_store("edit");
+        let _ = run_campaign_incremental(&sp, &cfg, &store);
+
+        let mut m = summing_module(200);
+        let func = m.entry_fn_mut();
+        let halt = func
+            .insns
+            .iter()
+            .position(|i| i.op == Opcode::Halt)
+            .expect("program halts");
+        func.insns[halt].imm = 7;
+        let edited = sequential(&m, MachineConfig::itanium2_like(2, 2));
+
+        let warm = run_campaign_incremental(&edited, &cfg, &store);
+        assert!(warm.engine.sections.hit > 0, "epilogue edit invalidated everything");
+        assert!(warm.engine.sections.miss > 0, "final-block sections must re-inject");
+        let full = run_campaign_engine(&edited, &cfg, Engine::Reference);
+        assert_eq!(warm.tally, full.tally, "recombined tally diverged after edit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Sabotage self-test (docs/TESTING.md style): corrupt one cached
+    /// record on disk — the store must detect the damage, fall back to
+    /// re-injection, and still produce the exact tally. A wrong tally
+    /// from a silently-accepted corrupt record is the failure mode
+    /// this pins out of existence.
+    #[test]
+    fn corrupted_record_is_detected_and_reinjected() {
+        let sp = program();
+        let cfg = CampaignConfig { trials: 100, ..Default::default() };
+        let (dir, store) = tmp_store("sabotage");
+        let cold = run_campaign_incremental(&sp, &cfg, &store);
+
+        // Flip one byte in the middle of one record's payload.
+        let victim = std::fs::read_dir(&dir)
+            .expect("read cache dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "sect"))
+            .expect("cache has records");
+        let mut bytes = std::fs::read(&victim).expect("read record");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&victim, &bytes).expect("write sabotage");
+
+        let warm = run_campaign_incremental(&sp, &cfg, &store);
+        assert_eq!(warm.tally, cold.tally, "sabotaged cache changed the tally");
+        assert_eq!(
+            warm.engine.sections.miss, 1,
+            "exactly the sabotaged section must re-inject: {:?}",
+            warm.engine.sections
+        );
+        assert_eq!(warm.engine.sections.hit + 1, cold.engine.sections.miss);
+
+        // And the re-injection healed the store.
+        let healed = run_campaign_incremental(&sp, &cfg, &store);
+        assert_eq!(healed.engine.sections.miss, 0);
+        assert_eq!(healed.tally, cold.tally);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Seeds and trial counts address different records: changing
+    /// either misses (the injection slice is part of the key), and the
+    /// recombined result still matches the full campaign.
+    #[test]
+    fn key_binds_the_injection_slice() {
+        let sp = program();
+        let (dir, store) = tmp_store("keys");
+        let a = CampaignConfig { trials: 60, ..Default::default() };
+        let _ = run_campaign_incremental(&sp, &a, &store);
+        let b = CampaignConfig { trials: 60, seed: 99, ..Default::default() };
+        let r = run_campaign_incremental(&sp, &b, &store);
+        assert!(r.engine.sections.hit < r.engine.sections.total, "foreign seed fully hit");
+        assert_eq!(r.tally, run_campaign_engine(&sp, &b, Engine::Reference).tally);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -3,8 +3,13 @@
 //! ```text
 //! casted-serve [--addr HOST:PORT] [--workers N] [--queue N]
 //!              [--cache-bytes N] [--max-cycles N] [--max-trials N]
-//!              [--metrics] [--metrics-counters]
+//!              [--section-cache DIR] [--metrics] [--metrics-counters]
 //! ```
+//!
+//! With `--section-cache DIR`, inject requests that miss the reply
+//! cache run through the compositional section store in `DIR`
+//! (partial hits: only changed program sections re-inject; replies
+//! stay byte-identical — see docs/INCREMENTAL.md).
 //!
 //! Binds loopback (`127.0.0.1:0` → ephemeral port) by default, prints
 //! `casted-serve listening on ADDR`, and serves until a client sends
@@ -22,7 +27,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: casted-serve [--addr HOST:PORT] [--workers N] [--queue N] \
          [--cache-bytes N] [--max-cycles N] [--max-trials N] \
-         [--metrics] [--metrics-counters]"
+         [--section-cache DIR] [--metrics] [--metrics-counters]"
     );
     std::process::exit(2);
 }
@@ -56,6 +61,10 @@ fn main() -> ExitCode {
             }
             "--max-cycles" => cfg.max_cycles = parse("--max-cycles", args.next()),
             "--max-trials" => cfg.max_trials = parse("--max-trials", args.next()),
+            "--section-cache" => {
+                cfg.section_cache =
+                    Some(std::path::PathBuf::from(parse::<String>("--section-cache", args.next())))
+            }
             "--metrics" => metrics = true,
             "--metrics-counters" => metrics_counters = true,
             "--help" | "-h" => usage(),

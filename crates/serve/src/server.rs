@@ -73,6 +73,15 @@ pub struct ServerConfig {
     pub max_cycles: u64,
     /// Maximum Monte-Carlo trials a single inject request may ask for.
     pub max_trials: u64,
+    /// On-disk section store for inject requests. When set, inject
+    /// misses run through the compositional campaign
+    /// (`casted_faults::run_campaign_incremental`) keyed into this
+    /// directory, so requests for similar programs become *partial*
+    /// cache hits (only changed sections re-inject) while replies stay
+    /// byte-identical to the engines' — the exact-reply cache contract
+    /// is unchanged. `None` (the default) keeps cold per-request
+    /// campaigns.
+    pub section_cache: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +93,7 @@ impl Default for ServerConfig {
             cache: CacheConfig::default(),
             max_cycles: 200_000_000,
             max_trials: 20_000,
+            section_cache: None,
         }
     }
 }
@@ -397,7 +407,16 @@ fn execute(shared: &Arc<Shared>, req: &Request) -> Response {
                     shared.cfg.max_trials
                 ));
             }
-            match service_api::inject_tally(spec, *trials, *seed, *engine, cap) {
+            // The incremental path is engine-agnostic (its recombined
+            // reply is byte-identical to every engine's), so the
+            // request's engine choice only matters on the cold path.
+            let result = match &shared.cfg.section_cache {
+                Some(dir) => {
+                    service_api::inject_tally_incremental(spec, *trials, *seed, dir, cap)
+                }
+                None => service_api::inject_tally(spec, *trials, *seed, *engine, cap),
+            };
+            match result {
                 Ok(r) => Response::Injected(r),
                 Err(e) => Response::Err(e),
             }

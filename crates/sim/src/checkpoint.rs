@@ -107,9 +107,12 @@ impl CheckpointPlan {
 }
 
 /// Per-class bitmask of registers live at a block entry, computed on
-/// the *scheduled* code (see [`live_in_masks`]).
+/// the *scheduled* code (see [`live_in_masks`]). Shared with the
+/// section layer (`crate::section`), which fingerprints trial states
+/// against the same masks and hashes them into cache-validation
+/// records.
 #[derive(Clone, Debug, Default)]
-struct LiveMask {
+pub(crate) struct LiveMask {
     gp: Vec<u64>,
     fp: Vec<u64>,
     pr: Vec<u64>,
@@ -125,7 +128,7 @@ impl LiveMask {
         }
     }
 
-    fn class_bits(&self, class: RegClass) -> &[u64] {
+    pub(crate) fn class_bits(&self, class: RegClass) -> &[u64] {
         match class {
             RegClass::Gp => &self.gp,
             RegClass::Fp => &self.fp,
@@ -152,7 +155,7 @@ impl LiveMask {
 /// all operand reads happen before all writebacks (VLIW parallel
 /// read), so a register used and defined in the same bundle counts as
 /// upward-exposed.
-fn live_in_masks(sp: &ScheduledProgram) -> Vec<LiveMask> {
+pub(crate) fn live_in_masks(sp: &ScheduledProgram) -> Vec<LiveMask> {
     use std::collections::HashSet;
     let func = sp.module.entry_fn();
     let n = sp.blocks.len();
@@ -219,7 +222,7 @@ fn live_in_masks(sp: &ScheduledProgram) -> Vec<LiveMask> {
 
 /// FNV-64 digest of everything future execution can observe from a
 /// block-entry boundary, masking dead registers (see module docs).
-fn fingerprint(st: &MachineState, live: &LiveMask) -> u64 {
+pub(crate) fn fingerprint(st: &MachineState, live: &LiveMask) -> u64 {
     // Word-round mixing throughout (`write_u64_round`): the digest
     // hashes tens of thousands of words per sample and byte-wise FNV
     // rounds were the engine's hottest loop. Every field is absorbed
@@ -479,6 +482,88 @@ pub fn replay_trial(
                 pruned: true,
                 ..stats
             },
+        ),
+    }
+}
+
+/// [`replay_trial`] that additionally reports *what the replay
+/// touched*: the blocks the run visited after the fault landed and,
+/// for a pruned trial, the dynamic-instruction count where it
+/// re-converged with the golden run.
+///
+/// This is the validation surface the incremental section cache
+/// (`casted-faults::sections`) stores per escaped trial: a cached
+/// replay verdict stays reusable exactly while every post-injection
+/// block (and, for a converged verdict, the golden path up to the
+/// convergence point) is unchanged. Kept separate from
+/// [`replay_trial`] so the checkpointed/batched engines' hot path
+/// pays no per-bundle bookkeeping.
+pub fn replay_trial_observed(
+    sp: &ScheduledProgram,
+    trace: &GoldenTrace,
+    inj: Injection,
+    max_cycles: u64,
+) -> (TrialRun, ReplayStats, Vec<u32>, Option<u64>) {
+    let idx = trace.restore_index(inj.at_dyn_insn);
+    let mut st = trace
+        .checkpoints
+        .get(idx)
+        .cloned()
+        .unwrap_or_else(|| MachineState::fresh(sp));
+    let stats = ReplayStats {
+        skipped_insns: st.stats.dyn_insns,
+        pruned: false,
+    };
+
+    let opts = SimOptions {
+        max_cycles,
+        injection: Some(inj),
+        trace_limit: 0,
+    };
+    let mut attempts = 0u32;
+    let mut visited: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    let mut converged_at: Option<u64> = None;
+    let finished = run_machine(sp, &opts, &mut st, false, &mut |st: &MachineState| {
+        if !st.injected {
+            // The pre-landing stretch replays the golden path; its
+            // effect on the state at the site is pinned by the cache
+            // key, so only post-injection blocks need recording.
+            return Boundary::Continue;
+        }
+        visited.insert(st.block.index() as u32);
+        if st.bundle_idx != 0 || attempts >= MAX_CONVERGENCE_ATTEMPTS {
+            return Boundary::Continue;
+        }
+        match trace.fingerprints.get(&st.stats.dyn_insns) {
+            Some(&golden_fp) => {
+                attempts += 1;
+                if golden_fp == fingerprint(st, &trace.live[st.block.index()]) {
+                    converged_at = Some(st.stats.dyn_insns);
+                    Boundary::Stop
+                } else {
+                    Boundary::Continue
+                }
+            }
+            None => Boundary::Continue,
+        }
+    });
+    // Final control position (the empty-block fallthrough stops
+    // without a boundary hook call — same note as `section.rs`).
+    if st.injected {
+        visited.insert(st.block.index() as u32);
+    }
+
+    let blocks = visited.into_iter().collect();
+    match finished {
+        Some(result) => (TrialRun::Finished(result), stats, blocks, None),
+        None => (
+            TrialRun::Converged,
+            ReplayStats {
+                pruned: true,
+                ..stats
+            },
+            blocks,
+            converged_at,
         ),
     }
 }

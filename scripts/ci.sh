@@ -52,14 +52,14 @@ echo "== campaign engine cross-check (fig9 --quick, all three engines) =="
 # golden replay — see docs/PERFORMANCE.md for both) must reproduce the
 # reference engine byte for byte: identical coverage CSV, and
 # identical counter snapshot once each engine's own work counters
-# (faults.checkpoint.* and faults.batch.*, the only permitted
-# differences) are stripped.
+# (faults.checkpoint.*, faults.batch.* and faults.sections.*, the only
+# permitted differences) are stripped.
 for engine in reference checkpointed batched; do
   mkdir -p "$log_dir/eng_$engine"
   cargo run --release --offline -q -p casted-bench --bin fig9 -- \
     --quick --engine "$engine" --out "$log_dir/eng_$engine" \
     --metrics-counters "$log_dir/eng_$engine/counters.json" > /dev/null
-  grep -v 'faults\.\(checkpoint\|batch\)\.' "$log_dir/eng_$engine/counters.json" \
+  grep -v 'faults\.\(checkpoint\|batch\|sections\)\.' "$log_dir/eng_$engine/counters.json" \
     > "$log_dir/eng_$engine/common.json"
 done
 for engine in checkpointed batched; do
@@ -67,6 +67,37 @@ for engine in checkpointed batched; do
   cmp "$log_dir/eng_reference/common.json" "$log_dir/eng_$engine/common.json"
 done
 echo "engines byte-identical over the quick grid (coverage CSV + common counters)"
+
+echo "== incremental section cache cross-check (fig9 --quick --incremental, cold + warm) =="
+# The compositional section cache (docs/INCREMENTAL.md) must reproduce
+# the engines' bytes too: a cold run (empty store) and a warm rerun
+# (fully populated store, recombining cached section tallies) must both
+# emit the reference engine's exact coverage CSV and the same stripped
+# counter snapshot — and the warm run must actually hit the cache. The
+# warm rerun recombines from the program record without simulating at
+# all, so its snapshot carries no sim.* counters; those are stripped
+# from both sides of the warm comparison only (the cold run still
+# flushes the golden run's sim.* exactly like the engines do).
+for pass in cold warm; do
+  mkdir -p "$log_dir/inc_$pass"
+  cargo run --release --offline -q -p casted-bench --bin fig9 -- \
+    --quick --incremental --section-cache "$log_dir/section-store" \
+    --out "$log_dir/inc_$pass" \
+    --metrics-counters "$log_dir/inc_$pass/counters.json" > /dev/null
+  grep -v 'faults\.\(checkpoint\|batch\|sections\)\.' "$log_dir/inc_$pass/counters.json" \
+    > "$log_dir/inc_$pass/common.json"
+  cmp "$log_dir/eng_reference/fig9.csv" "$log_dir/inc_$pass/fig9.csv"
+done
+cmp "$log_dir/eng_reference/common.json" "$log_dir/inc_cold/common.json"
+grep -v '"sim\.' "$log_dir/eng_reference/common.json" > "$log_dir/inc_warm/ref_nosim.json"
+grep -v '"sim\.' "$log_dir/inc_warm/common.json" > "$log_dir/inc_warm/warm_nosim.json"
+cmp "$log_dir/inc_warm/ref_nosim.json" "$log_dir/inc_warm/warm_nosim.json"
+warm_hits="$(sed -n 's/.*"faults\.sections\.hit": \([0-9]*\).*/\1/p' "$log_dir/inc_warm/counters.json")"
+if [ -z "$warm_hits" ] || [ "$warm_hits" -lt 1 ]; then
+  echo "warm incremental rerun hit no cached sections (got '${warm_hits:-none}')" >&2
+  exit 1
+fi
+echo "incremental cache byte-identical to reference, cold and warm ($warm_hits warm section hits)"
 
 echo "== casted-serve loopback smoke (offline, ephemeral port) =="
 # Start the service on an ephemeral loopback port, push one request of

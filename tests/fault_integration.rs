@@ -93,6 +93,74 @@ fn engines_agree_on_real_workload_across_schemes() {
     }
 }
 
+/// Edit one kernel, keep the cache: the compositional section cache
+/// (docs/INCREMENTAL.md) must reuse sections untouched by the edit
+/// (hits), re-inject the invalidated ones (misses), and recombine to
+/// the exact bytes of a cold reference campaign on the edited
+/// program — the integration-level face of the exactness the unit
+/// and property tests pin on generated modules.
+#[test]
+fn incremental_rerun_after_kernel_edit_is_exact() {
+    use casted_faults::{run_campaign_incremental, SectionStore};
+
+    let module = casted_workloads::by_name("mpeg2dec").unwrap().compile().unwrap();
+    let cfg = MachineConfig::itanium2_like(2, 2);
+    // Enough trials that the frozen stream (seed 7) deterministically
+    // lands at least one injection in the epilogue section the edit
+    // below invalidates. Cold baselines use the batched engine — the
+    // engines are byte-identical (pinned by the unit, property,
+    // difftest and CI layers), so any of them is "the" full campaign.
+    let ccfg = CampaignConfig {
+        trials: 120,
+        seed: 7,
+        timeout_factor: 8,
+    };
+    let dir = std::env::temp_dir().join(format!(
+        "casted-integration-sections-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = SectionStore::open(&dir).expect("open section store");
+
+    // Cold run populates the store and must already match the engines.
+    let prep = casted::build(&module, Scheme::Casted, &cfg).unwrap();
+    let cold = run_campaign_incremental(&prep.sp, &ccfg, &store);
+    let reference = run_campaign_engine(&prep.sp, &ccfg, Engine::Batched);
+    assert_eq!(cold.tally, reference.tally, "cold incremental != batched");
+    assert!(cold.engine.sections.total > 1, "workload should split into sections");
+
+    // Edit one kernel: change the program's exit code. The epilogue
+    // section is invalidated; everything upstream of it is not.
+    let mut edited = module.clone();
+    let f = edited.entry_fn_mut();
+    let h = f
+        .insns
+        .iter()
+        .position(|i| i.op == casted::ir::Opcode::Halt)
+        .expect("entry fn halts");
+    f.insns[h].imm = 7;
+    let eprep = casted::build(&edited, Scheme::Casted, &cfg).unwrap();
+    let warm = run_campaign_incremental(&eprep.sp, &ccfg, &store);
+    assert!(
+        warm.engine.sections.hit >= 1,
+        "edit-one-kernel rerun reused nothing: {:?}",
+        warm.engine.sections
+    );
+    assert!(
+        warm.engine.sections.miss >= 1,
+        "edit did not invalidate any section: {:?}",
+        warm.engine.sections
+    );
+    let ereference = run_campaign_engine(&eprep.sp, &ccfg, Engine::Batched);
+    assert_eq!(
+        warm.tally, ereference.tally,
+        "recombined tally != cold campaign of the edited program"
+    );
+    assert_eq!(warm.golden_cycles, ereference.golden_cycles);
+    assert_eq!(warm.golden_dyn, ereference.golden_dyn);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn campaigns_are_reproducible() {
     let a = campaign(Scheme::Casted, 25);

@@ -17,7 +17,7 @@
 //! CASTED_UPDATE_SNAPSHOT=1 cargo test --offline --test obs_snapshot
 //! ```
 
-use casted::experiments::{coverage_sweep, perf_sweep, GridSpec};
+use casted::experiments::{coverage_sweep, coverage_sweep_incremental, perf_sweep, GridSpec};
 use casted::faults::CampaignConfig;
 use casted::{obs, Scheme};
 
@@ -51,6 +51,16 @@ fn run_quick_grid() -> String {
         timeout_factor: 8,
     };
     let _cov = coverage_sweep(&suite(), &cov_spec, &campaign);
+    // Incremental section-cache path, cold then warm from a fresh
+    // store: the `faults.sections.{total,hit,miss,recombined}`
+    // counters depend only on the seeded stream and the section
+    // partition, so pre-removing the store makes both runs — and the
+    // hit/miss split between them — byte-reproducible.
+    let dir = std::env::temp_dir().join(format!("casted-obs-sections-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _cold = coverage_sweep_incremental(&suite(), &cov_spec, &campaign, &dir);
+    let _warm = coverage_sweep_incremental(&suite(), &cov_spec, &campaign, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
     let snap = obs::snapshot_json();
     obs::set_enabled(false);
     snap
@@ -98,6 +108,10 @@ fn snapshot_strips_every_timing_and_host_dependent_metric() {
         "\"passes.ed.checks\"",
         "\"passes.sched.bundles\"",
         "\"faults.trials\"",
+        "\"faults.sections.total\"",
+        "\"faults.sections.hit\"",
+        "\"faults.sections.miss\"",
+        "\"faults.sections.recombined\"",
         "\"frontend.modules_compiled\"",
         "\"core.perf_sweep.cells\"",
         "\"core.coverage_sweep.cells\"",
