@@ -2,7 +2,7 @@
 //! normalized to NOED at the same issue width, for delays 1–4 and
 //! issue widths 1–4, over all seven benchmarks.
 
-use casted::experiments::perf_sweep;
+use casted::experiments::perf_sweep_with_cache;
 use casted::report;
 
 fn main() {
@@ -16,7 +16,7 @@ fn main() {
         spec.issues.len(),
         spec.delays.len()
     );
-    let table = perf_sweep(&benchmarks, &spec);
+    let table = perf_sweep_with_cache(&benchmarks, &spec, opts.artifact_cache.as_deref());
     for b in table.benchmarks() {
         println!("{}", report::perf_panel(&table, &b, &spec.issues, &spec.delays));
     }

@@ -1,7 +1,7 @@
 //! Fig. 8 of the paper: ILP scaling — how each scheme's performance
 //! scales with issue width (normalized to the same scheme at issue 1).
 
-use casted::experiments::perf_sweep;
+use casted::experiments::perf_sweep_with_cache;
 use casted::report;
 
 fn main() {
@@ -10,7 +10,7 @@ fn main() {
     let mut spec = casted_bench::grid(&opts);
     // Fig. 8 uses one delay; the paper plots scaling curves.
     spec.delays = vec![2];
-    let table = perf_sweep(&benchmarks, &spec);
+    let table = perf_sweep_with_cache(&benchmarks, &spec, opts.artifact_cache.as_deref());
     for b in table.benchmarks() {
         println!("{}", report::scaling_panel(&table, &b, &spec.issues, 2));
     }

@@ -1,14 +1,14 @@
 //! §IV-B headline numbers: per-scheme slowdown ranges and CASTED's
 //! advantage over the best fixed scheme, next to the paper's values.
 
-use casted::experiments::{casted_vs_best_fixed, perf_sweep, summarize};
+use casted::experiments::{casted_vs_best_fixed, perf_sweep_with_cache, summarize};
 use casted::Scheme;
 
 fn main() {
     let opts = casted_bench::parse_args();
     let benchmarks = casted_bench::benchmarks(&opts);
     let spec = casted_bench::grid(&opts);
-    let table = perf_sweep(&benchmarks, &spec);
+    let table = perf_sweep_with_cache(&benchmarks, &spec, opts.artifact_cache.as_deref());
 
     println!("Scheme slowdown vs NOED over the whole grid (paper values in brackets):");
     let paper = [

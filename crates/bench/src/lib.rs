@@ -47,6 +47,10 @@ pub struct RunOpts {
     /// On-disk section store for `--incremental`
     /// (`--section-cache DIR`, default `.casted-sections`).
     pub section_cache: PathBuf,
+    /// On-disk artifact store for the staged compile pipeline
+    /// (`--artifact-cache DIR`); compile-heavy sweeps memoize their
+    /// per-cell prepare through it (see `docs/PIPELINE.md`).
+    pub artifact_cache: Option<PathBuf>,
 }
 
 impl Default for RunOpts {
@@ -60,13 +64,15 @@ impl Default for RunOpts {
             engine: casted_faults::Engine::default(),
             incremental: false,
             section_cache: PathBuf::from(".casted-sections"),
+            artifact_cache: None,
         }
     }
 }
 
 /// Parse `--quick`, `--trials N`, `--out DIR`, `--metrics FILE`,
 /// `--metrics-counters FILE`, `--engine NAME`, `--incremental`,
-/// `--section-cache DIR` from `std::env::args`.
+/// `--section-cache DIR`, `--artifact-cache DIR` from
+/// `std::env::args`.
 /// Passing either metrics flag switches global metric recording on
 /// for the run.
 pub fn parse_args() -> RunOpts {
@@ -110,6 +116,10 @@ pub fn parse_args() -> RunOpts {
             "--section-cache" => {
                 opts.section_cache =
                     PathBuf::from(args.next().expect("--section-cache needs a path"));
+            }
+            "--artifact-cache" => {
+                opts.artifact_cache =
+                    Some(PathBuf::from(args.next().expect("--artifact-cache needs a path")));
             }
             other => {
                 eprintln!("warning: ignoring unknown argument {other:?}");

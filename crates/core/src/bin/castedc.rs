@@ -20,6 +20,11 @@
 //!   --section-cache DIR              on-disk section store for
 //!                                    --incremental (default
 //!                                    .casted-sections)
+//!   --artifact-cache DIR             memoize the compile through the
+//!                                    staged artifact store: a repeat
+//!                                    build restarts at the first
+//!                                    stage whose input changed
+//!                                    (docs/PIPELINE.md)
 //!   --metrics FILE                   write full metrics JSON on exit
 //!   --metrics-counters FILE          write the deterministic
 //!                                    counter-only snapshot on exit
@@ -40,6 +45,7 @@ struct Args {
     seed: u64,
     incremental: bool,
     section_cache: String,
+    artifact_cache: Option<String>,
     metrics: Option<String>,
     metrics_counters: Option<String>,
 }
@@ -66,6 +72,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         seed: 0xCA57ED,
         incremental: false,
         section_cache: ".casted-sections".to_string(),
+        artifact_cache: None,
         metrics: None,
         metrics_counters: None,
     };
@@ -90,6 +97,7 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--seed" => args.seed = val()?.parse().map_err(|_| usage())?,
             "--incremental" => args.incremental = true,
             "--section-cache" => args.section_cache = val()?,
+            "--artifact-cache" => args.artifact_cache = Some(val()?),
             "--metrics" => args.metrics = Some(val()?),
             "--metrics-counters" => args.metrics_counters = Some(val()?),
             other => {
@@ -130,28 +138,68 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
-    let module = match casted::compile(&args.file, &source) {
-        Ok(m) => m,
-        Err(diags) => {
-            for d in diags {
-                eprintln!("{}: {d}", args.file);
+    let pipeline = match &args.artifact_cache {
+        Some(dir) => match casted::stages::ArtifactPipeline::open(std::path::Path::new(dir)) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("castedc: cannot open artifact cache {dir}: {e}");
+                return ExitCode::from(1);
             }
-            return ExitCode::from(1);
+        },
+        None => None,
+    };
+    let report_diags = |diags: Vec<casted::frontend::Diag>| {
+        for d in diags {
+            eprintln!("{}: {d}", args.file);
         }
+        ExitCode::from(1)
     };
 
     if args.cmd == "ir" {
+        let module = match &pipeline {
+            Some(p) => {
+                let mut stats = casted::passes::stages::StageStats::default();
+                match p.compile(&args.file, &source, &mut stats) {
+                    Ok((m, _digest)) => m,
+                    Err(casted::stages::StagedError::Frontend(diags)) => return report_diags(diags),
+                    Err(casted::stages::StagedError::Backend(e)) => {
+                        eprintln!("castedc: {e}");
+                        return ExitCode::from(1);
+                    }
+                }
+            }
+            None => match casted::compile(&args.file, &source) {
+                Ok(m) => m,
+                Err(diags) => return report_diags(diags),
+            },
+        };
         print!("{module}");
         write_metrics(&args);
         return ExitCode::SUCCESS;
     }
 
     let config = MachineConfig::itanium2_like(args.issue, args.delay);
-    let prep = match casted::build(&module, args.scheme, &config) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("castedc: back-end failed: {e}");
-            return ExitCode::from(1);
+    let prep = match &pipeline {
+        Some(p) => match p.prepare(&args.file, &source, args.scheme, &config) {
+            Ok((prep, _stats)) => prep,
+            Err(casted::stages::StagedError::Frontend(diags)) => return report_diags(diags),
+            Err(casted::stages::StagedError::Backend(e)) => {
+                eprintln!("castedc: back-end failed: {e}");
+                return ExitCode::from(1);
+            }
+        },
+        None => {
+            let module = match casted::compile(&args.file, &source) {
+                Ok(m) => m,
+                Err(diags) => return report_diags(diags),
+            };
+            match casted::build(&module, args.scheme, &config) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("castedc: back-end failed: {e}");
+                    return ExitCode::from(1);
+                }
+            }
         }
     };
 

@@ -236,15 +236,38 @@ impl PerfTable {
 /// measured once per issue width and replicated across delays so the
 /// table is dense.
 pub fn perf_sweep(benchmarks: &[Workload], spec: &GridSpec) -> PerfTable {
-    // Compile every benchmark once.
-    let modules: Vec<(String, casted_ir::Module)> = benchmarks
+    perf_sweep_with_cache(benchmarks, spec, None)
+}
+
+/// [`perf_sweep`] with an optional staged artifact cache: the grid
+/// re-prepares each module under every (scheme, issue, delay) cell,
+/// which is exactly the access pattern the memoized stage pipeline
+/// collapses — the machine-independent ED transform runs once per
+/// (module, protection) instead of once per cell, and a re-run of the
+/// whole sweep restarts at the schedule stage at most
+/// (see `docs/PIPELINE.md`). Results are byte-identical either way.
+pub fn perf_sweep_with_cache(
+    benchmarks: &[Workload],
+    spec: &GridSpec,
+    artifact_cache: Option<&std::path::Path>,
+) -> PerfTable {
+    let store = artifact_cache.map(|dir| {
+        casted_util::store::ArtifactStore::open(dir)
+            .unwrap_or_else(|e| panic!("cannot open artifact cache {}: {e}", dir.display()))
+    });
+    // Compile every benchmark once (and, when staged, digest it once).
+    let modules: Vec<(String, casted_ir::Module, u64)> = benchmarks
         .iter()
         .map(|w| {
-            (
-                w.name.to_string(),
-                w.compile()
-                    .unwrap_or_else(|e| panic!("{} failed to compile: {e:?}", w.name)),
-            )
+            let m = w
+                .compile()
+                .unwrap_or_else(|e| panic!("{} failed to compile: {e:?}", w.name));
+            let digest = if store.is_some() {
+                casted_passes::stages::module_content_key(&m)
+            } else {
+                0
+            };
+            (w.name.to_string(), m, digest)
         })
         .collect();
 
@@ -252,13 +275,14 @@ pub fn perf_sweep(benchmarks: &[Workload], spec: &GridSpec) -> PerfTable {
     struct Cell<'a> {
         name: &'a str,
         module: &'a casted_ir::Module,
+        digest: u64,
         scheme: Scheme,
         issue: usize,
         delay: u32,
         replicate_delays: Vec<u32>,
     }
     let mut cells: Vec<Cell> = Vec::new();
-    for (name, module) in &modules {
+    for (name, module, digest) in &modules {
         for &scheme in &spec.schemes {
             let delay_sensitive = matches!(scheme, Scheme::Dced | Scheme::Casted);
             for &issue in &spec.issues {
@@ -267,6 +291,7 @@ pub fn perf_sweep(benchmarks: &[Workload], spec: &GridSpec) -> PerfTable {
                         cells.push(Cell {
                             name,
                             module,
+                            digest: *digest,
                             scheme,
                             issue,
                             delay,
@@ -277,6 +302,7 @@ pub fn perf_sweep(benchmarks: &[Workload], spec: &GridSpec) -> PerfTable {
                     cells.push(Cell {
                         name,
                         module,
+                        digest: *digest,
                         scheme,
                         issue,
                         delay: spec.delays[0],
@@ -292,9 +318,24 @@ pub fn perf_sweep(benchmarks: &[Workload], spec: &GridSpec) -> PerfTable {
         .into_iter()
         .map(|cell| {
             let meter = &meter;
+            let store = store.as_ref();
             move || meter.observe_cell(|| {
                 let config = MachineConfig::itanium2_like(cell.issue, cell.delay);
-                let prep = casted_passes::prepare(cell.module, cell.scheme, &config)
+                let prep = match store {
+                    Some(st) => {
+                        let mut stats = casted_passes::stages::StageStats::default();
+                        casted_passes::stages::prepare_staged(
+                            st,
+                            cell.digest,
+                            cell.module,
+                            cell.scheme,
+                            &config,
+                            &casted_passes::pipeline::PrepareOptions::default(),
+                            &mut stats,
+                        )
+                    }
+                    None => casted_passes::prepare(cell.module, cell.scheme, &config),
+                }
                     .unwrap_or_else(|e| {
                         panic!("{} {} i{} d{}: {e}", cell.name, cell.scheme, cell.issue, cell.delay)
                     });

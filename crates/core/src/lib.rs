@@ -53,6 +53,7 @@ pub use casted_sim::SimResult;
 pub mod experiments;
 pub mod report;
 pub mod service_api;
+pub mod stages;
 
 use casted_frontend::Diag;
 use casted_ir::{MachineConfig, Module};

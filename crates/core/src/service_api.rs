@@ -134,21 +134,46 @@ pub fn stream_digest(stream: &[OutVal]) -> u64 {
 }
 
 /// Compile and schedule `spec`, collecting the diagnostics of every
-/// stage into one error string.
-fn prepare(spec: &JobSpec) -> Result<casted_passes::Prepared, String> {
+/// stage into one error string. With a pipeline, the work runs through
+/// the memoized stage graph (`docs/PIPELINE.md`) — exactness makes the
+/// two paths indistinguishable, so replies stay byte-stable either way.
+fn prepare_via(
+    spec: &JobSpec,
+    pipeline: Option<&crate::stages::ArtifactPipeline>,
+) -> Result<casted_passes::Prepared, String> {
     spec.validate()?;
+    let config = MachineConfig::itanium2_like(spec.issue, spec.delay);
+    if let Some(p) = pipeline {
+        return p
+            .prepare("request", &spec.source, spec.scheme, &config)
+            .map(|(prep, _stats)| prep)
+            .map_err(|e| match e {
+                crate::stages::StagedError::Frontend(diags) => {
+                    let msgs: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+                    format!("compile failed: {}", msgs.join("; "))
+                }
+                crate::stages::StagedError::Backend(msg) => format!("prepare failed: {msg}"),
+            });
+    }
     let module = casted_frontend::compile("request", &spec.source).map_err(|diags| {
         let msgs: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
         format!("compile failed: {}", msgs.join("; "))
     })?;
-    let config = MachineConfig::itanium2_like(spec.issue, spec.delay);
     casted_passes::prepare(&module, spec.scheme, &config)
         .map_err(|e| format!("prepare failed: {e}"))
 }
 
 /// *Compile* request: frontend + full back end, no simulation.
 pub fn compile_stats(spec: &JobSpec) -> Result<CompileReply, String> {
-    let prep = prepare(spec)?;
+    compile_stats_with(spec, None)
+}
+
+/// [`compile_stats`], optionally through the staged artifact pipeline.
+pub fn compile_stats_with(
+    spec: &JobSpec,
+    pipeline: Option<&crate::stages::ArtifactPipeline>,
+) -> Result<CompileReply, String> {
+    let prep = prepare_via(spec, pipeline)?;
     let growth = prep.ed_stats.as_ref().map(|s| s.growth()).unwrap_or(1.0);
     Ok(CompileReply {
         bundles: prep.sp.bundle_count() as u64,
@@ -169,7 +194,17 @@ pub fn compile_stats(spec: &JobSpec) -> Result<CompileReply, String> {
 /// the per-run `sim.*` counters, and keeping them out preserves the
 /// deterministic counter-snapshot contract (`docs/OBSERVABILITY.md`).
 pub fn simulate_stats(spec: &JobSpec, max_cycles: u64) -> Result<SimulateReply, String> {
-    let prep = prepare(spec)?;
+    simulate_stats_with(spec, max_cycles, None)
+}
+
+/// [`simulate_stats`], optionally through the staged artifact pipeline:
+/// the compile half is memoized, the simulation always runs fresh.
+pub fn simulate_stats_with(
+    spec: &JobSpec,
+    max_cycles: u64,
+    pipeline: Option<&crate::stages::ArtifactPipeline>,
+) -> Result<SimulateReply, String> {
+    let prep = prepare_via(spec, pipeline)?;
     let r = simulate_quiet(
         &prep.sp,
         &SimOptions {
@@ -211,7 +246,19 @@ pub fn inject_tally(
     engine: Engine,
     max_cycles: u64,
 ) -> Result<InjectReply, String> {
-    let prep = prepare(spec)?;
+    inject_tally_with(spec, trials, seed, engine, max_cycles, None)
+}
+
+/// [`inject_tally`], optionally through the staged artifact pipeline.
+pub fn inject_tally_with(
+    spec: &JobSpec,
+    trials: u64,
+    seed: u64,
+    engine: Engine,
+    max_cycles: u64,
+    pipeline: Option<&crate::stages::ArtifactPipeline>,
+) -> Result<InjectReply, String> {
+    let prep = prepare_via(spec, pipeline)?;
     let screen = simulate_quiet(
         &prep.sp,
         &SimOptions {
@@ -252,7 +299,21 @@ pub fn inject_tally_incremental(
     section_cache: &std::path::Path,
     max_cycles: u64,
 ) -> Result<InjectReply, String> {
-    let prep = prepare(spec)?;
+    inject_tally_incremental_with(spec, trials, seed, section_cache, max_cycles, None)
+}
+
+/// [`inject_tally_incremental`], optionally through the staged artifact
+/// pipeline — both caches compose: compile artifacts memoize the front
+/// half, section evidence memoizes the campaign.
+pub fn inject_tally_incremental_with(
+    spec: &JobSpec,
+    trials: u64,
+    seed: u64,
+    section_cache: &std::path::Path,
+    max_cycles: u64,
+    pipeline: Option<&crate::stages::ArtifactPipeline>,
+) -> Result<InjectReply, String> {
+    let prep = prepare_via(spec, pipeline)?;
     let screen = simulate_quiet(
         &prep.sp,
         &SimOptions {

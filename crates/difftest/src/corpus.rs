@@ -197,6 +197,45 @@ fn check_module(name: &str, m: &casted_ir::Module) -> Result<usize, Divergence> 
                 checks += 1;
             }
             let _ = std::fs::remove_dir_all(&dir);
+
+            // Staged-compile exactness on the real kernels (oracle
+            // layer 9 for the corpus): the memoized stage-graph back
+            // end, cold then warm from the on-disk artifact store,
+            // must be byte-identical to the monolithic `prepare`
+            // above (docs/PIPELINE.md).
+            let dir = std::env::temp_dir().join(format!(
+                "casted-corpus-stages-{}-{name}-{scheme}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            if let Ok(store) = casted_util::store::ArtifactStore::open(&dir) {
+                let reference = crate::oracle::staged_fingerprint(&prep);
+                let input = casted_passes::stages::module_content_key(m);
+                let opts = casted_passes::pipeline::PrepareOptions::default();
+                for pass in ["cold", "warm"] {
+                    let mut stats = casted_passes::stages::StageStats::default();
+                    let staged = casted_passes::stages::prepare_staged(
+                        &store, input, m, scheme, &mc, &opts, &mut stats,
+                    )
+                    .map_err(|e| {
+                        Divergence::new_corpus(name, &format!("stages:{stage}"), e)
+                    })?;
+                    if crate::oracle::staged_fingerprint(&staged) != reference {
+                        let _ = std::fs::remove_dir_all(&dir);
+                        return Err(Divergence::new_corpus(
+                            name,
+                            &format!("stages:{stage}"),
+                            format!(
+                                "staged ({pass}) compile diverged from monolithic prepare \
+                                 ({} hits / {} misses)",
+                                stats.hit, stats.miss
+                            ),
+                        ));
+                    }
+                }
+                checks += 1;
+            }
+            let _ = std::fs::remove_dir_all(&dir);
         }
     }
     Ok(checks)

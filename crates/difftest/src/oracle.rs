@@ -9,7 +9,9 @@ use casted_ir::testgen;
 use casted_ir::{verify, MachineConfig, Module};
 use casted_passes::errordetect::{error_detection_with, EdOptions};
 use casted_passes::ifconvert::if_convert;
-use casted_passes::pipeline::{prepare_custom, Prepared, PrepareOptions, Scheme};
+use casted_passes::pipeline::{prepare, prepare_custom, Prepared, PrepareOptions, Scheme};
+use casted_passes::stages::{encode_ra_artifact, module_content_key, prepare_staged, StageStats};
+use casted_util::store::ArtifactStore;
 use casted_sim::{simulate, Injection, SimOptions, SimResult};
 use casted_util::hash::Fnv64;
 use casted_util::Rng;
@@ -446,11 +448,82 @@ pub fn run_case_with(cfg: &CaseConfig, hooks: &Hooks) -> Result<CaseReport, Dive
         }
     }
 
+    // Layer 9: staged-compile exactness — the memoized stage-graph
+    // back end (docs/PIPELINE.md) run cold (fresh artifact store,
+    // every stage computed and saved) and warm (every stage replayed
+    // from the store) must both be byte-identical to the monolithic
+    // `prepare` at the balanced grid point, for every scheme. Like
+    // layer 8, an unusable tmp dir skips the layer rather than failing
+    // the case for an environment problem.
+    for scheme in Scheme::ALL {
+        let stage = format!("stages:{scheme}:iw2d2");
+        let mc = MachineConfig::itanium2_like(2, 2);
+        let legacy = prepare(&m, scheme, &mc)
+            .map_err(|e| Divergence::new(&stage, format!("monolithic prepare failed: {e}")))?;
+        let reference = staged_fingerprint(&legacy);
+        let dir = std::env::temp_dir().join(format!(
+            "casted-difftest-stages-{}-{:x}-{scheme}",
+            std::process::id(),
+            cfg.seed
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        if let Ok(store) = ArtifactStore::open(&dir) {
+            let input = module_content_key(&m);
+            let opts = PrepareOptions::default();
+            for (pass, want_hits) in [("cold", 0u64), ("warm", 3u64)] {
+                let mut stats = StageStats::default();
+                let staged =
+                    prepare_staged(&store, input, &m, scheme, &mc, &opts, &mut stats);
+                let staged = match staged {
+                    Ok(p) => p,
+                    Err(e) => {
+                        let _ = std::fs::remove_dir_all(&dir);
+                        return Err(Divergence::new(
+                            &stage,
+                            format!("staged ({pass}) prepare failed: {e}"),
+                        ));
+                    }
+                };
+                if staged_fingerprint(&staged) != reference || stats.hit < want_hits {
+                    let _ = std::fs::remove_dir_all(&dir);
+                    return Err(Divergence::new(
+                        &stage,
+                        format!(
+                            "staged ({pass}) compile diverged from monolithic prepare \
+                             ({} hits / {} misses, case {})",
+                            stats.hit,
+                            stats.miss,
+                            cfg.replay_line(None)
+                        ),
+                    ));
+                }
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+            digest.write_u64(fnv1a_bytes(&reference.0));
+            stages += 1;
+        }
+    }
+
     Ok(CaseReport {
         stages,
         probes,
         digest: digest.finish(),
     })
+}
+
+/// Canonical bytes of a `Prepared` — what "byte-identical" means for
+/// the staged-compile layer (shared with the corpus's staged check).
+pub(crate) fn staged_fingerprint(p: &Prepared) -> (Vec<u8>, usize, String, Vec<u8>) {
+    (
+        casted_ir::codec::encode_scheduled(&p.sp),
+        p.spilled,
+        format!("{:?}", p.ed_stats),
+        encode_ra_artifact(&p.phys),
+    )
+}
+
+fn fnv1a_bytes(b: &[u8]) -> u64 {
+    casted_util::hash::fnv1a(b)
 }
 
 /// Aim `count` single-bit injections at `Provenance::Original`

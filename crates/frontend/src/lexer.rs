@@ -3,7 +3,7 @@
 use crate::Diag;
 
 /// Kinds of MiniC tokens.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TokenKind {
     /// Identifier or keyword text is kept in [`Token::text`].
     Ident,

@@ -70,7 +70,7 @@ pub struct Function {
     /// Entry block.
     pub entry: BlockId,
     /// Next free virtual register index per class.
-    next_reg: [u32; 3],
+    pub(crate) next_reg: [u32; 3],
 }
 
 impl Function {
@@ -231,7 +231,7 @@ pub struct Module {
     pub entry: Option<FuncId>,
     /// Name → function id map.
     pub func_by_name: HashMap<String, FuncId>,
-    next_addr: i64,
+    pub(crate) next_addr: i64,
 }
 
 impl Module {

@@ -44,6 +44,7 @@
 
 pub mod builder;
 pub mod cfg;
+pub mod codec;
 pub mod dfg;
 pub mod func;
 pub mod insn;

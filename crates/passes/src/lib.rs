@@ -36,6 +36,7 @@ pub mod physreg;
 pub mod pipeline;
 pub mod schedule;
 pub mod spill;
+pub mod stages;
 
 pub use errordetect::{error_detection, EdStats};
 pub use pipeline::{prepare, PrepareOptions, Prepared, Scheme};

@@ -185,7 +185,7 @@ pub fn prepare_custom(
 
 /// Per-scheme check-emission counter name (static, so recording never
 /// allocates; nonzero iff the scheme carries error detection).
-fn checks_counter(scheme: Scheme) -> &'static str {
+pub(crate) fn checks_counter(scheme: Scheme) -> &'static str {
     match scheme {
         Scheme::Noed => "passes.ed.checks.noed",
         Scheme::Sced => "passes.ed.checks.sced",

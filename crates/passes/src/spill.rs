@@ -83,10 +83,17 @@ pub fn intervals(sp: &ScheduledProgram) -> Vec<Interval> {
         }
     }
     let _ = total;
-    range
+    let mut ivs: Vec<Interval> = range
         .into_iter()
         .map(|(reg, (start, end))| Interval { reg, start, end })
-        .collect()
+        .collect();
+    // HashMap iteration order is per-instance random; canonicalize so
+    // every downstream consumer (spill choice tie-breaks, linear-scan
+    // assignment) is a pure function of the schedule. The memoized
+    // stage pipeline (`stages.rs`) relies on this: a replayed `ra`
+    // artifact must equal a fresh `assign_physical` run byte-for-byte.
+    ivs.sort_unstable_by_key(|iv| iv.reg);
+    ivs
 }
 
 /// Maximum simultaneous interval overlap per (cluster, register class).

@@ -204,6 +204,75 @@ fn print_response(resp: &Response) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+struct StagedBench {
+    iterations: u64,
+    cold_elapsed: f64,
+    warm_elapsed: f64,
+    cold_per_sec: f64,
+    warm_per_sec: f64,
+}
+
+/// Compile the bench workload through the content-addressed stage
+/// pipeline, cold (fresh artifact store, every stage misses) and warm
+/// (pre-warmed store, every stage hits). Both passes run the full
+/// source→scheduled-program chain; the warm pass replays the stored
+/// artifacts instead of re-running lex/parse/sema/codegen/ED/schedule/
+/// regalloc, which is where the speedup comes from.
+fn bench_staged_compile(o: &Opts) -> Result<StagedBench, String> {
+    use casted::ir::MachineConfig;
+    use casted::stages::ArtifactPipeline;
+
+    const ITERS: u64 = 32;
+    let config = MachineConfig::itanium2_like(o.spec.issue, o.spec.delay);
+    let base = std::env::temp_dir().join(format!(
+        "casted-client-bench-{}-{:x}",
+        std::process::id(),
+        casted::util::hash::fnv1a(o.spec.source.as_bytes())
+    ));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // Cold: one fresh store per iteration, created before the clock
+    // starts so directory setup is not billed to the compiler.
+    let cold_dirs: Vec<std::path::PathBuf> =
+        (0..ITERS).map(|i| base.join(format!("cold-{i}"))).collect();
+    for d in &cold_dirs {
+        std::fs::create_dir_all(d).map_err(|e| format!("create {}: {e}", d.display()))?;
+    }
+    let start = Instant::now();
+    for d in &cold_dirs {
+        let p = ArtifactPipeline::open(d).map_err(|e| e.to_string())?;
+        p.prepare("bench", &o.spec.source, o.spec.scheme, &config)
+            .map_err(|e| e.to_string())?;
+    }
+    let cold_elapsed = start.elapsed().as_secs_f64();
+
+    // Warm: one store, populated by an untimed pass, then replayed.
+    let warm_dir = base.join("warm");
+    std::fs::create_dir_all(&warm_dir).map_err(|e| e.to_string())?;
+    let p = ArtifactPipeline::open(&warm_dir).map_err(|e| e.to_string())?;
+    p.prepare("bench", &o.spec.source, o.spec.scheme, &config)
+        .map_err(|e| e.to_string())?;
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        let (_, stats) = p
+            .prepare("bench", &o.spec.source, o.spec.scheme, &config)
+            .map_err(|e| e.to_string())?;
+        if stats.miss != 0 {
+            return Err(format!("warm pass missed {} stages", stats.miss));
+        }
+    }
+    let warm_elapsed = start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&base);
+
+    Ok(StagedBench {
+        iterations: ITERS,
+        cold_elapsed,
+        warm_elapsed,
+        cold_per_sec: ITERS as f64 / cold_elapsed.max(1e-9),
+        warm_per_sec: ITERS as f64 / warm_elapsed.max(1e-9),
+    })
+}
+
 fn bench(o: &Opts) -> ExitCode {
     let req = Request::Simulate {
         spec: o.spec.clone(),
@@ -265,8 +334,22 @@ fn bench(o: &Opts) -> ExitCode {
     println!("elapsed_s: {elapsed:.3}");
     println!("requests_per_sec: {rps:.0}");
 
+    let staged = match bench_staged_compile(o) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("casted-client: staged-compile bench failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "staged_compile cold: {:.0}/s  warm: {:.0}/s  ({:.1}x)",
+        staged.cold_per_sec,
+        staged.warm_per_sec,
+        staged.warm_per_sec / staged.cold_per_sec
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"serve_cached_throughput\",\n  \"workload\": \"simulate {} issue {} delay {} (cached)\",\n  \"conns\": {},\n  \"requests\": {},\n  \"elapsed_s\": {:.3},\n  \"requests_per_sec\": {:.0}\n}}\n",
+        "{{\n  \"bench\": \"serve_cached_throughput\",\n  \"workload\": \"simulate {} issue {} delay {} (cached)\",\n  \"conns\": {},\n  \"requests\": {},\n  \"elapsed_s\": {:.3},\n  \"requests_per_sec\": {:.0},\n  \"staged_compile\": {{\n    \"iterations\": {},\n    \"cold_elapsed_s\": {:.4},\n    \"warm_elapsed_s\": {:.4},\n    \"cold_compiles_per_sec\": {:.0},\n    \"warm_compiles_per_sec\": {:.0},\n    \"warm_over_cold\": {:.2}\n  }}\n}}\n",
         match o.spec.scheme {
             Scheme::Noed => "noed",
             Scheme::Sced => "sced",
@@ -279,6 +362,12 @@ fn bench(o: &Opts) -> ExitCode {
         total,
         elapsed,
         rps,
+        staged.iterations,
+        staged.cold_elapsed,
+        staged.warm_elapsed,
+        staged.cold_per_sec,
+        staged.warm_per_sec,
+        staged.warm_per_sec / staged.cold_per_sec,
     );
     match std::fs::File::create(&o.out).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => println!("wrote {}", o.out),

@@ -3,13 +3,20 @@
 //! ```text
 //! casted-serve [--addr HOST:PORT] [--workers N] [--queue N]
 //!              [--cache-bytes N] [--max-cycles N] [--max-trials N]
-//!              [--section-cache DIR] [--metrics] [--metrics-counters]
+//!              [--section-cache DIR] [--artifact-cache DIR]
+//!              [--metrics] [--metrics-counters]
 //! ```
 //!
 //! With `--section-cache DIR`, inject requests that miss the reply
 //! cache run through the compositional section store in `DIR`
 //! (partial hits: only changed program sections re-inject; replies
 //! stay byte-identical — see docs/INCREMENTAL.md).
+//!
+//! With `--artifact-cache DIR`, the compile half of every miss runs
+//! through the memoized stage pipeline in `DIR`: a request for a
+//! known program under a new (issue, delay) pair reuses the cached
+//! token/sema/IR/ED artifacts and re-runs only the schedule and
+//! regalloc stages (see docs/PIPELINE.md).
 //!
 //! Binds loopback (`127.0.0.1:0` → ephemeral port) by default, prints
 //! `casted-serve listening on ADDR`, and serves until a client sends
@@ -27,7 +34,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: casted-serve [--addr HOST:PORT] [--workers N] [--queue N] \
          [--cache-bytes N] [--max-cycles N] [--max-trials N] \
-         [--section-cache DIR] [--metrics] [--metrics-counters]"
+         [--section-cache DIR] [--artifact-cache DIR] [--metrics] [--metrics-counters]"
     );
     std::process::exit(2);
 }
@@ -64,6 +71,10 @@ fn main() -> ExitCode {
             "--section-cache" => {
                 cfg.section_cache =
                     Some(std::path::PathBuf::from(parse::<String>("--section-cache", args.next())))
+            }
+            "--artifact-cache" => {
+                cfg.artifact_cache =
+                    Some(std::path::PathBuf::from(parse::<String>("--artifact-cache", args.next())))
             }
             "--metrics" => metrics = true,
             "--metrics-counters" => metrics_counters = true,

@@ -82,6 +82,16 @@ pub struct ServerConfig {
     /// is unchanged. `None` (the default) keeps cold per-request
     /// campaigns.
     pub section_cache: Option<std::path::PathBuf>,
+    /// On-disk artifact store for the staged compile pipeline. When
+    /// set, every compile/simulate/inject miss runs its compile half
+    /// through the memoized stage graph (`docs/PIPELINE.md`): a request
+    /// for a program whose IR was already built under a *different*
+    /// (issue, delay) pair skips lex/parse/sema/codegen entirely and
+    /// restarts at the ED-transform. Replies are byte-identical to the
+    /// monolithic path (the stage-exactness guarantee), so the reply
+    /// cache contract is unchanged. `None` (the default) compiles
+    /// monolithically.
+    pub artifact_cache: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +104,7 @@ impl Default for ServerConfig {
             max_cycles: 200_000_000,
             max_trials: 20_000,
             section_cache: None,
+            artifact_cache: None,
         }
     }
 }
@@ -182,6 +193,7 @@ struct Shared {
     cfg: ServerConfig,
     queue: JobQueue,
     cache: Cache,
+    pipeline: Option<casted::stages::ArtifactPipeline>,
     stop: AtomicBool,
     active_conns: AtomicUsize,
     in_flight: AtomicUsize,
@@ -214,9 +226,14 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let pipeline = match &cfg.artifact_cache {
+            Some(dir) => Some(casted::stages::ArtifactPipeline::open(dir)?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             queue: JobQueue::new(cfg.queue_depth),
             cache: Cache::new(&cfg.cache),
+            pipeline,
             cfg,
             stop: AtomicBool::new(false),
             active_conns: AtomicUsize::new(0),
@@ -384,13 +401,14 @@ fn execute_encoded(shared: &Arc<Shared>, req: &Request) -> Encoded {
 
 fn execute(shared: &Arc<Shared>, req: &Request) -> Response {
     let cap = shared.cfg.max_cycles;
+    let pipeline = shared.pipeline.as_ref();
     match req {
-        Request::Compile { spec } => match service_api::compile_stats(spec) {
+        Request::Compile { spec } => match service_api::compile_stats_with(spec, pipeline) {
             Ok(r) => Response::Compiled(r),
             Err(e) => Response::Err(e),
         },
         Request::Simulate { spec, max_cycles } => {
-            match service_api::simulate_stats(spec, (*max_cycles).min(cap)) {
+            match service_api::simulate_stats_with(spec, (*max_cycles).min(cap), pipeline) {
                 Ok(r) => Response::Simulated(r),
                 Err(e) => Response::Err(e),
             }
@@ -411,10 +429,12 @@ fn execute(shared: &Arc<Shared>, req: &Request) -> Response {
             // reply is byte-identical to every engine's), so the
             // request's engine choice only matters on the cold path.
             let result = match &shared.cfg.section_cache {
-                Some(dir) => {
-                    service_api::inject_tally_incremental(spec, *trials, *seed, dir, cap)
+                Some(dir) => service_api::inject_tally_incremental_with(
+                    spec, *trials, *seed, dir, cap, pipeline,
+                ),
+                None => {
+                    service_api::inject_tally_with(spec, *trials, *seed, *engine, cap, pipeline)
                 }
-                None => service_api::inject_tally(spec, *trials, *seed, *engine, cap),
             };
             match result {
                 Ok(r) => Response::Injected(r),

@@ -23,6 +23,9 @@
 //!   `casted-difftest` differential logs.
 //! * [`codec`] — varint + length-prefixed-frame wire primitives used
 //!   by the `casted-serve` binary protocol (see `docs/SERVING.md`).
+//! * [`store`] — the on-disk content-addressed artifact store of the
+//!   staged compile pipeline (checksummed envelopes, atomic writes,
+//!   shared LRU byte budget — see `docs/PIPELINE.md`).
 //!
 //! Its sibling `casted-obs` follows the same zero-dependency rule for
 //! observability (replacing `metrics`/`tracing`): atomic counters,
@@ -37,6 +40,7 @@ pub mod hash;
 pub mod pool;
 pub mod prop;
 pub mod rng;
+pub mod store;
 
 pub use hash::Fnv64;
 pub use pool::{run_pool, Mutex};

@@ -1,0 +1,377 @@
+//! On-disk content-addressed artifact store for the staged compile
+//! pipeline (see `docs/PIPELINE.md`).
+//!
+//! The store follows the discipline the fault-campaign section store
+//! (`casted-faults::sections`) established: one file per artifact under
+//! a flat directory, named `"{key:016x}.{kind}"`, an envelope that
+//! echoes the format version, the key and the kind, a whole-file FNV-1a
+//! checksum tail, strictly canonical decoding, and atomic temp+rename
+//! writes. Any damage — a flipped byte, a truncation, a foreign or
+//! out-of-date format — makes [`ArtifactStore::load`] return `None`: a
+//! cache **miss**, never wrong bytes. The pipeline then recomputes the
+//! stage and re-saves, healing the store in place.
+//!
+//! On top of that the store enforces a shared LRU byte budget across
+//! all artifact kinds: an in-memory recency index is seeded from a
+//! directory scan at open (ordered by file modification time) and
+//! updated on every load/save; when a save pushes the resident total
+//! over the budget, least-recently-used artifacts are deleted first.
+//! The index is per-instance — concurrent processes sharing a
+//! directory stay correct (atomic writes, self-verifying reads), they
+//! just track recency independently.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::codec::{get_bytes, get_str, get_uvarint, put_bytes, put_str, put_uvarint};
+use crate::hash::fnv1a;
+use crate::pool::Mutex;
+
+/// Bump on any incompatible change to the envelope layout. Stage
+/// payload formats carry their own `STAGE_FORMAT_VERSION`s (mixed into
+/// the artifact keys); this version covers only the envelope itself.
+pub const STORE_FORMAT_VERSION: u64 = 1;
+
+/// Upper bound on a decoded artifact payload (and kind string): keeps
+/// a corrupted length field from asking the decoder to allocate the
+/// address space.
+const MAX_PAYLOAD: usize = 1 << 30;
+
+/// Envelope: version, key echo, kind echo, payload, FNV-1a tail.
+fn encode_envelope(key: u64, kind: &str, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(payload.len() + kind.len() + 32);
+    put_uvarint(&mut buf, STORE_FORMAT_VERSION);
+    put_uvarint(&mut buf, key);
+    put_str(&mut buf, kind);
+    put_bytes(&mut buf, payload);
+    let sum = fnv1a(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+/// Strict inverse of [`encode_envelope`]; `None` on any damage.
+fn decode_envelope(key: u64, kind: &str, bytes: &[u8]) -> Option<Vec<u8>> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().ok()?);
+    if fnv1a(payload) != stored {
+        return None;
+    }
+    let mut pos = 0;
+    if get_uvarint(payload, &mut pos)? != STORE_FORMAT_VERSION {
+        return None;
+    }
+    if get_uvarint(payload, &mut pos)? != key {
+        return None;
+    }
+    if get_str(payload, &mut pos, MAX_PAYLOAD)? != kind {
+        return None;
+    }
+    let body = get_bytes(payload, &mut pos, MAX_PAYLOAD)?.to_vec();
+    (pos == payload.len()).then_some(body)
+}
+
+struct LruEntry {
+    seq: u64,
+    size: u64,
+}
+
+struct Lru {
+    next_seq: u64,
+    entries: HashMap<String, LruEntry>,
+    total: u64,
+}
+
+/// The content-addressed artifact store. Cheap to share by reference
+/// across threads (the recency index is behind a mutex; file I/O is
+/// lock-free).
+pub struct ArtifactStore {
+    dir: PathBuf,
+    budget: u64,
+    lru: Mutex<Lru>,
+}
+
+impl ArtifactStore {
+    /// Open (creating the directory if needed) with no byte budget.
+    pub fn open(dir: &Path) -> io::Result<ArtifactStore> {
+        ArtifactStore::open_with_budget(dir, u64::MAX)
+    }
+
+    /// Open with a shared LRU byte budget across all artifact kinds.
+    /// Existing files are indexed oldest-first by modification time, so
+    /// eviction order survives a reopen.
+    pub fn open_with_budget(dir: &Path, budget: u64) -> io::Result<ArtifactStore> {
+        std::fs::create_dir_all(dir)?;
+        let mut found: Vec<(String, u64, std::time::SystemTime)> = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = match entry {
+                Ok(e) => e,
+                Err(_) => continue,
+            };
+            let name = match entry.file_name().into_string() {
+                Ok(n) => n,
+                Err(_) => continue,
+            };
+            // Skip orphaned temp files and anything foreign.
+            if name.starts_with('.') || !name.contains('.') {
+                continue;
+            }
+            let meta = match entry.metadata() {
+                Ok(m) => m,
+                Err(_) => continue,
+            };
+            if !meta.is_file() {
+                continue;
+            }
+            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            found.push((name, meta.len(), mtime));
+        }
+        // Oldest first; name breaks ties so the seed order is stable
+        // even on filesystems with coarse mtimes.
+        found.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        let mut lru = Lru {
+            next_seq: 0,
+            entries: HashMap::with_capacity(found.len()),
+            total: 0,
+        };
+        for (name, size, _) in found {
+            let seq = lru.next_seq;
+            lru.next_seq += 1;
+            lru.total += size;
+            lru.entries.insert(name, LruEntry { seq, size });
+        }
+        Ok(ArtifactStore {
+            dir: dir.to_path_buf(),
+            budget,
+            lru: Mutex::new(lru),
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total bytes currently indexed as resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.lru.lock().total
+    }
+
+    fn file_name(kind: &str, key: u64) -> String {
+        format!("{key:016x}.{kind}")
+    }
+
+    fn path(&self, kind: &str, key: u64) -> PathBuf {
+        self.dir.join(Self::file_name(kind, key))
+    }
+
+    /// Load and integrity-check the `kind` artifact stored under
+    /// `key`. Any damage is a miss (`None`), never wrong bytes. A hit
+    /// refreshes the artifact's LRU recency.
+    pub fn load(&self, kind: &str, key: u64) -> Option<Vec<u8>> {
+        let bytes = std::fs::read(self.path(kind, key)).ok()?;
+        let payload = decode_envelope(key, kind, &bytes)?;
+        let mut lru = self.lru.lock();
+        let seq = lru.next_seq;
+        lru.next_seq += 1;
+        let name = Self::file_name(kind, key);
+        match lru.entries.get_mut(&name) {
+            Some(e) => e.seq = seq,
+            None => {
+                // Written by another process since open: adopt it.
+                lru.total += bytes.len() as u64;
+                lru.entries.insert(
+                    name,
+                    LruEntry {
+                        seq,
+                        size: bytes.len() as u64,
+                    },
+                );
+            }
+        }
+        Some(payload)
+    }
+
+    /// Persist an artifact atomically (temp file + rename), then evict
+    /// least-recently-used artifacts while the resident total exceeds
+    /// the byte budget. The just-written artifact holds the highest
+    /// recency, so it is evicted only if it alone exceeds the budget.
+    pub fn save(&self, kind: &str, key: u64, payload: &[u8]) -> io::Result<()> {
+        static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let bytes = encode_envelope(key, kind, payload);
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, self.path(kind, key))?;
+
+        let mut evict: Vec<String> = Vec::new();
+        {
+            let mut lru = self.lru.lock();
+            let name = Self::file_name(kind, key);
+            if let Some(old) = lru.entries.remove(&name) {
+                lru.total -= old.size;
+            }
+            let seq = lru.next_seq;
+            lru.next_seq += 1;
+            lru.total += bytes.len() as u64;
+            lru.entries.insert(
+                name,
+                LruEntry {
+                    seq,
+                    size: bytes.len() as u64,
+                },
+            );
+            while lru.total > self.budget && !lru.entries.is_empty() {
+                let victim = lru
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.seq)
+                    .map(|(n, _)| n.clone())
+                    .expect("non-empty");
+                if let Some(e) = lru.entries.remove(&victim) {
+                    lru.total -= e.size;
+                }
+                evict.push(victim);
+            }
+        }
+        for name in evict {
+            let _ = std::fs::remove_file(self.dir.join(name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "casted-artifact-store-{}-{}",
+            std::process::id(),
+            tag
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_by_kind_and_key() {
+        let dir = temp_store_dir("roundtrip");
+        let store = ArtifactStore::open(&dir).unwrap();
+        store.save("ir", 7, b"module bytes").unwrap();
+        store.save("sched", 7, b"schedule bytes").unwrap();
+        assert_eq!(store.load("ir", 7).unwrap(), b"module bytes");
+        assert_eq!(store.load("sched", 7).unwrap(), b"schedule bytes");
+        assert!(store.load("ir", 8).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_truncation_and_version_skew_are_misses() {
+        let dir = temp_store_dir("sabotage");
+        let store = ArtifactStore::open(&dir).unwrap();
+        store.save("ed", 0xABCD, b"stage payload with some length").unwrap();
+        let path = dir.join("000000000000abcd.ed");
+        let clean = std::fs::read(&path).unwrap();
+
+        // Flip one byte anywhere: the checksum must reject the file.
+        for i in 0..clean.len() {
+            let mut bad = clean.clone();
+            bad[i] ^= 1;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(store.load("ed", 0xABCD).is_none(), "flipped byte {i} accepted");
+        }
+
+        // Truncations at every length are misses too.
+        for cut in 0..clean.len() {
+            std::fs::write(&path, &clean[..cut]).unwrap();
+            assert!(store.load("ed", 0xABCD).is_none(), "truncation to {cut} accepted");
+        }
+
+        // A record written under a different envelope version is a
+        // miss even with a valid checksum.
+        let mut skewed = Vec::new();
+        put_uvarint(&mut skewed, STORE_FORMAT_VERSION + 1);
+        put_uvarint(&mut skewed, 0xABCD);
+        put_str(&mut skewed, "ed");
+        put_bytes(&mut skewed, b"stage payload with some length");
+        let sum = fnv1a(&skewed);
+        skewed.extend_from_slice(&sum.to_le_bytes());
+        std::fs::write(&path, &skewed).unwrap();
+        assert!(store.load("ed", 0xABCD).is_none());
+
+        // Healing: a fresh save overwrites the damage and hits again.
+        store.save("ed", 0xABCD, b"stage payload with some length").unwrap();
+        assert_eq!(
+            store.load("ed", 0xABCD).unwrap(),
+            b"stage payload with some length"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_and_kind_echo_bind_the_artifact() {
+        let dir = temp_store_dir("echo");
+        let store = ArtifactStore::open(&dir).unwrap();
+        store.save("ir", 1, b"one").unwrap();
+        // A file renamed to another key (or kind) must not be accepted
+        // there: the envelope echoes both.
+        std::fs::copy(dir.join(ArtifactStore::file_name("ir", 1)), dir.join(ArtifactStore::file_name("ir", 2)))
+            .unwrap();
+        std::fs::copy(dir.join(ArtifactStore::file_name("ir", 1)), dir.join(ArtifactStore::file_name("ed", 1)))
+            .unwrap();
+        assert!(store.load("ir", 2).is_none());
+        assert!(store.load("ed", 1).is_none());
+        assert_eq!(store.load("ir", 1).unwrap(), b"one");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_budget_evicts_least_recent_first() {
+        let dir = temp_store_dir("lru");
+        // Each envelope is payload + ~20 bytes of framing; a budget of
+        // three-ish records keeps the arithmetic simple.
+        let payload = [0u8; 100];
+        let store = ArtifactStore::open_with_budget(&dir, 400).unwrap();
+        store.save("a", 1, &payload).unwrap();
+        store.save("a", 2, &payload).unwrap();
+        store.save("a", 3, &payload).unwrap();
+        assert!(store.load("a", 1).is_some());
+        assert!(store.load("a", 2).is_some());
+        assert!(store.load("a", 3).is_some());
+        // Refresh 1 so 2 becomes the least-recent, then push over
+        // budget: 2 must go, 1 and 3 must stay.
+        assert!(store.load("a", 1).is_some());
+        assert!(store.load("a", 3).is_some());
+        store.save("a", 4, &payload).unwrap();
+        assert!(store.load("a", 2).is_none(), "least-recent artifact survived");
+        assert!(store.load("a", 1).is_some());
+        assert!(store.load("a", 3).is_some());
+        assert!(store.load("a", 4).is_some());
+        assert!(store.resident_bytes() <= 400);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_seeds_the_index_from_disk() {
+        let dir = temp_store_dir("reopen");
+        {
+            let store = ArtifactStore::open(&dir).unwrap();
+            store.save("ir", 10, b"ten").unwrap();
+            store.save("ir", 11, b"eleven").unwrap();
+        }
+        let store = ArtifactStore::open_with_budget(&dir, u64::MAX).unwrap();
+        assert!(store.resident_bytes() > 0);
+        assert_eq!(store.load("ir", 10).unwrap(), b"ten");
+        assert_eq!(store.load("ir", 11).unwrap(), b"eleven");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -99,6 +99,44 @@ if [ -z "$warm_hits" ] || [ "$warm_hits" -lt 1 ]; then
 fi
 echo "incremental cache byte-identical to reference, cold and warm ($warm_hits warm section hits)"
 
+echo "== staged compile pipeline: cold+warm byte-compare (offline) =="
+# Cold and warm castedc runs through the content-addressed artifact
+# store must print byte-identical output (the stage-exactness
+# guarantee, docs/PIPELINE.md); the warm run must answer all six
+# stages from the store, and a machine-config-only rerun must skip
+# the front end entirely (no frontend.* metric) while still hitting
+# lexparse/sema/codegen/ed.
+staged_src="$log_dir/staged.mc"
+cat > "$staged_src" <<'EOF'
+fn main() { var s: int = 0; for i in 0..50 { s = s + i * i; } out(s); }
+EOF
+for pass in cold warm; do
+  cargo run --release --offline -q -p casted --bin castedc -- \
+    run "$staged_src" --scheme casted --issue 2 --delay 2 \
+    --artifact-cache "$log_dir/artifacts" \
+    --metrics-counters "$log_dir/staged_$pass.json" > "$log_dir/staged_$pass.out"
+done
+cmp "$log_dir/staged_cold.out" "$log_dir/staged_warm.out"
+stage_hits="$(sed -n 's/.*"compile\.stages\.hit": \([0-9]*\).*/\1/p' "$log_dir/staged_warm.json")"
+if [ -z "$stage_hits" ] || [ "$stage_hits" -lt 6 ]; then
+  echo "warm staged compile expected 6 stage hits (got '${stage_hits:-none}')" >&2
+  exit 1
+fi
+cargo run --release --offline -q -p casted --bin castedc -- \
+  run "$staged_src" --scheme casted --issue 4 --delay 1 \
+  --artifact-cache "$log_dir/artifacts" \
+  --metrics "$log_dir/staged_cfg.json" > /dev/null
+if grep -q '"frontend\.' "$log_dir/staged_cfg.json"; then
+  echo "config-only rerun did front-end work" >&2
+  exit 1
+fi
+cfg_hits="$(sed -n 's/.*"compile\.stages\.hit": \([0-9]*\).*/\1/p' "$log_dir/staged_cfg.json")"
+if [ -z "$cfg_hits" ] || [ "$cfg_hits" -lt 4 ]; then
+  echo "config-only rerun expected >=4 stage hits (got '${cfg_hits:-none}')" >&2
+  exit 1
+fi
+echo "staged compile byte-identical cold and warm ($stage_hits warm stage hits, $cfg_hits after a config-only change)"
+
 echo "== casted-serve loopback smoke (offline, ephemeral port) =="
 # Start the service on an ephemeral loopback port, push one request of
 # each kind through casted-client, assert the content-addressed cache

@@ -94,6 +94,72 @@ fn fresh_server_cold_path_reproduces_the_same_bytes() {
     );
 }
 
+/// With `artifact_cache` set, two requests for the same source under
+/// *different* machine configs share the front-end artifacts: the
+/// second request re-enters the stage graph at the ED transform
+/// (nonzero `compile.stages.hit` over real TCP), and both replies are
+/// byte-identical to a fresh, cacheless server's cold path.
+#[test]
+fn artifact_cache_shares_frontend_work_across_machine_configs() {
+    let dir = std::env::temp_dir().join(format!(
+        "casted-serve-artifacts-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    casted_obs::set_enabled(true);
+
+    let cached = Server::start(ServerConfig {
+        artifact_cache: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let mut client = Client::connect(cached.addr()).unwrap();
+
+    let simulate = |issue: usize, delay: u32| Request::Simulate {
+        spec: JobSpec {
+            source: SRC.into(),
+            scheme: Scheme::Casted,
+            issue,
+            delay,
+        },
+        max_cycles: u64::MAX,
+    };
+    let stage_hits = |client: &mut Client| -> u64 {
+        let json = match client.request(&Request::Counters).unwrap() {
+            Response::Counters(json) => json,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        json.split("\"compile.stages.hit\": ")
+            .nth(1)
+            .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0)
+    };
+
+    let before = stage_hits(&mut client);
+    let r1 = client.request_raw(&encode_request(&simulate(2, 2))).unwrap();
+    let r2 = client.request_raw(&encode_request(&simulate(4, 1))).unwrap();
+    let after = stage_hits(&mut client);
+    assert!(
+        after >= before + 4,
+        "second machine config must hit lexparse/sema/codegen/ed \
+         (compile.stages.hit went {before} -> {after})"
+    );
+    cached.shutdown();
+
+    // Exactness over the wire: a server with no artifact store
+    // produces the same reply bytes from scratch.
+    let fresh = start();
+    let mut cold = Client::connect(fresh.addr()).unwrap();
+    let f1 = cold.request_raw(&encode_request(&simulate(2, 2))).unwrap();
+    let f2 = cold.request_raw(&encode_request(&simulate(4, 1))).unwrap();
+    assert_eq!(r1, f1, "staged reply differed from cacheless reply (2,2)");
+    assert_eq!(r2, f2, "staged reply differed from cacheless reply (4,1)");
+    assert!(decode_response(&f1).unwrap().cacheable());
+    fresh.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn inject_engines_agree_over_the_wire() {
     let server = start();
