@@ -282,6 +282,61 @@ pub fn inject_tally_with(
     Ok(reply_of(&r))
 }
 
+/// [`inject_tally`] in streaming form: the campaign runs in chunks of
+/// `every` trials, reporting the running `(done, counts)` tally to
+/// `progress` at each chunk boundary short of the total; returning
+/// `false` cancels the campaign. The result's `completed` flag says
+/// whether every trial ran.
+///
+/// Exactness (from [`casted_faults::run_campaign_streaming`]): a
+/// completed streaming reply equals [`inject_tally`] under any engine
+/// field for field, and a partial tally at `done = M` equals
+/// [`inject_tally`] with `trials = M` — so `casted-serve` can stream
+/// long campaigns and still promise byte-identical terminal frames.
+pub fn inject_stream_with(
+    spec: &JobSpec,
+    trials: u64,
+    seed: u64,
+    max_cycles: u64,
+    every: u64,
+    pipeline: Option<&crate::stages::ArtifactPipeline>,
+    progress: &mut dyn FnMut(u64, &[u64; 5]) -> bool,
+) -> Result<(InjectReply, bool), String> {
+    let prep = prepare_via(spec, pipeline)?;
+    let screen = simulate_quiet(
+        &prep.sp,
+        &SimOptions {
+            max_cycles,
+            injection: None,
+            trace_limit: 0,
+        },
+    );
+    if !matches!(screen.stop, StopReason::Halt(_)) {
+        return Err(format!(
+            "campaign target must halt fault-free within {max_cycles} cycles, got {:?}",
+            screen.stop
+        ));
+    }
+    let cfg = CampaignConfig {
+        trials: trials as usize,
+        seed,
+        ..Default::default()
+    };
+    let (r, completed) = casted_faults::run_campaign_streaming(
+        &prep.sp,
+        &cfg,
+        every.max(1) as usize,
+        &mut |done, tally| {
+            let mut counts = [0u64; 5];
+            for o in Outcome::ALL {
+                counts[o.index()] = tally.count(o) as u64;
+            }
+            progress(done, &counts)
+        },
+    );
+    Ok((reply_of(&r), completed))
+}
+
 /// [`inject_tally`] through the compositional section cache: the
 /// campaign keys each golden-trace section into the on-disk store at
 /// `section_cache`, so a repeat request — or a request for an *edited*
@@ -421,6 +476,29 @@ mod tests {
         assert_eq!(a, bt, "batched engine must agree field for field");
         assert_eq!(a.trials, 40);
         assert_eq!(a.counts.iter().sum::<u64>(), 40);
+    }
+
+    /// Streaming replies must be indistinguishable from one-shot
+    /// replies at the facade level too: same final struct, and a
+    /// cancelled stream's last progress tally is a real prefix.
+    #[test]
+    fn inject_stream_matches_one_shot_and_cancels_exactly() {
+        let s = spec(Scheme::Casted);
+        let mut updates: Vec<(u64, [u64; 5])> = Vec::new();
+        let (reply, completed) =
+            inject_stream_with(&s, 40, 7, u64::MAX, 16, None, &mut |done, counts| {
+                updates.push((done, *counts));
+                true
+            })
+            .unwrap();
+        assert!(completed);
+        assert_eq!(reply, inject_tally(&s, 40, 7, Engine::Batched, u64::MAX).unwrap());
+        assert_eq!(updates.iter().map(|(d, _)| *d).collect::<Vec<_>>(), vec![16, 32]);
+
+        let (partial, completed) =
+            inject_stream_with(&s, 40, 7, u64::MAX, 16, None, &mut |_, _| false).unwrap();
+        assert!(!completed);
+        assert_eq!(partial, inject_tally(&s, 16, 7, Engine::Batched, u64::MAX).unwrap());
     }
 
     /// The serve-facing exactness contract: the incremental path's

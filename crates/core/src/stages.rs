@@ -36,7 +36,7 @@ use std::path::Path;
 use casted_frontend::{lex, parse, sema, Diag, Token, TokenKind};
 use casted_ir::{codec as ircodec, MachineConfig, Module};
 use casted_passes::pipeline::{PrepareOptions, Prepared};
-use casted_passes::stages::{prepare_staged, StageStats};
+use casted_passes::stages::{load_metered, prepare_staged, StageStats};
 use casted_passes::Scheme;
 use casted_util::codec::{get_str, get_uvarint, put_str, put_uvarint};
 use casted_util::hash::{fnv1a, Fnv64};
@@ -266,7 +266,7 @@ impl ArtifactPipeline {
     ) -> Result<(Module, u64), StagedError> {
         // --- stage: lexparse -----------------------------------------
         let lex_key = lex_stage_key(source);
-        let mut tok_payload = self.store.load(KIND_TOK, lex_key);
+        let mut tok_payload = load_metered(&self.store, KIND_TOK, lex_key);
         let tokens_cache: Option<Vec<Token>>;
         match tok_payload.as_deref().and_then(decode_tokens) {
             Some(toks) => {
@@ -305,7 +305,7 @@ impl ArtifactPipeline {
 
         // --- stage: sema ---------------------------------------------
         let sema_key = sema_stage_key(tokens_digest);
-        match self.store.load(KIND_SEMA, sema_key) {
+        match load_metered(&self.store, KIND_SEMA, sema_key) {
             Some(marker) if marker.is_empty() => stats.note(true),
             _ => {
                 stats.note(false);
@@ -321,7 +321,7 @@ impl ArtifactPipeline {
 
         // --- stage: codegen ------------------------------------------
         let cg_key = codegen_stage_key(tokens_digest, name);
-        let mut ir_payload = self.store.load(KIND_IR, cg_key);
+        let mut ir_payload = load_metered(&self.store, KIND_IR, cg_key);
         let module = match ir_payload.as_deref().and_then(ircodec::decode_module) {
             Some(m) => {
                 stats.note(true);

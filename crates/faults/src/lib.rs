@@ -385,6 +385,104 @@ pub fn run_campaign_engine_lanes(
     })
 }
 
+/// [`run_campaign`] in incremental chunks, reporting the running tally
+/// to `progress` every `chunk` trials — the engine behind the
+/// `casted-serve` streaming-inject protocol extension.
+///
+/// `progress(done, tally)` is invoked after each completed chunk
+/// *except the last* (the caller's final reply carries the complete
+/// tally); returning `false` cancels the campaign, and the partial
+/// result comes back with `completed == false`.
+///
+/// Two exactness properties make streaming safe to expose:
+///
+/// * **Prefix match** — injections are pre-drawn from the frozen
+///   stream and trials are mutually independent, so the running tally
+///   at `done = M` equals the tally of a whole campaign with
+///   `cfg.trials = M`. A cancelled campaign's partial tally is a real
+///   campaign result, not an approximation.
+/// * **Engine independence** — per-trial outcomes are engine-invariant
+///   (the workspace-wide byte-identical-tally contract), so the final
+///   tally equals [`run_campaign_engine`] under *any* engine; chunks
+///   run on the checkpointed replay path.
+pub fn run_campaign_streaming(
+    sp: &ScheduledProgram,
+    cfg: &CampaignConfig,
+    chunk: usize,
+    progress: &mut dyn FnMut(u64, &Tally) -> bool,
+) -> (CampaignResult, bool) {
+    let trace = golden_with_checkpoints(sp);
+    assert!(
+        matches!(trace.result.stop, StopReason::Halt(_)),
+        "campaign target must run fault-free to completion, got {:?}",
+        trace.result.stop
+    );
+    let golden_cycles = trace.result.stats.cycles;
+    let golden_dyn = trace.result.stats.dyn_insns;
+    let max_cycles = golden_cycles.saturating_mul(cfg.timeout_factor);
+
+    // Pre-draw the whole frozen stream up front (the same order every
+    // engine uses), then execute it chunk by chunk.
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let injections: Vec<Injection> = (0..cfg.trials)
+        .map(|_| {
+            let (at, bit) = draw_injection(&mut rng, golden_dyn);
+            Injection {
+                at_dyn_insn: at,
+                bit,
+                target: None,
+            }
+        })
+        .collect();
+
+    let span = casted_obs::span("faults.campaign_ns");
+    let chunk = chunk.max(1);
+    let mut tally = Tally::default();
+    let mut engine_stats = EngineStats {
+        checkpoints: trace.checkpoints_taken(),
+        ..EngineStats::default()
+    };
+    let mut done: u64 = 0;
+    let mut completed = true;
+    for injs in injections.chunks(chunk) {
+        let outcomes = run_pool(
+            injs.iter()
+                .map(|&inj| {
+                    let trace: &GoldenTrace = &trace;
+                    move || {
+                        let (run, rs) = replay_trial(sp, trace, inj, max_cycles);
+                        let outcome = match run {
+                            TrialRun::Finished(r) => classify(&trace.result, &r),
+                            TrialRun::Converged => Outcome::Benign,
+                        };
+                        (outcome, rs)
+                    }
+                })
+                .collect(),
+        );
+        for (outcome, rs) in outcomes {
+            tally.record(outcome);
+            engine_stats.skipped_insns += rs.skipped_insns;
+            engine_stats.pruned_trials += rs.pruned as u64;
+        }
+        done += injs.len() as u64;
+        if done < cfg.trials as u64 && !progress(done, &tally) {
+            completed = false;
+            break;
+        }
+    }
+    record_campaign_metrics(&tally, Some(&engine_stats), span);
+    (
+        CampaignResult {
+            tally,
+            golden_cycles,
+            golden_dyn,
+            engine: engine_stats,
+        },
+        completed,
+    )
+}
+
 /// Shared campaign driver: draw the frozen injection stream, run
 /// every trial on the chosen engine, reduce the tally in trial order.
 ///
@@ -763,6 +861,71 @@ mod tests {
                 (32, 45),
             ]
         );
+    }
+
+    /// Streaming campaigns must be *exact*: the final result equals
+    /// every engine's non-streaming result, and each intermediate
+    /// tally equals a whole campaign truncated at that trial count
+    /// (the frozen injection stream makes prefixes real campaigns).
+    #[test]
+    fn streaming_campaign_prefixes_match_whole_campaigns() {
+        let sp = unprotected();
+        let cfg = CampaignConfig {
+            trials: 40,
+            seed: 7,
+            timeout_factor: 10,
+        };
+        let mut updates: Vec<(u64, Tally)> = Vec::new();
+        let (res, completed) = run_campaign_streaming(&sp, &cfg, 16, &mut |done, t| {
+            updates.push((done, t.clone()));
+            true
+        });
+        assert!(completed);
+        assert_eq!(res.tally.total(), 40);
+        for engine in [Engine::Reference, Engine::Checkpointed, Engine::Batched] {
+            let full = run_campaign_engine(&sp, &cfg, engine);
+            assert_eq!(res.tally, full.tally, "streaming vs {engine:?}");
+            assert_eq!(res.golden_cycles, full.golden_cycles);
+            assert_eq!(res.golden_dyn, full.golden_dyn);
+        }
+        // Progress fires at every chunk boundary short of the total
+        // (the final tally travels in the caller's terminal reply).
+        assert_eq!(
+            updates.iter().map(|(d, _)| *d).collect::<Vec<_>>(),
+            vec![16, 32]
+        );
+        for (done, t) in &updates {
+            let prefix_cfg = CampaignConfig {
+                trials: *done as usize,
+                ..cfg.clone()
+            };
+            let prefix = run_campaign(&sp, &prefix_cfg);
+            assert_eq!(t, &prefix.tally, "prefix mismatch at {done} trials");
+        }
+    }
+
+    /// Cancelling mid-campaign yields exactly the prefix campaign —
+    /// the partial tally is a real result, not an approximation.
+    #[test]
+    fn streaming_campaign_cancel_returns_exact_prefix() {
+        let sp = unprotected();
+        let cfg = CampaignConfig {
+            trials: 40,
+            seed: 9,
+            timeout_factor: 10,
+        };
+        let (partial, completed) =
+            run_campaign_streaming(&sp, &cfg, 10, &mut |done, _| done < 20);
+        assert!(!completed);
+        assert_eq!(partial.tally.total(), 20);
+        let prefix = run_campaign(
+            &sp,
+            &CampaignConfig {
+                trials: 20,
+                ..cfg
+            },
+        );
+        assert_eq!(partial.tally, prefix.tally);
     }
 
     /// Regression: `draw_injection` used to panic on the empty range

@@ -1,0 +1,70 @@
+//! `casted-router` — front a fleet of `casted-serve` shards.
+//!
+//! ```text
+//! casted-router [--addr HOST:PORT] [--loops N] --shard HOST:PORT [--shard HOST:PORT ...]
+//! ```
+//!
+//! Routes each work request to `Fnv64(request bytes) % shards` — the
+//! same content hash the reply cache keys on — and relays the shard's
+//! reply frames verbatim, so routed replies are byte-identical to a
+//! single server's and no cache entry is duplicated across shards.
+//! Prints `casted-router listening on ADDR` and serves until a client
+//! sends `Shutdown`, which it forwards to every shard before draining
+//! and exiting 0. Linux-only (event-driven; no threaded fallback).
+
+use std::process::ExitCode;
+
+use casted_serve::router::{Router, RouterConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: casted-router [--addr HOST:PORT] [--loops N] \
+         --shard HOST:PORT [--shard HOST:PORT ...]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    let Some(v) = v else {
+        eprintln!("casted-router: {flag} needs a value");
+        usage();
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("casted-router: bad value {v:?} for {flag}");
+        usage();
+    })
+}
+
+fn main() -> ExitCode {
+    let mut cfg = RouterConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = parse("--addr", args.next()),
+            "--loops" => cfg.loops = parse("--loops", args.next()),
+            "--shard" => cfg.shards.push(parse("--shard", args.next())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("casted-router: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    if cfg.shards.is_empty() {
+        eprintln!("casted-router: at least one --shard is required");
+        usage();
+    }
+
+    let router = match Router::start(cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("casted-router: start failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Scraped by the smoke tests and the bench harness; keep stable.
+    println!("casted-router listening on {}", router.addr());
+
+    router.wait();
+    ExitCode::SUCCESS
+}

@@ -2,10 +2,23 @@
 //!
 //! ```text
 //! casted-serve [--addr HOST:PORT] [--workers N] [--queue N]
+//!              [--conn-model event|threads]
 //!              [--cache-bytes N] [--max-cycles N] [--max-trials N]
+//!              [--quota-burst N] [--quota-refill N] [--queue-deadline-ms N]
 //!              [--section-cache DIR] [--artifact-cache DIR]
 //!              [--metrics] [--metrics-counters]
 //! ```
+//!
+//! `--conn-model` picks the connection layer: `event` (default) is the
+//! epoll-driven single-loop model; `threads` is the portable
+//! thread-per-connection fallback (also chosen automatically where the
+//! poll backend is unavailable).
+//!
+//! `--quota-burst` / `--quota-refill` enable per-client token-bucket
+//! admission (burst capacity / refill per second); `--queue-deadline-ms`
+//! drops jobs that waited longer than the deadline in the queue
+//! (reply: `Expired`). All three are off by default — see
+//! docs/SERVING.md.
 //!
 //! With `--section-cache DIR`, inject requests that miss the reply
 //! cache run through the compositional section store in `DIR`
@@ -28,12 +41,13 @@
 use std::process::ExitCode;
 
 use casted_serve::cache::CacheConfig;
-use casted_serve::server::{Server, ServerConfig};
+use casted_serve::server::{ConnModel, Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: casted-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-         [--cache-bytes N] [--max-cycles N] [--max-trials N] \
+         [--conn-model event|threads] [--cache-bytes N] [--max-cycles N] [--max-trials N] \
+         [--quota-burst N] [--quota-refill N] [--queue-deadline-ms N] \
          [--section-cache DIR] [--artifact-cache DIR] [--metrics] [--metrics-counters]"
     );
     std::process::exit(2);
@@ -60,6 +74,20 @@ fn main() -> ExitCode {
             "--addr" => cfg.addr = parse("--addr", args.next()),
             "--workers" => cfg.workers = parse("--workers", args.next()),
             "--queue" => cfg.queue_depth = parse("--queue", args.next()),
+            "--conn-model" => {
+                let v: String = parse("--conn-model", args.next());
+                cfg.conn_model = ConnModel::parse(&v).unwrap_or_else(|| {
+                    eprintln!("casted-serve: bad value {v:?} for --conn-model");
+                    usage();
+                })
+            }
+            "--quota-burst" => cfg.admission.quota_burst = parse("--quota-burst", args.next()),
+            "--quota-refill" => {
+                cfg.admission.quota_refill_per_sec = parse("--quota-refill", args.next())
+            }
+            "--queue-deadline-ms" => {
+                cfg.admission.queue_deadline_ms = parse("--queue-deadline-ms", args.next())
+            }
             "--cache-bytes" => {
                 cfg.cache = CacheConfig {
                     byte_budget: parse("--cache-bytes", args.next()),

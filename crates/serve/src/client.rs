@@ -1,6 +1,6 @@
 //! Minimal blocking client for the `casted-serve` protocol.
 
-use std::io;
+use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -12,8 +12,14 @@ use crate::protocol::{
 
 /// A connected client. One request/response exchange at a time; the
 /// connection is reusable for any number of sequential requests.
+///
+/// Replies are read through an internal buffer so a frame costs one
+/// read syscall instead of one for the length prefix and one for the
+/// payload; writes go to the unbuffered stream (a request frame is a
+/// single write).
 pub struct Client {
     stream: TcpStream,
+    reader: BufReader<TcpStream>,
 }
 
 impl Client {
@@ -21,7 +27,8 @@ impl Client {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        Ok(Client { stream })
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
     }
 
     /// Set a read timeout so a wedged server cannot hang the client
@@ -42,7 +49,7 @@ impl Client {
     /// reply *bytes*, and by the bench loop, which skips re-encoding.
     pub fn request_raw(&mut self, payload: &[u8]) -> io::Result<Vec<u8>> {
         write_frame(&mut self.stream, payload)?;
-        match read_frame(&mut self.stream, MAX_FRAME)? {
+        match read_frame(&mut self.reader, MAX_FRAME)? {
             Some(reply) => Ok(reply),
             None => Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
@@ -59,6 +66,81 @@ impl Client {
 
     /// Read one reply frame without sending anything first.
     pub fn read_reply(&mut self) -> io::Result<Option<Vec<u8>>> {
-        read_frame(&mut self.stream, MAX_FRAME)
+        read_frame(&mut self.reader, MAX_FRAME)
+    }
+
+    /// A handle that can cancel this client's in-flight streaming
+    /// campaign from another thread (or from inside the progress
+    /// callback's decision, via [`Client::request_stream`]'s return).
+    pub fn canceller(&self) -> io::Result<Canceller> {
+        Ok(Canceller {
+            stream: self.stream.try_clone()?,
+        })
+    }
+
+    /// Run a streaming request: send `req` (normally
+    /// [`Request::InjectStream`]), invoke `progress` on every
+    /// non-terminal [`Response::Progress`] frame, and return the
+    /// terminal reply. If `progress` returns `false`, a
+    /// [`Request::Cancel`] is sent and the stream is drained to its
+    /// terminal frame (a `Cancelled` with the partial tally — or, if
+    /// the cancel lost the race with the final chunk, the full
+    /// `Injected` plus the server's late-cancel `Err` reply, which
+    /// this helper consumes; see `docs/SERVING.md`).
+    pub fn request_stream(
+        &mut self,
+        req: &Request,
+        progress: &mut dyn FnMut(u64, &[u64; 5]) -> bool,
+    ) -> io::Result<Response> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        let mut cancel_sent = false;
+        loop {
+            let payload = match read_frame(&mut self.reader, MAX_FRAME)? {
+                Some(p) => p,
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-stream",
+                    ))
+                }
+            };
+            let resp = decode_response(&payload)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            match resp {
+                Response::Progress { done, counts } => {
+                    if !progress(done, &counts) && !cancel_sent {
+                        write_frame(&mut self.stream, &encode_request(&Request::Cancel))?;
+                        cancel_sent = true;
+                    }
+                }
+                terminal => {
+                    if cancel_sent && !matches!(terminal, Response::Cancelled { .. }) {
+                        // Late-cancel rule: the Cancel still gets its
+                        // own Err reply; consume it so the connection
+                        // stays aligned for the next request.
+                        let _ = read_frame(&mut self.reader, MAX_FRAME)?;
+                    }
+                    return Ok(terminal);
+                }
+            }
+        }
+    }
+}
+
+/// Cancels a streaming campaign from outside the read loop. Obtained
+/// from [`Client::canceller`]; safe to use from another thread while
+/// the owning client is blocked reading stream frames.
+pub struct Canceller {
+    stream: TcpStream,
+}
+
+impl Canceller {
+    /// Send a [`Request::Cancel`] on the shared connection. The owning
+    /// client's in-flight stream ends with a terminal
+    /// [`Response::Cancelled`] (or the late-cancel `Injected` + `Err`
+    /// pair if the campaign finished first — callers using
+    /// [`Client::request_stream`] don't need to care, it handles both).
+    pub fn cancel(&mut self) -> io::Result<()> {
+        write_frame(&mut self.stream, &encode_request(&Request::Cancel))
     }
 }

@@ -26,8 +26,11 @@ use casted_util::codec::{
 /// make the server allocate unboundedly.
 pub const MAX_FRAME: usize = 1 << 20;
 
-/// Wire protocol version; bumped on any format change.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Wire protocol version; bumped on any format change. Version 2
+/// added the streaming-inject extension (`InjectStream`/`Cancel`
+/// requests; `Progress`/`Cancelled` frames) and structured admission
+/// replies (`Throttled`/`Expired`).
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// A client request.
 #[derive(Clone, Debug, PartialEq)]
@@ -62,6 +65,29 @@ pub enum Request {
     Counters,
     /// Graceful drain-then-exit.
     Shutdown,
+    /// [`Request::Inject`] in streaming form: the server emits a
+    /// [`Response::Progress`] frame with the running tally every
+    /// `every` trials, then the terminal [`Response::Injected`] frame
+    /// — byte-identical to the non-streaming reply for the equivalent
+    /// `Inject` request.
+    InjectStream {
+        /// What to strike.
+        spec: JobSpec,
+        /// Monte-Carlo trials.
+        trials: u64,
+        /// Campaign seed.
+        seed: u64,
+        /// Campaign engine (tallies are engine-invariant; accepted for
+        /// symmetry with [`Request::Inject`]).
+        engine: Engine,
+        /// Progress-frame period in trials (0 = server default).
+        every: u64,
+    },
+    /// Cancel the in-flight streaming campaign on this connection.
+    /// The server stops after the current chunk and replies with a
+    /// terminal [`Response::Cancelled`] frame carrying the partial
+    /// tally; outside a stream it is a no-op error.
+    Cancel,
 }
 
 impl Request {
@@ -74,6 +100,8 @@ impl Request {
             Request::Inject { .. } => "inject",
             Request::Counters => "counters",
             Request::Shutdown => "shutdown",
+            Request::InjectStream { .. } => "inject_stream",
+            Request::Cancel => "cancel",
         }
     }
 
@@ -82,7 +110,10 @@ impl Request {
     pub fn is_work(&self) -> bool {
         matches!(
             self,
-            Request::Compile { .. } | Request::Simulate { .. } | Request::Inject { .. }
+            Request::Compile { .. }
+                | Request::Simulate { .. }
+                | Request::Inject { .. }
+                | Request::InjectStream { .. }
         )
     }
 }
@@ -107,16 +138,55 @@ pub enum Response {
     Counters(String),
     /// The server is draining and will not accept new work.
     ShuttingDown,
+    /// Admission control: this client is over its token-bucket quota.
+    /// The request was **not** queued; `retry_after_ms` says when the
+    /// bucket refills enough to admit one request.
+    Throttled {
+        /// Suggested client back-off in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// Admission control: the job waited in the queue past the
+    /// server's deadline and was dropped **before execution**.
+    Expired,
+    /// Streaming: running campaign tally after `done` trials. Zero or
+    /// more of these precede the terminal frame of an
+    /// [`Request::InjectStream`].
+    Progress {
+        /// Trials completed so far.
+        done: u64,
+        /// Outcome counts so far, in `Outcome::ALL` order.
+        counts: [u64; 5],
+    },
+    /// Streaming: terminal frame of a cancelled campaign — the partial
+    /// tally after `done` trials (an exact prefix of the full run).
+    Cancelled {
+        /// Trials completed before the cancel took effect.
+        done: u64,
+        /// Outcome counts over those trials.
+        counts: [u64; 5],
+    },
 }
 
 impl Response {
-    /// Only successful pipeline results enter the cache — errors and
-    /// control replies are never cached.
+    /// Only successful pipeline results enter the cache — errors,
+    /// control replies, and streaming frames are never cached. (A
+    /// streaming request's terminal `Injected` frame is also not
+    /// cached: its cache key would be the `InjectStream` encoding,
+    /// which differs from the equivalent `Inject`, and progress frames
+    /// are connection-specific.)
     pub fn cacheable(&self) -> bool {
         matches!(
             self,
             Response::Compiled(_) | Response::Simulated(_) | Response::Injected(_)
         )
+    }
+
+    /// Is this frame the last one of its request? Streaming requests
+    /// emit zero or more non-terminal [`Response::Progress`] frames
+    /// before exactly one terminal frame; every other reply is
+    /// terminal. The router relays frames until a terminal one.
+    pub fn terminal(&self) -> bool {
+        !matches!(self, Response::Progress { .. })
     }
 }
 
@@ -250,6 +320,21 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Counters => buf.push(5),
         Request::Shutdown => buf.push(6),
+        Request::InjectStream {
+            spec,
+            trials,
+            seed,
+            engine,
+            every,
+        } => {
+            buf.push(7);
+            put_spec(&mut buf, spec);
+            put_uvarint(&mut buf, *trials);
+            put_uvarint(&mut buf, *seed);
+            buf.push(engine_to_u8(*engine));
+            put_uvarint(&mut buf, *every);
+        }
+        Request::Cancel => buf.push(8),
     }
     buf
 }
@@ -280,6 +365,14 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
         },
         5 => Request::Counters,
         6 => Request::Shutdown,
+        7 => Request::InjectStream {
+            spec: r.spec()?,
+            trials: r.u64("trials")?,
+            seed: r.u64("seed")?,
+            engine: engine_from_u8(r.u8("engine")?)?,
+            every: r.u64("every")?,
+        },
+        8 => Request::Cancel,
         other => return Err(format!("unknown request tag {other}")),
     };
     r.finish(req)
@@ -332,6 +425,25 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_str(&mut buf, json);
         }
         Response::ShuttingDown => buf.push(8),
+        Response::Throttled { retry_after_ms } => {
+            buf.push(9);
+            put_uvarint(&mut buf, *retry_after_ms);
+        }
+        Response::Expired => buf.push(10),
+        Response::Progress { done, counts } => {
+            buf.push(11);
+            put_uvarint(&mut buf, *done);
+            for &c in counts {
+                put_uvarint(&mut buf, c);
+            }
+        }
+        Response::Cancelled { done, counts } => {
+            buf.push(12);
+            put_uvarint(&mut buf, *done);
+            for &c in counts {
+                put_uvarint(&mut buf, c);
+            }
+        }
     }
     buf
 }
@@ -410,6 +522,26 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
         6 => Response::Err(r.str("error message")?),
         7 => Response::Counters(r.str("counters json")?),
         8 => Response::ShuttingDown,
+        9 => Response::Throttled {
+            retry_after_ms: r.u64("retry_after_ms")?,
+        },
+        10 => Response::Expired,
+        11 => {
+            let done = r.u64("done")?;
+            let mut counts = [0u64; 5];
+            for c in counts.iter_mut() {
+                *c = r.u64("outcome count")?;
+            }
+            Response::Progress { done, counts }
+        }
+        12 => {
+            let done = r.u64("done")?;
+            let mut counts = [0u64; 5];
+            for c in counts.iter_mut() {
+                *c = r.u64("outcome count")?;
+            }
+            Response::Cancelled { done, counts }
+        }
         other => return Err(format!("unknown response tag {other}")),
     };
     r.finish(resp)
@@ -459,6 +591,14 @@ mod tests {
             },
             Request::Counters,
             Request::Shutdown,
+            Request::InjectStream {
+                spec: spec(),
+                trials: 5000,
+                seed: 0xCA57ED,
+                engine: Engine::Batched,
+                every: 250,
+            },
+            Request::Cancel,
         ];
         for req in reqs {
             let bytes = encode_request(&req);
@@ -498,10 +638,36 @@ mod tests {
             Response::Err("compile failed: line 1: nope".into()),
             Response::Counters("{\n}".into()),
             Response::ShuttingDown,
+            Response::Throttled { retry_after_ms: 1500 },
+            Response::Expired,
+            Response::Progress {
+                done: 250,
+                counts: [100, 100, 25, 20, 5],
+            },
+            Response::Cancelled {
+                done: 500,
+                counts: [200, 200, 50, 40, 10],
+            },
         ];
         for resp in resps {
             let bytes = encode_response(&resp);
             assert_eq!(decode_response(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn progress_frames_are_the_only_non_terminal_replies() {
+        assert!(!Response::Progress { done: 1, counts: [1, 0, 0, 0, 0] }.terminal());
+        for r in [
+            Response::Pong,
+            Response::Busy,
+            Response::Expired,
+            Response::Throttled { retry_after_ms: 1 },
+            Response::Cancelled { done: 1, counts: [1, 0, 0, 0, 0] },
+            Response::ShuttingDown,
+            Response::Err("x".into()),
+        ] {
+            assert!(r.terminal(), "{r:?}");
         }
     }
 

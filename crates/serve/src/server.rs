@@ -1,29 +1,56 @@
 //! The long-lived compile-and-simulate server.
 //!
-//! Architecture (one box per thread kind):
+//! Two connection models share one worker/cache/queue core, selected
+//! by [`ServerConfig::conn_model`]:
 //!
 //! ```text
-//!             accept (supervisor, non-blocking poll)
-//!                │ one thread per connection
+//!  EVENT (default on Linux)              THREADS (portable fallback,
+//!                                         bench baseline)
+//!  one event-loop thread                  one thread per connection
+//!  (casted_util::poll / epoll):           (blocking reads/writes):
+//!    nonblocking accept                     blocking accept, unblocked
+//!    readiness-driven reads,                at shutdown by a loopback
+//!    incremental frame assembly             self-connect
+//!    buffered nonblocking writes          Condvar-latched drain — no
+//!    worker completions via a               sleep loops anywhere
+//!    poller wakeup — no sleeps
+//!                      \            /
+//!                       ▼          ▼
+//!          cache lookup ──hit──► reply (never queues)
+//!                │ miss
 //!                ▼
-//!   conn thread: read frame → decode → cache lookup ──hit──► reply
-//!                │ miss                                      (never
-//!                ▼                                           queues)
-//!        bounded job queue ──full──► Busy reply (backpressure:
-//!                │                   the request is dropped, nothing
-//!                ▼                   is buffered)
-//!        worker pool (casted_util::pool::run_pool, N worker loops)
-//!                │ service_api::{compile,simulate,inject} under a
-//!                │ cycle-limit deadline, panic-isolated
+//!          admission control (token-bucket quota → Throttled)
+//!                │ admitted
 //!                ▼
-//!        encode reply → insert into cache → send to conn thread
+//!          bounded job queue ──full──► Busy reply
+//!                │ (jobs stamped; stale jobs dropped as Expired)
+//!                ▼
+//!          worker pool (casted_util::pool, N worker loops)
+//!                │ service_api::* under a cycle-limit deadline,
+//!                │ panic-isolated; streaming campaigns emit
+//!                │ Progress frames every K trials
+//!                ▼
+//!          encode reply → insert into cache → deliver to connection
 //! ```
 //!
 //! **Backpressure.** The queue holds at most
 //! [`ServerConfig::queue_depth`] jobs. A miss that finds it full gets
 //! an immediate [`Response::Busy`]; the server never buffers
 //! unboundedly, so overload costs the client a retry, not the server
-//! its memory.
+//! its memory. [`AdmissionConfig`] adds two opt-in refinements:
+//! per-client token buckets (`Throttled` with a computed
+//! `retry_after_ms`) and queue deadlines (`Expired` — stale jobs are
+//! dropped *before* execution).
+//!
+//! **Streaming.** [`Request::InjectStream`] runs the campaign in
+//! chunks, emitting a [`Response::Progress`] frame every `every`
+//! trials and a terminal frame byte-identical to the non-streaming
+//! [`Response::Injected`]. A [`Request::Cancel`] on the same
+//! connection stops the campaign at the next chunk boundary; the
+//! terminal [`Response::Cancelled`] carries the partial tally (an
+//! exact prefix of the full run). A streaming campaign occupies its
+//! connection: other requests pipelined behind it are buffered and
+//! served after the terminal frame.
 //!
 //! **Deadlines.** Work requests run under the simulator/interpreter
 //! cycle limit ([`ServerConfig::max_cycles`]): a hostile or buggy
@@ -35,10 +62,13 @@
 //! queue: workers drain every already-accepted job, every in-flight
 //! reply is written, then idle connections are dropped and the server
 //! exits. New work during the drain gets [`Response::ShuttingDown`].
+//! Neither model sleeps its way through the drain: the event loop
+//! exits when its last pending job's reply is flushed, and the threads
+//! model waits on a Condvar latch notified by every completion.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, ErrorKind, Write};
-use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -48,12 +78,42 @@ use std::time::{Duration, Instant};
 
 use casted::service_api;
 use casted_util::codec::{read_frame, write_frame};
+use casted_util::poll;
 use casted_util::pool::{pool_threads, run_pool};
 
+use crate::admission::{Admission, AdmissionConfig, TokenBuckets};
 use crate::cache::{Cache, CacheConfig};
 use crate::protocol::{
     cache_key, decode_request, encode_response, Request, Response, MAX_FRAME,
 };
+
+/// How connections are served.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ConnModel {
+    /// Event-driven: one loop thread owns every socket through
+    /// `casted_util::poll` (epoll). Falls back to [`ConnModel::Threads`]
+    /// at runtime on targets without the poll backend.
+    #[default]
+    Event,
+    /// One blocking thread per connection — the portable fallback and
+    /// the bench baseline the event model is measured against.
+    Threads,
+}
+
+impl ConnModel {
+    /// Parse a `--conn-model` flag value.
+    pub fn parse(s: &str) -> Option<ConnModel> {
+        match s.to_ascii_lowercase().as_str() {
+            "event" => Some(ConnModel::Event),
+            "threads" => Some(ConnModel::Threads),
+            _ => None,
+        }
+    }
+}
+
+/// Progress-frame period (in trials) when a streaming request asks
+/// for `every == 0` ("server default").
+pub const DEFAULT_STREAM_EVERY: u64 = 100;
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -80,7 +140,9 @@ pub struct ServerConfig {
     /// cache hits (only changed sections re-inject) while replies stay
     /// byte-identical to the engines' — the exact-reply cache contract
     /// is unchanged. `None` (the default) keeps cold per-request
-    /// campaigns.
+    /// campaigns. Streaming campaigns always run on the chunked engine
+    /// path (their exactness contract makes the replies identical
+    /// regardless).
     pub section_cache: Option<std::path::PathBuf>,
     /// On-disk artifact store for the staged compile pipeline. When
     /// set, every compile/simulate/inject miss runs its compile half
@@ -92,6 +154,10 @@ pub struct ServerConfig {
     /// cache contract is unchanged. `None` (the default) compiles
     /// monolithically.
     pub artifact_cache: Option<std::path::PathBuf>,
+    /// Connection-handling model (see [`ConnModel`]).
+    pub conn_model: ConnModel,
+    /// Admission control (quotas + queue deadlines); defaults off.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServerConfig {
@@ -105,19 +171,53 @@ impl Default for ServerConfig {
             max_trials: 20_000,
             section_cache: None,
             artifact_cache: None,
+            conn_model: ConnModel::default(),
+            admission: AdmissionConfig::default(),
         }
     }
 }
 
+/// Where a finished job's frames go.
+pub(crate) enum ReplySink {
+    /// Threads model, one-shot request: terminal payload over a
+    /// channel back to the connection thread.
+    Channel(mpsc::SyncSender<Vec<u8>>),
+    /// Threads model, streaming request: the worker writes every frame
+    /// (progress + terminal) straight to this socket clone — the
+    /// connection thread stays off the write side until `done` fires
+    /// (`true` = campaign completed, `false` = cancelled).
+    Socket {
+        writer: TcpStream,
+        done: mpsc::SyncSender<bool>,
+    },
+    /// Event model: frames are posted to the loop's completion queue
+    /// (followed by a poller wakeup) addressed to this connection.
+    Loop { conn: u64 },
+}
+
 /// One queued unit of work.
-struct Job {
-    req: Request,
-    key: u64,
-    reply: mpsc::SyncSender<Vec<u8>>,
+pub(crate) struct Job {
+    pub(crate) req: Request,
+    pub(crate) key: u64,
+    pub(crate) enqueued: Instant,
+    /// Cancel flag for streaming jobs (checked at chunk boundaries).
+    pub(crate) cancel: Option<Arc<AtomicBool>>,
+    pub(crate) sink: ReplySink,
+}
+
+/// One frame produced by a worker for the event loop to deliver.
+pub(crate) struct Completion {
+    pub(crate) conn: u64,
+    pub(crate) payload: Vec<u8>,
+    /// Last frame of its job? (Progress frames are not.)
+    pub(crate) terminal: bool,
+    /// Terminal frame of a *cancelled* stream (drives the late-cancel
+    /// bookkeeping in the loop).
+    pub(crate) cancelled: bool,
 }
 
 /// Why [`JobQueue::try_push`] refused a job.
-enum PushError {
+pub(crate) enum PushError {
     /// At capacity — the backpressure signal.
     Full,
     /// Draining for shutdown.
@@ -125,14 +225,14 @@ enum PushError {
 }
 
 struct QueueInner {
-    jobs: std::collections::VecDeque<Job>,
+    jobs: VecDeque<Job>,
     closed: bool,
 }
 
 /// Bounded MPMC job queue: `try_push` never blocks (that is the whole
 /// point — overload is reported, not buffered), `pop` blocks until a
 /// job arrives or the queue is closed *and* drained.
-struct JobQueue {
+pub(crate) struct JobQueue {
     inner: Mutex<QueueInner>,
     ready: Condvar,
     cap: usize,
@@ -142,7 +242,7 @@ impl JobQueue {
     fn new(cap: usize) -> JobQueue {
         JobQueue {
             inner: Mutex::new(QueueInner {
-                jobs: std::collections::VecDeque::new(),
+                jobs: VecDeque::new(),
                 closed: false,
             }),
             ready: Condvar::new(),
@@ -154,7 +254,7 @@ impl JobQueue {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn try_push(&self, job: Job) -> Result<usize, PushError> {
+    pub(crate) fn try_push(&self, job: Job) -> Result<usize, PushError> {
         let mut g = self.lock();
         if g.closed {
             return Err(PushError::Closed);
@@ -189,22 +289,91 @@ impl JobQueue {
     }
 }
 
-struct Shared {
-    cfg: ServerConfig,
-    queue: JobQueue,
-    cache: Cache,
-    pipeline: Option<casted::stages::ArtifactPipeline>,
-    stop: AtomicBool,
+/// Drain latch: counters whose decrements notify a Condvar, so
+/// shutdown waits exactly as long as the work takes (bounded by a
+/// deadline) instead of sleep-polling.
+struct Latch {
+    gate: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Latch {
+        Latch {
+            gate: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn notify(&self) {
+        let _g = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+        self.cv.notify_all();
+    }
+
+    /// Block until `done()` or the deadline; wakes on every
+    /// [`Latch::notify`].
+    fn wait_until(&self, deadline: Instant, done: impl Fn() -> bool) {
+        let mut g = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+        while !done() {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            let (g2, _) = self
+                .cv
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            g = g2;
+        }
+    }
+}
+
+pub(crate) struct Shared {
+    pub(crate) cfg: ServerConfig,
+    pub(crate) queue: JobQueue,
+    pub(crate) cache: Cache,
+    pub(crate) pipeline: Option<casted::stages::ArtifactPipeline>,
+    pub(crate) buckets: TokenBuckets,
+    pub(crate) stop: AtomicBool,
+    /// Event-model reply path: worker → loop.
+    pub(crate) completions: Mutex<Vec<Completion>>,
+    pub(crate) notifier: Mutex<Option<poll::Notifier>>,
+    // Threads-model bookkeeping.
     active_conns: AtomicUsize,
     in_flight: AtomicUsize,
+    latch: Latch,
     conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn_id: AtomicUsize,
+    /// Bound address, used by the threads model to unblock a blocking
+    /// `accept` at shutdown with a loopback self-connect.
+    self_addr: SocketAddr,
 }
 
 impl Shared {
-    fn initiate_shutdown(&self) {
-        self.stop.store(true, Ordering::SeqCst);
+    pub(crate) fn initiate_shutdown(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
         self.queue.close();
+        // Wake the event loop out of its kernel wait...
+        if let Some(n) = &*self.notifier.lock().unwrap_or_else(|e| e.into_inner()) {
+            n.notify();
+        }
+        // ...and unblock a threads-model accept with a self-connect
+        // (harmless no-op for the event model's nonblocking listener).
+        let _ = TcpStream::connect_timeout(&self.self_addr, Duration::from_millis(200));
+        self.latch.notify();
+    }
+
+    /// Post one worker-produced frame to the event loop and wake it.
+    pub(crate) fn post_completion(&self, c: Completion) {
+        self.completions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(c);
+        if let Some(n) = &*self.notifier.lock().unwrap_or_else(|e| e.into_inner()) {
+            n.notify();
+        }
     }
 }
 
@@ -212,6 +381,7 @@ impl Shared {
 /// [`ServerHandle::shutdown`]) drains and stops it.
 pub struct Server {
     addr: SocketAddr,
+    model: ConnModel,
     shared: Arc<Shared>,
     supervisor: Option<JoinHandle<()>>,
 }
@@ -224,29 +394,46 @@ impl Server {
     /// actual serving happens on background threads.
     pub fn start(cfg: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
-        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let pipeline = match &cfg.artifact_cache {
             Some(dir) => Some(casted::stages::ArtifactPipeline::open(dir)?),
             None => None,
         };
+        // Resolve the connection model: Event needs the poll backend;
+        // without it (non-Linux targets) fall back to Threads so one
+        // binary serves everywhere.
+        let poller = match cfg.conn_model {
+            ConnModel::Event => poll::Poller::new().ok(),
+            ConnModel::Threads => None,
+        };
+        let model = if poller.is_some() {
+            ConnModel::Event
+        } else {
+            ConnModel::Threads
+        };
         let shared = Arc::new(Shared {
             queue: JobQueue::new(cfg.queue_depth),
             cache: Cache::new(&cfg.cache),
             pipeline,
+            buckets: TokenBuckets::new(&cfg.admission),
             cfg,
             stop: AtomicBool::new(false),
+            completions: Mutex::new(Vec::new()),
+            notifier: Mutex::new(None),
             active_conns: AtomicUsize::new(0),
             in_flight: AtomicUsize::new(0),
+            latch: Latch::new(),
             conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicUsize::new(0),
+            self_addr: addr,
         });
         let sh = shared.clone();
         let supervisor = std::thread::Builder::new()
             .name("serve-supervisor".into())
-            .spawn(move || supervise(listener, sh))?;
+            .spawn(move || supervise(listener, sh, poller))?;
         Ok(Server {
             addr,
+            model,
             shared,
             supervisor: Some(supervisor),
         })
@@ -255,6 +442,12 @@ impl Server {
     /// The bound address (useful with an ephemeral `:0` bind).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The connection model actually serving (the configured one, or
+    /// the threads fallback when the poll backend is unavailable).
+    pub fn model(&self) -> ConnModel {
+        self.model
     }
 
     /// Block until the server exits (a client sent `Shutdown`).
@@ -282,8 +475,9 @@ impl Drop for Server {
     }
 }
 
-/// Acceptor + shutdown sequencing.
-fn supervise(listener: TcpListener, shared: Arc<Shared>) {
+/// Host the worker pool, run the chosen connection front end, then
+/// sequence the drain.
+fn supervise(listener: TcpListener, shared: Arc<Shared>, poller: Option<poll::Poller>) {
     let workers = shared.cfg.workers.clamp(1, pool_threads());
     let pool_shared = shared.clone();
     let pool_host = std::thread::Builder::new()
@@ -300,81 +494,154 @@ fn supervise(listener: TcpListener, shared: Arc<Shared>) {
         })
         .expect("spawn worker pool host");
 
-    while !shared.stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                casted_obs::inc("serve.connections");
-                let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed) as u64;
-                if let Ok(clone) = stream.try_clone() {
-                    shared
-                        .conns
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .insert(id, clone);
-                }
-                shared.active_conns.fetch_add(1, Ordering::SeqCst);
-                let sh = shared.clone();
-                let _ = std::thread::Builder::new()
-                    .name("serve-conn".into())
-                    .spawn(move || {
-                        handle_conn(&sh, stream);
-                        sh.conns
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .remove(&id);
-                        sh.active_conns.fetch_sub(1, Ordering::SeqCst);
-                    });
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_micros(300));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(1)),
-        }
+    match poller {
+        Some(poller) => crate::evloop::run(listener, &shared, poller),
+        None => accept_loop_threads(listener, &shared),
     }
 
-    // Drain: the queue is closed (initiate_shutdown); workers finish
-    // every accepted job, then exit.
+    // The queue is closed (initiate_shutdown); workers finish every
+    // accepted job, then exit.
     let _ = pool_host.join();
 
-    // Every accepted job has produced a reply; wait for the connection
-    // threads to finish writing them out.
-    let deadline = Instant::now() + Duration::from_secs(5);
-    while shared.in_flight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
-        std::thread::sleep(Duration::from_millis(1));
-    }
-
-    // Unblock connections idling in a read: drop their sockets.
+    // Threads model: wait (Condvar latch, no sleep loops) for the
+    // connection threads to finish writing in-flight replies, then
+    // unblock the ones idling in a read and wait for them to exit.
+    // The event loop already flushed and closed everything itself.
+    shared.latch.wait_until(Instant::now() + Duration::from_secs(5), || {
+        shared.in_flight.load(Ordering::SeqCst) == 0
+    });
     for (_, s) in shared.conns.lock().unwrap_or_else(|e| e.into_inner()).drain() {
         let _ = s.shutdown(SockShutdown::Both);
     }
-    let deadline = Instant::now() + Duration::from_secs(2);
-    while shared.active_conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
-        std::thread::sleep(Duration::from_millis(1));
+    shared.latch.wait_until(Instant::now() + Duration::from_secs(2), || {
+        shared.active_conns.load(Ordering::SeqCst) == 0
+    });
+}
+
+/// Threads-model front end: blocking accept, one thread per
+/// connection. Shutdown unblocks the accept with a loopback
+/// self-connect (see [`Shared::initiate_shutdown`]) — no nonblocking
+/// poll, no sleep backoff.
+fn accept_loop_threads(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            // The self-connect (or a straggler racing the drain).
+            return;
+        }
+        casted_obs::inc("serve.connections");
+        let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed) as u64;
+        if let Ok(clone) = stream.try_clone() {
+            shared
+                .conns
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(id, clone);
+        }
+        shared.active_conns.fetch_add(1, Ordering::SeqCst);
+        let sh = shared.clone();
+        let _ = std::thread::Builder::new()
+            .name("serve-conn".into())
+            .spawn(move || {
+                handle_conn(&sh, stream);
+                sh.conns
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(&id);
+                sh.active_conns.fetch_sub(1, Ordering::SeqCst);
+                sh.latch.notify();
+            });
     }
 }
 
-/// One worker: pop, execute, cache, reply — until the queue closes.
+/// One worker: pop, (maybe drop as expired), execute, cache, deliver —
+/// until the queue closes.
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
-        let bytes = execute_encoded(shared, &job.req);
-        // Only successful replies are cached (tag check via decode is
-        // wasteful; the executor tells us directly).
-        if bytes.cacheable {
-            shared.cache.insert(job.key, bytes.payload.clone());
+        let deadline_ms = shared.cfg.admission.queue_deadline_ms;
+        if deadline_ms > 0 && job.enqueued.elapsed() > Duration::from_millis(deadline_ms) {
+            // Stale before it ever ran: shed it, visibly.
+            casted_obs::inc("serve.admission.expired");
+            deliver(shared, &job, encode_response(&Response::Expired), true, false);
+            continue;
         }
-        // The connection thread may have died; a lost reply is fine.
-        let _ = job.reply.send(bytes.payload);
+        match &job.req {
+            Request::InjectStream {
+                spec,
+                trials,
+                seed,
+                every,
+                ..
+            } => {
+                let cancel = job
+                    .cancel
+                    .clone()
+                    .unwrap_or_else(|| Arc::new(AtomicBool::new(false)));
+                let (terminal, cancelled) = execute_stream(
+                    shared,
+                    spec,
+                    *trials,
+                    *seed,
+                    *every,
+                    &cancel,
+                    &mut |frame| deliver(shared, &job, frame, false, false),
+                );
+                // Streaming replies are never cached: the terminal
+                // frame's would-be key is the InjectStream encoding,
+                // and progress frames are connection-specific.
+                deliver(shared, &job, terminal, true, cancelled);
+            }
+            req => {
+                let bytes = execute_encoded(shared, req);
+                if bytes.cacheable {
+                    shared.cache.insert(job.key, bytes.payload.clone());
+                }
+                deliver(shared, &job, bytes.payload, true, false);
+            }
+        }
     }
 }
 
-struct Encoded {
-    payload: Vec<u8>,
-    cacheable: bool,
+/// Route one frame to wherever the job's connection lives.
+fn deliver(shared: &Arc<Shared>, job: &Job, payload: Vec<u8>, terminal: bool, cancelled: bool) {
+    match &job.sink {
+        ReplySink::Channel(tx) => {
+            // The connection thread may have died; a lost reply is fine.
+            let _ = tx.send(payload);
+        }
+        ReplySink::Socket { writer, done } => {
+            let _ = write_frame(&mut (&*writer), &payload);
+            if terminal {
+                let _ = done.send(!cancelled);
+            }
+        }
+        ReplySink::Loop { conn } => {
+            shared.post_completion(Completion {
+                conn: *conn,
+                payload,
+                terminal,
+                cancelled,
+            });
+        }
+    }
+}
+
+pub(crate) struct Encoded {
+    pub(crate) payload: Vec<u8>,
+    pub(crate) cacheable: bool,
 }
 
 /// Run one work request through `service_api`, panic-isolated, and
 /// encode the reply.
-fn execute_encoded(shared: &Arc<Shared>, req: &Request) -> Encoded {
+pub(crate) fn execute_encoded(shared: &Arc<Shared>, req: &Request) -> Encoded {
     let hist: &'static str = match req {
         Request::Compile { .. } => "serve.compile_ns",
         Request::Simulate { .. } => "serve.simulate_ns",
@@ -396,6 +663,88 @@ fn execute_encoded(shared: &Arc<Shared>, req: &Request) -> Encoded {
     Encoded {
         cacheable: resp.cacheable(),
         payload: encode_response(&resp),
+    }
+}
+
+/// Run a streaming campaign, emitting encoded Progress frames through
+/// `emit`; returns the encoded terminal frame and whether it is a
+/// `Cancelled` one. Panic-isolated like [`execute_encoded`].
+fn execute_stream(
+    shared: &Arc<Shared>,
+    spec: &service_api::JobSpec,
+    trials: u64,
+    seed: u64,
+    every: u64,
+    cancel: &Arc<AtomicBool>,
+    emit: &mut dyn FnMut(Vec<u8>),
+) -> (Vec<u8>, bool) {
+    let span = casted_obs::span("serve.inject_ns");
+    let resp = match catch_unwind(AssertUnwindSafe(|| {
+        run_stream(shared, spec, trials, seed, every, cancel, emit)
+    })) {
+        Ok(resp) => resp,
+        Err(_) => {
+            casted_obs::inc("serve.panics");
+            Response::Err("internal error: request execution panicked".into())
+        }
+    };
+    drop(span);
+    if matches!(resp, Response::Err(_)) {
+        casted_obs::inc("serve.errors");
+    }
+    let cancelled = matches!(resp, Response::Cancelled { .. });
+    (encode_response(&resp), cancelled)
+}
+
+fn run_stream(
+    shared: &Arc<Shared>,
+    spec: &service_api::JobSpec,
+    trials: u64,
+    seed: u64,
+    every: u64,
+    cancel: &Arc<AtomicBool>,
+    emit: &mut dyn FnMut(Vec<u8>),
+) -> Response {
+    if trials > shared.cfg.max_trials {
+        return Response::Err(format!(
+            "{trials} trials exceeds the server's limit of {}",
+            shared.cfg.max_trials
+        ));
+    }
+    let every = if every == 0 { DEFAULT_STREAM_EVERY } else { every };
+    casted_obs::inc("serve.stream.started");
+    let result = service_api::inject_stream_with(
+        spec,
+        trials,
+        seed,
+        shared.cfg.max_cycles,
+        every,
+        shared.pipeline.as_ref(),
+        &mut |done, counts| {
+            if cancel.load(Ordering::SeqCst) {
+                return false;
+            }
+            casted_obs::inc("serve.stream.progress");
+            emit(encode_response(&Response::Progress {
+                done,
+                counts: *counts,
+            }));
+            !cancel.load(Ordering::SeqCst)
+        },
+    );
+    match result {
+        Ok((reply, true)) => {
+            casted_obs::inc("serve.stream.completed");
+            Response::Injected(reply)
+        }
+        Ok((reply, false)) => {
+            casted_obs::inc("serve.stream.cancelled");
+            Response::Cancelled {
+                done: reply.trials,
+                counts: reply.counts,
+            }
+        }
+        Err(e) => Response::Err(e),
     }
 }
 
@@ -449,7 +798,7 @@ fn send_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
     write_frame(stream, &encode_response(resp))
 }
 
-fn kind_counter(req: &Request) -> &'static str {
+pub(crate) fn kind_counter(req: &Request) -> &'static str {
     match req {
         Request::Ping => "serve.requests.ping",
         Request::Compile { .. } => "serve.requests.compile",
@@ -457,94 +806,295 @@ fn kind_counter(req: &Request) -> &'static str {
         Request::Inject { .. } => "serve.requests.inject",
         Request::Counters => "serve.requests.counters",
         Request::Shutdown => "serve.requests.shutdown",
+        Request::InjectStream { .. } => "serve.requests.inject_stream",
+        Request::Cancel => "serve.requests.cancel",
     }
+}
+
+/// Admission check for one cache-missing work request. `None` =
+/// admitted; `Some(resp)` = the structured rejection to send.
+pub(crate) fn admit(shared: &Shared, peer: IpAddr) -> Option<Response> {
+    if !shared.cfg.admission.enabled() {
+        return None;
+    }
+    match shared.buckets.check(peer) {
+        Admission::Admit => {
+            casted_obs::inc("serve.admission.admitted");
+            None
+        }
+        Admission::Throttle { retry_after_ms } => {
+            casted_obs::inc("serve.admission.throttled");
+            Some(Response::Throttled { retry_after_ms })
+        }
+    }
+}
+
+// ----------------- threads-model connection handling -----------------
+
+enum Flow {
+    Continue,
+    Close,
 }
 
 /// Serve one connection: a sequence of request/response frames until
 /// EOF, a protocol error, or shutdown.
 fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.ip())
+        .unwrap_or(IpAddr::V4(std::net::Ipv4Addr::LOCALHOST));
+    // Frames read ahead while a streaming campaign occupied the
+    // connection; served in order once it finishes.
+    let mut pending: VecDeque<Vec<u8>> = VecDeque::new();
     loop {
-        let payload = match read_frame(&mut stream, MAX_FRAME) {
-            Ok(Some(p)) => p,
-            Ok(None) => return, // clean EOF
-            Err(e) if e.kind() == ErrorKind::InvalidData => {
-                // Oversized length prefix: structured reply, close.
-                casted_obs::inc("serve.errors");
-                let _ = send_response(&mut stream, &Response::Err(format!("bad frame: {e}")));
-                return;
-            }
-            Err(_) => return, // truncated mid-frame / connection reset
+        let payload = match pending.pop_front() {
+            Some(p) => p,
+            None => match read_frame(&mut stream, MAX_FRAME) {
+                Ok(Some(p)) => p,
+                Ok(None) => return, // clean EOF
+                Err(e) if e.kind() == ErrorKind::InvalidData => {
+                    // Oversized length prefix: structured reply, close.
+                    casted_obs::inc("serve.errors");
+                    let _ =
+                        send_response(&mut stream, &Response::Err(format!("bad frame: {e}")));
+                    return;
+                }
+                Err(_) => return, // truncated mid-frame / connection reset
+            },
         };
-        let _span = casted_obs::span("serve.request_ns");
-        casted_obs::inc("serve.requests");
-        let req = match decode_request(&payload) {
-            Ok(r) => r,
-            Err(e) => {
-                // Malformed request: structured reply, then close —
-                // the stream offset is not trustworthy any more.
-                casted_obs::inc("serve.errors");
-                let _ = send_response(&mut stream, &Response::Err(format!("bad request: {e}")));
-                return;
-            }
-        };
-        casted_obs::inc(kind_counter(&req));
-        match req {
-            Request::Ping => {
-                if send_response(&mut stream, &Response::Pong).is_err() {
-                    return;
-                }
-            }
-            Request::Counters => {
-                let snap = casted_obs::snapshot_json();
-                if send_response(&mut stream, &Response::Counters(snap)).is_err() {
-                    return;
-                }
-            }
-            Request::Shutdown => {
-                let _ = send_response(&mut stream, &Response::ShuttingDown);
-                shared.initiate_shutdown();
-                return;
-            }
-            req => {
-                // Work request: cache → queue → worker.
-                let key = cache_key(&payload);
-                if let Some(bytes) = shared.cache.get(key) {
-                    if write_frame(&mut stream, &bytes).is_err() {
-                        return;
-                    }
-                    continue;
-                }
-                let (tx, rx) = mpsc::sync_channel(1);
-                shared.in_flight.fetch_add(1, Ordering::SeqCst);
-                let pushed = shared.queue.try_push(Job {
-                    req,
-                    key,
-                    reply: tx,
-                });
-                let outcome = match pushed {
-                    Ok(depth) => {
-                        casted_obs::gauge_set("serve.queue_depth", depth as u64);
-                        match rx.recv() {
-                            Ok(bytes) => write_frame(&mut stream, &bytes),
-                            Err(_) => send_response(
-                                &mut stream,
-                                &Response::Err("worker unavailable".into()),
-                            ),
-                        }
-                    }
-                    Err(PushError::Full) => {
-                        casted_obs::inc("serve.busy");
-                        send_response(&mut stream, &Response::Busy)
-                    }
-                    Err(PushError::Closed) => send_response(&mut stream, &Response::ShuttingDown),
-                };
-                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-                if outcome.is_err() {
-                    return;
-                }
-                let _ = stream.flush();
-            }
+        match dispatch(shared, &mut stream, peer, payload, &mut pending) {
+            Flow::Continue => {}
+            Flow::Close => return,
         }
     }
+}
+
+/// Handle one complete request frame on a threads-model connection.
+fn dispatch(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    peer: IpAddr,
+    payload: Vec<u8>,
+    pending: &mut VecDeque<Vec<u8>>,
+) -> Flow {
+    let _span = casted_obs::span("serve.request_ns");
+    casted_obs::inc("serve.requests");
+    let req = match decode_request(&payload) {
+        Ok(r) => r,
+        Err(e) => {
+            // Malformed request: structured reply, then close — the
+            // stream offset is not trustworthy any more.
+            casted_obs::inc("serve.errors");
+            let _ = send_response(stream, &Response::Err(format!("bad request: {e}")));
+            return Flow::Close;
+        }
+    };
+    casted_obs::inc(kind_counter(&req));
+    match req {
+        Request::Ping => {
+            if send_response(stream, &Response::Pong).is_err() {
+                return Flow::Close;
+            }
+        }
+        Request::Counters => {
+            let snap = casted_obs::snapshot_json();
+            if send_response(stream, &Response::Counters(snap)).is_err() {
+                return Flow::Close;
+            }
+        }
+        Request::Shutdown => {
+            let _ = send_response(stream, &Response::ShuttingDown);
+            shared.initiate_shutdown();
+            return Flow::Close;
+        }
+        Request::Cancel => {
+            // No stream in flight on this connection (an in-flight one
+            // is handled inside `stream_intercept`).
+            if send_response(
+                stream,
+                &Response::Err("no streaming campaign in flight".into()),
+            )
+            .is_err()
+            {
+                return Flow::Close;
+            }
+        }
+        req @ Request::InjectStream { .. } => {
+            if let Some(resp) = admit(shared, peer) {
+                return match send_response(stream, &resp) {
+                    Ok(()) => Flow::Continue,
+                    Err(_) => Flow::Close,
+                };
+            }
+            let writer = match stream.try_clone() {
+                Ok(w) => w,
+                Err(_) => {
+                    let _ = send_response(
+                        stream,
+                        &Response::Err("cannot clone connection for streaming".into()),
+                    );
+                    return Flow::Close;
+                }
+            };
+            let cancel = Arc::new(AtomicBool::new(false));
+            let (tx, rx) = mpsc::sync_channel(1);
+            shared.in_flight.fetch_add(1, Ordering::SeqCst);
+            let pushed = shared.queue.try_push(Job {
+                req,
+                key: cache_key(&payload),
+                enqueued: Instant::now(),
+                cancel: Some(cancel.clone()),
+                sink: ReplySink::Socket { writer, done: tx },
+            });
+            let flow = match pushed {
+                Ok(depth) => {
+                    casted_obs::gauge_set("serve.queue_depth", depth as u64);
+                    stream_intercept(stream, rx, &cancel, pending)
+                }
+                Err(PushError::Full) => {
+                    casted_obs::inc("serve.busy");
+                    match send_response(stream, &Response::Busy) {
+                        Ok(()) => Flow::Continue,
+                        Err(_) => Flow::Close,
+                    }
+                }
+                Err(PushError::Closed) => match send_response(stream, &Response::ShuttingDown) {
+                    Ok(()) => Flow::Continue,
+                    Err(_) => Flow::Close,
+                },
+            };
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            shared.latch.notify();
+            if matches!(flow, Flow::Close) {
+                return Flow::Close;
+            }
+        }
+        req => {
+            // One-shot work request: cache → admission → queue → worker.
+            let key = cache_key(&payload);
+            if let Some(bytes) = shared.cache.get(key) {
+                if write_frame(stream, &bytes).is_err() {
+                    return Flow::Close;
+                }
+                return Flow::Continue;
+            }
+            if let Some(resp) = admit(shared, peer) {
+                return match send_response(stream, &resp) {
+                    Ok(()) => Flow::Continue,
+                    Err(_) => Flow::Close,
+                };
+            }
+            let (tx, rx) = mpsc::sync_channel(1);
+            shared.in_flight.fetch_add(1, Ordering::SeqCst);
+            let pushed = shared.queue.try_push(Job {
+                req,
+                key,
+                enqueued: Instant::now(),
+                cancel: None,
+                sink: ReplySink::Channel(tx),
+            });
+            let outcome = match pushed {
+                Ok(depth) => {
+                    casted_obs::gauge_set("serve.queue_depth", depth as u64);
+                    match rx.recv() {
+                        Ok(bytes) => write_frame(stream, &bytes),
+                        Err(_) => {
+                            send_response(stream, &Response::Err("worker unavailable".into()))
+                        }
+                    }
+                }
+                Err(PushError::Full) => {
+                    casted_obs::inc("serve.busy");
+                    send_response(stream, &Response::Busy)
+                }
+                Err(PushError::Closed) => send_response(stream, &Response::ShuttingDown),
+            };
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            shared.latch.notify();
+            if outcome.is_err() {
+                return Flow::Close;
+            }
+            let _ = stream.flush();
+        }
+    }
+    Flow::Continue
+}
+
+/// While a streaming job owns the connection's write side, the
+/// connection thread keeps reading: a [`Request::Cancel`] flips the
+/// campaign's cancel flag, anything else is read ahead into `pending`
+/// for after the stream. Returns when the worker signals completion.
+fn stream_intercept(
+    stream: &mut TcpStream,
+    rx: mpsc::Receiver<bool>,
+    cancel: &Arc<AtomicBool>,
+    pending: &mut VecDeque<Vec<u8>>,
+) -> Flow {
+    let mut pending_cancel = false;
+    let mut failed = false;
+    let completed = loop {
+        // Reads block indefinitely while the client is quiet (stream
+        // completion is observed on the next frame). Only when frames
+        // were read ahead do we time-bound the read, so their replies
+        // are not stalled behind a silent client.
+        let _ = stream.set_read_timeout(if pending.is_empty() {
+            None
+        } else {
+            Some(Duration::from_millis(25))
+        });
+        match read_frame(stream, MAX_FRAME) {
+            Ok(Some(frame)) => match rx.try_recv() {
+                Ok(completed) => {
+                    pending.push_back(frame);
+                    break completed;
+                }
+                Err(_) => {
+                    if matches!(decode_request(&frame), Ok(Request::Cancel)) {
+                        casted_obs::inc("serve.requests.cancel");
+                        cancel.store(true, Ordering::SeqCst);
+                        pending_cancel = true;
+                    } else {
+                        pending.push_back(frame);
+                    }
+                }
+            },
+            Ok(None) => {
+                // Client hung up: cancel the campaign, wait it out.
+                cancel.store(true, Ordering::SeqCst);
+                failed = true;
+                break rx.recv().unwrap_or(false);
+            }
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+            {
+                if let Ok(completed) = rx.try_recv() {
+                    break completed;
+                }
+            }
+            Err(_) => {
+                cancel.store(true, Ordering::SeqCst);
+                failed = true;
+                break rx.recv().unwrap_or(false);
+            }
+        }
+    };
+    let _ = stream.set_read_timeout(None);
+    if failed {
+        return Flow::Close;
+    }
+    if pending_cancel && completed {
+        // The cancel lost the race with the final chunk: the client
+        // saw a terminal `Injected`, so its Cancel still needs a
+        // reply to keep the request/reply ledger balanced.
+        if send_response(
+            stream,
+            &Response::Err("cancel arrived after campaign completion".into()),
+        )
+        .is_err()
+        {
+            return Flow::Close;
+        }
+    }
+    Flow::Continue
 }

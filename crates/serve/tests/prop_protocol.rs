@@ -35,7 +35,7 @@ fn gen_spec(rng: &mut Rng) -> JobSpec {
 }
 
 fn gen_request(rng: &mut Rng) -> Request {
-    match rng.gen_range(0u32..6) {
+    match rng.gen_range(0u32..8) {
         0 => Request::Ping,
         1 => Request::Compile {
             spec: gen_spec(rng),
@@ -51,12 +51,30 @@ fn gen_request(rng: &mut Rng) -> Request {
             engine: *rng.pick(&[Engine::Reference, Engine::Checkpointed, Engine::Batched]),
         },
         4 => Request::Counters,
+        5 => Request::InjectStream {
+            spec: gen_spec(rng),
+            trials: rng.next_u64(),
+            seed: rng.next_u64(),
+            engine: *rng.pick(&[Engine::Reference, Engine::Checkpointed, Engine::Batched]),
+            every: rng.next_u64(),
+        },
+        6 => Request::Cancel,
         _ => Request::Shutdown,
     }
 }
 
+fn gen_counts(rng: &mut Rng) -> [u64; 5] {
+    [
+        rng.next_u64(),
+        rng.next_u64(),
+        rng.next_u64(),
+        rng.next_u64(),
+        rng.next_u64(),
+    ]
+}
+
 fn gen_response(rng: &mut Rng) -> Response {
-    match rng.gen_range(0u32..8) {
+    match rng.gen_range(0u32..12) {
         0 => Response::Pong,
         1 => Response::Compiled(CompileReply {
             bundles: rng.next_u64(),
@@ -78,20 +96,26 @@ fn gen_response(rng: &mut Rng) -> Response {
         }),
         3 => Response::Injected(InjectReply {
             trials: rng.next_u64(),
-            counts: [
-                rng.next_u64(),
-                rng.next_u64(),
-                rng.next_u64(),
-                rng.next_u64(),
-                rng.next_u64(),
-            ],
+            counts: gen_counts(rng),
             golden_cycles: rng.next_u64(),
             golden_dyn: rng.next_u64(),
         }),
         4 => Response::Busy,
         5 => Response::Err(gen_source(rng)),
         6 => Response::Counters(gen_source(rng)),
-        _ => Response::ShuttingDown,
+        7 => Response::ShuttingDown,
+        8 => Response::Throttled {
+            retry_after_ms: rng.next_u64(),
+        },
+        9 => Response::Expired,
+        10 => Response::Progress {
+            done: rng.next_u64(),
+            counts: gen_counts(rng),
+        },
+        _ => Response::Cancelled {
+            done: rng.next_u64(),
+            counts: gen_counts(rng),
+        },
     }
 }
 
@@ -148,6 +172,69 @@ fn prop_frame_roundtrip_and_truncation_rejection() {
         }
         Ok(())
     });
+}
+
+/// Exhaustive variant of the truncation property: a streaming-frame
+/// payload (Progress/Cancelled) cut at *every* byte boundary — not a
+/// sampled one — is rejected, both at the frame layer and at the
+/// payload decoder. Incremental frame assembly in the event loop
+/// depends on this: a partial read must never decode.
+#[test]
+fn truncation_at_every_cut_is_rejected() {
+    let payloads = [
+        encode_response(&Response::Progress {
+            done: 12_345,
+            counts: [1, 2, 3, u64::MAX, 5],
+        }),
+        encode_response(&Response::Cancelled {
+            done: 700,
+            counts: [100, 200, 300, 50, 50],
+        }),
+        encode_request(&Request::InjectStream {
+            spec: JobSpec {
+                source: "fn main() { out(1); }".into(),
+                scheme: Scheme::Casted,
+                issue: 2,
+                delay: 2,
+            },
+            trials: 5_000,
+            seed: 0xCA57ED,
+            engine: Engine::Batched,
+            every: 100,
+        }),
+        encode_request(&Request::Cancel),
+    ];
+    for payload in &payloads {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, payload).unwrap();
+        for cut in 0..framed.len() {
+            let mut cursor = &framed[..cut];
+            match read_frame(&mut cursor, MAX_FRAME) {
+                Ok(None) => assert_eq!(cut, 0, "EOF accepted mid-frame at cut {cut}"),
+                Ok(Some(_)) => panic!("truncated frame decoded at cut {cut}"),
+                Err(e) => assert_eq!(
+                    e.kind(),
+                    std::io::ErrorKind::UnexpectedEof,
+                    "cut {cut}: wrong error kind"
+                ),
+            }
+        }
+        for cut in 0..payload.len() {
+            // A truncated payload must decode to an error (empty input
+            // included), never to a value and never to a panic.
+            assert!(
+                decode_request(&payload[..cut]).is_err()
+                    || decode_response(&payload[..cut]).is_err(),
+                "payload cut at {cut} decoded on both decoders"
+            );
+            if let Ok(req) = decode_request(&payload[..cut]) {
+                assert_eq!(encode_request(&req), &payload[..cut]);
+            }
+            if let Ok(resp) = decode_response(&payload[..cut]) {
+                assert_eq!(encode_response(&resp), &payload[..cut]);
+            }
+        }
+    }
 }
 
 #[test]

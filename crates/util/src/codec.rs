@@ -125,8 +125,13 @@ pub fn get_str<'a>(bytes: &'a [u8], pos: &mut usize, max_len: usize) -> Option<&
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     let len = u32::try_from(payload.len())
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame payload over 4 GiB"))?;
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(payload)?;
+    // Prefix and payload go out in a single write: one syscall per
+    // frame on an unbuffered stream, and no torn prefix/payload
+    // interleaving when two threads share a socket.
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
     w.flush()
 }
 

@@ -23,6 +23,10 @@
 //!   `casted-difftest` differential logs.
 //! * [`codec`] — varint + length-prefixed-frame wire primitives used
 //!   by the `casted-serve` binary protocol (see `docs/SERVING.md`).
+//! * [`poll`] — a readiness-polling (`epoll`) wrapper over raw
+//!   syscalls, the engine of `casted-serve`'s event-driven connection
+//!   layer; stubs out to `Unsupported` off Linux so callers fall back
+//!   to a readiness-thread model at runtime.
 //! * [`store`] — the on-disk content-addressed artifact store of the
 //!   staged compile pipeline (checksummed envelopes, atomic writes,
 //!   shared LRU byte budget — see `docs/PIPELINE.md`).
@@ -37,6 +41,7 @@
 pub mod bench;
 pub mod codec;
 pub mod hash;
+pub mod poll;
 pub mod pool;
 pub mod prop;
 pub mod rng;

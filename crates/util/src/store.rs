@@ -19,6 +19,16 @@
 //! The index is per-instance — concurrent processes sharing a
 //! directory stay correct (atomic writes, self-verifying reads), they
 //! just track recency independently.
+//!
+//! A bounded **in-memory front cache** sits over the disk layer:
+//! artifacts are content-addressed and immutable, so a decoded payload
+//! can be kept in a process-local map and served on repeat loads
+//! without re-reading or re-checksumming the file. Long-lived hosts
+//! (`casted-serve`) hit it on every hot compile stage;
+//! [`ArtifactStore::load_traced`] reports which layer answered so
+//! callers can count memory hits (`compile.stages.mem_hit`). The
+//! front cache has its own LRU byte budget, independent of the disk
+//! budget, and is write-through: a save lands in both layers.
 
 use std::collections::HashMap;
 use std::io;
@@ -86,6 +96,32 @@ struct Lru {
     total: u64,
 }
 
+/// Which cache layer answered an [`ArtifactStore::load_traced`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadSource {
+    /// Served from the in-process front cache — no file I/O, no
+    /// checksum re-verification.
+    Memory,
+    /// Read and integrity-checked from the on-disk store.
+    Disk,
+}
+
+struct MemEntry {
+    seq: u64,
+    payload: Vec<u8>,
+}
+
+struct MemCache {
+    next_seq: u64,
+    entries: HashMap<(String, u64), MemEntry>,
+    total: u64,
+}
+
+/// Default in-memory front-cache budget: enough for the hot stage
+/// artifacts of thousands of distinct programs, small next to the
+/// serve reply cache's 32 MiB default.
+pub const DEFAULT_MEM_BUDGET: u64 = 16 << 20;
+
 /// The content-addressed artifact store. Cheap to share by reference
 /// across threads (the recency index is behind a mutex; file I/O is
 /// lock-free).
@@ -93,6 +129,8 @@ pub struct ArtifactStore {
     dir: PathBuf,
     budget: u64,
     lru: Mutex<Lru>,
+    mem_budget: u64,
+    mem: Mutex<MemCache>,
 }
 
 impl ArtifactStore {
@@ -101,10 +139,17 @@ impl ArtifactStore {
         ArtifactStore::open_with_budget(dir, u64::MAX)
     }
 
-    /// Open with a shared LRU byte budget across all artifact kinds.
+    /// Open with a shared LRU byte budget across all artifact kinds and
+    /// the default in-memory front-cache budget.
     /// Existing files are indexed oldest-first by modification time, so
     /// eviction order survives a reopen.
     pub fn open_with_budget(dir: &Path, budget: u64) -> io::Result<ArtifactStore> {
+        ArtifactStore::open_with_budgets(dir, budget, DEFAULT_MEM_BUDGET)
+    }
+
+    /// Open with explicit disk and memory budgets. A `mem_budget` of 0
+    /// disables the front cache (every load re-reads disk).
+    pub fn open_with_budgets(dir: &Path, budget: u64, mem_budget: u64) -> io::Result<ArtifactStore> {
         std::fs::create_dir_all(dir)?;
         let mut found: Vec<(String, u64, std::time::SystemTime)> = Vec::new();
         for entry in std::fs::read_dir(dir)? {
@@ -148,6 +193,12 @@ impl ArtifactStore {
             dir: dir.to_path_buf(),
             budget,
             lru: Mutex::new(lru),
+            mem_budget,
+            mem: Mutex::new(MemCache {
+                next_seq: 0,
+                entries: HashMap::new(),
+                total: 0,
+            }),
         })
     }
 
@@ -169,10 +220,80 @@ impl ArtifactStore {
         self.dir.join(Self::file_name(kind, key))
     }
 
+    /// Bytes currently held by the in-memory front cache.
+    pub fn mem_resident_bytes(&self) -> u64 {
+        self.mem.lock().total
+    }
+
+    /// Look up `(kind, key)` in the in-memory front cache, refreshing
+    /// its recency on a hit.
+    fn mem_get(&self, kind: &str, key: u64) -> Option<Vec<u8>> {
+        if self.mem_budget == 0 {
+            return None;
+        }
+        let mut mem = self.mem.lock();
+        let seq = mem.next_seq;
+        mem.next_seq += 1;
+        let entry = mem.entries.get_mut(&(kind.to_string(), key))?;
+        entry.seq = seq;
+        Some(entry.payload.clone())
+    }
+
+    /// Insert a payload into the front cache, evicting
+    /// least-recently-used entries past the memory budget. Artifacts
+    /// are immutable per key, so an existing entry is left alone.
+    fn mem_put(&self, kind: &str, key: u64, payload: &[u8]) {
+        if self.mem_budget == 0 || payload.len() as u64 > self.mem_budget {
+            return;
+        }
+        let mut mem = self.mem.lock();
+        let slot = (kind.to_string(), key);
+        if mem.entries.contains_key(&slot) {
+            return;
+        }
+        let seq = mem.next_seq;
+        mem.next_seq += 1;
+        mem.total += payload.len() as u64;
+        mem.entries.insert(
+            slot,
+            MemEntry {
+                seq,
+                payload: payload.to_vec(),
+            },
+        );
+        while mem.total > self.mem_budget {
+            let victim = mem
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.seq)
+                .map(|(k, _)| k.clone())
+                .expect("over budget implies non-empty");
+            if let Some(e) = mem.entries.remove(&victim) {
+                mem.total -= e.payload.len() as u64;
+            }
+        }
+    }
+
     /// Load and integrity-check the `kind` artifact stored under
     /// `key`. Any damage is a miss (`None`), never wrong bytes. A hit
     /// refreshes the artifact's LRU recency.
     pub fn load(&self, kind: &str, key: u64) -> Option<Vec<u8>> {
+        self.load_traced(kind, key).map(|(payload, _)| payload)
+    }
+
+    /// [`ArtifactStore::load`], additionally reporting which layer
+    /// answered — the in-process front cache or the on-disk store — so
+    /// callers can meter memory hits.
+    pub fn load_traced(&self, kind: &str, key: u64) -> Option<(Vec<u8>, LoadSource)> {
+        if let Some(payload) = self.mem_get(kind, key) {
+            return Some((payload, LoadSource::Memory));
+        }
+        let payload = self.load_disk(kind, key)?;
+        self.mem_put(kind, key, &payload);
+        Some((payload, LoadSource::Disk))
+    }
+
+    fn load_disk(&self, kind: &str, key: u64) -> Option<Vec<u8>> {
         let bytes = std::fs::read(self.path(kind, key)).ok()?;
         let payload = decode_envelope(key, kind, &bytes)?;
         let mut lru = self.lru.lock();
@@ -210,6 +331,7 @@ impl ArtifactStore {
         let bytes = encode_envelope(key, kind, payload);
         std::fs::write(&tmp, &bytes)?;
         std::fs::rename(&tmp, self.path(kind, key))?;
+        self.mem_put(kind, key, payload);
 
         let mut evict: Vec<String> = Vec::new();
         {
@@ -277,7 +399,9 @@ mod tests {
     #[test]
     fn corruption_truncation_and_version_skew_are_misses() {
         let dir = temp_store_dir("sabotage");
-        let store = ArtifactStore::open(&dir).unwrap();
+        // Front cache off: this test exercises the disk integrity
+        // layer, which a memory hit would (correctly) bypass.
+        let store = ArtifactStore::open_with_budgets(&dir, u64::MAX, 0).unwrap();
         store.save("ed", 0xABCD, b"stage payload with some length").unwrap();
         let path = dir.join("000000000000abcd.ed");
         let clean = std::fs::read(&path).unwrap();
@@ -340,7 +464,8 @@ mod tests {
         // Each envelope is payload + ~20 bytes of framing; a budget of
         // three-ish records keeps the arithmetic simple.
         let payload = [0u8; 100];
-        let store = ArtifactStore::open_with_budget(&dir, 400).unwrap();
+        // Front cache off so disk eviction is observable as a miss.
+        let store = ArtifactStore::open_with_budgets(&dir, 400, 0).unwrap();
         store.save("a", 1, &payload).unwrap();
         store.save("a", 2, &payload).unwrap();
         store.save("a", 3, &payload).unwrap();
@@ -357,6 +482,63 @@ mod tests {
         assert!(store.load("a", 3).is_some());
         assert!(store.load("a", 4).is_some());
         assert!(store.resident_bytes() <= 400);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_front_cache_answers_repeat_loads() {
+        let dir = temp_store_dir("mem-hit");
+        let store = ArtifactStore::open(&dir).unwrap();
+        store.save("ir", 5, b"hot artifact").unwrap();
+        // Write-through: the save already populated the front cache.
+        let (payload, src) = store.load_traced("ir", 5).unwrap();
+        assert_eq!(payload, b"hot artifact");
+        assert_eq!(src, LoadSource::Memory);
+        // Memory hits survive the disk layer vanishing entirely —
+        // content-addressed artifacts are immutable, so the in-process
+        // copy stays valid.
+        std::fs::remove_dir_all(&dir).unwrap();
+        let (payload, src) = store.load_traced("ir", 5).unwrap();
+        assert_eq!(payload, b"hot artifact");
+        assert_eq!(src, LoadSource::Memory);
+        assert!(store.load("ir", 6).is_none());
+    }
+
+    #[test]
+    fn mem_front_cache_promotes_disk_loads() {
+        let dir = temp_store_dir("mem-promote");
+        {
+            let store = ArtifactStore::open(&dir).unwrap();
+            store.save("ir", 9, b"persisted").unwrap();
+        }
+        // A fresh instance starts cold: first load reads disk, second
+        // is a memory hit.
+        let store = ArtifactStore::open(&dir).unwrap();
+        assert_eq!(
+            store.load_traced("ir", 9).unwrap(),
+            (b"persisted".to_vec(), LoadSource::Disk)
+        );
+        assert_eq!(
+            store.load_traced("ir", 9).unwrap(),
+            (b"persisted".to_vec(), LoadSource::Memory)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_front_cache_respects_its_own_budget() {
+        let dir = temp_store_dir("mem-budget");
+        let payload = [7u8; 100];
+        let store = ArtifactStore::open_with_budgets(&dir, u64::MAX, 250).unwrap();
+        store.save("a", 1, &payload).unwrap();
+        store.save("a", 2, &payload).unwrap();
+        // Refresh 1, then push over the memory budget: 2 is evicted
+        // from memory (but not from disk).
+        assert_eq!(store.load_traced("a", 1).unwrap().1, LoadSource::Memory);
+        store.save("a", 3, &payload).unwrap();
+        assert!(store.mem_resident_bytes() <= 250);
+        assert_eq!(store.load_traced("a", 2).unwrap().1, LoadSource::Disk);
+        assert_eq!(store.load_traced("a", 3).unwrap().1, LoadSource::Memory);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
