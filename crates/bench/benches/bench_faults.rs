@@ -1,8 +1,11 @@
 //! Campaign throughput: the checkpointed and batched fault-injection
 //! engines against the reference engine, measured in **trials/sec**
 //! over the quick coverage grid (three representative benchmarks ×
-//! all four schemes at issue 2, delay 2 — the same cells `fig9
-//! --quick` runs).
+//! all six schemes at issue 2, delay 2 — the same cells `fig9
+//! --quick` runs). A per-scheme breakdown (batched engine) records
+//! what each protection level costs in campaign throughput: TMRED
+//! trials retire ~3x the instructions, RBED trials add the digest
+//! side computation.
 //!
 //! All engines consume the identical frozen injection stream and, as
 //! a precondition of the measurement, are cross-checked here to
@@ -34,6 +37,7 @@ const LANE_SWEEP: &[usize] = &[8, 16, 64, 150, 300];
 
 struct Cell {
     label: String,
+    scheme: casted::Scheme,
     sp: ScheduledProgram,
 }
 
@@ -59,10 +63,11 @@ fn quick_grid_cells(edit: bool) -> Vec<Cell> {
                 .expect("entry fn halts");
             f.insns[h].imm = 7;
         }
-        for scheme in casted::Scheme::ALL {
+        for scheme in casted::Scheme::FULL {
             let prep = casted_passes::prepare(&module, scheme, &config).expect("prepare failed");
             cells.push(Cell {
                 label: format!("{name}/{}", scheme.name()),
+                scheme,
                 sp: prep.sp,
             });
         }
@@ -70,12 +75,24 @@ fn quick_grid_cells(edit: bool) -> Vec<Cell> {
     cells
 }
 
+/// Per-cell campaign config: RBED cells need the replay-digest
+/// detector armed, exactly as `fig9` arms it per scheme.
+fn cell_campaign(base: &CampaignConfig, cell: &Cell) -> CampaignConfig {
+    CampaignConfig {
+        replay_detect: cell.scheme.replay_detect(),
+        ..*base
+    }
+}
+
 /// Time one full pass over the grid with `engine`; returns trials/sec.
 fn sample(cells: &[Cell], campaign: &CampaignConfig, engine: Engine, lanes: usize) -> f64 {
     let t0 = Instant::now();
     for cell in cells {
         casted_util::bench::black_box(run_campaign_engine_lanes(
-            &cell.sp, campaign, engine, lanes,
+            &cell.sp,
+            &cell_campaign(campaign, cell),
+            engine,
+            lanes,
         ));
     }
     let secs = t0.elapsed().as_secs_f64();
@@ -122,9 +139,10 @@ fn main() {
     // Precondition: same seed, same trial count, byte-identical
     // tallies — otherwise trials/sec compares different work.
     for cell in &cells {
-        let r = run_campaign_engine(&cell.sp, &campaign, Engine::Reference);
+        let ccfg = cell_campaign(&campaign, cell);
+        let r = run_campaign_engine(&cell.sp, &ccfg, Engine::Reference);
         for engine in [Engine::Checkpointed, Engine::Batched] {
-            let other = run_campaign_engine(&cell.sp, &campaign, engine);
+            let other = run_campaign_engine(&cell.sp, &ccfg, engine);
             assert_eq!(
                 r.tally,
                 other.tally,
@@ -167,6 +185,38 @@ fn main() {
     println!("checkpointed/reference speedup: {ckpt_speedup:.2}x (median trials/sec)");
     println!("batched/reference speedup: {batch_speedup:.2}x (median trials/sec)");
 
+    // Per-scheme breakdown on the batched engine: same trials, same
+    // seed, but each scheme's binary does different work per trial —
+    // this is the campaign-side cost of the protection ladder.
+    let mut scheme_rows: Vec<(&str, f64, f64)> = Vec::new();
+    {
+        let mut rates: Vec<Vec<f64>> =
+            vec![Vec::with_capacity(samples); casted::Scheme::FULL.len()];
+        for _ in 0..samples {
+            for (i, scheme) in casted::Scheme::FULL.into_iter().enumerate() {
+                let subset: Vec<&Cell> =
+                    cells.iter().filter(|c| c.scheme == scheme).collect();
+                let t0 = Instant::now();
+                for cell in &subset {
+                    casted_util::bench::black_box(run_campaign_engine_lanes(
+                        &cell.sp,
+                        &cell_campaign(&campaign, cell),
+                        Engine::Batched,
+                        DEFAULT_LANE_WIDTH,
+                    ));
+                }
+                rates[i].push(
+                    (subset.len() * campaign.trials) as f64 / t0.elapsed().as_secs_f64(),
+                );
+            }
+        }
+        for (scheme, r) in casted::Scheme::FULL.into_iter().zip(rates.iter_mut()) {
+            let (med, mad) = median_mad(r);
+            print_row(&format!("faults_campaign/scheme/{}", scheme.name()), med, mad, samples);
+            scheme_rows.push((scheme.name(), med, mad));
+        }
+    }
+
     // Incremental section-cache scenario (docs/INCREMENTAL.md): a cold
     // run populates the store, then the program is edited in one
     // section (epilogue halt code) and re-run warm — only the
@@ -174,21 +224,28 @@ fn main() {
     // recombines from the cache. Each sample round starts from an
     // empty store so cold stays cold and the warm store always holds
     // exactly one cold run's records.
+    // Restricted to the dup-compare/NOED cells: the section evidence
+    // vocabulary cannot recombine vote corrections or digest plans
+    // (recovery-scheme campaigns fall back to the standard engine),
+    // so including them would only re-measure the batched rows.
+    let cacheable = |c: &&Cell| !c.scheme.corrects() && !c.scheme.replay_detect();
     let edited = quick_grid_cells(true);
+    let inc_cells: Vec<&Cell> = cells.iter().filter(cacheable).collect();
+    let inc_edited: Vec<&Cell> = edited.iter().filter(cacheable).collect();
     let dir = std::env::temp_dir().join(format!("casted-bench-sections-{}", std::process::id()));
-    let trials_per_pass = (cells.len() * campaign.trials) as f64;
+    let trials_per_pass = (inc_cells.len() * campaign.trials) as f64;
     let mut cold_rates = Vec::with_capacity(samples);
     let mut warm_rates = Vec::with_capacity(samples);
     for s in 0..samples {
         let _ = std::fs::remove_dir_all(&dir);
         let store = SectionStore::open(&dir).expect("open bench section store");
         let t0 = Instant::now();
-        for cell in &cells {
+        for cell in &inc_cells {
             casted_util::bench::black_box(run_campaign_incremental(&cell.sp, &campaign, &store));
         }
         cold_rates.push(trials_per_pass / t0.elapsed().as_secs_f64());
         let t0 = Instant::now();
-        for cell in &edited {
+        for cell in &inc_edited {
             let r = run_campaign_incremental(&cell.sp, &campaign, &store);
             if s == 0 {
                 assert!(
@@ -219,7 +276,7 @@ fn main() {
     let _ = writeln!(json, "  \"bench\": \"faults_campaign_throughput\",");
     let _ = writeln!(
         json,
-        "  \"grid\": \"quick coverage grid: cjpeg+h263enc+181.mcf x 4 schemes, issue 2, delay 2\","
+        "  \"grid\": \"quick coverage grid: cjpeg+h263enc+181.mcf x 6 schemes, issue 2, delay 2\","
     );
     let _ = writeln!(json, "  \"cells\": {},", cells.len());
     let _ = writeln!(json, "  \"trials_per_campaign\": {TRIALS},");
@@ -249,6 +306,15 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"per_scheme\": {{");
+    for (i, (name, med, mad)) in scheme_rows.iter().enumerate() {
+        let comma = if i + 1 < scheme_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"{name}\": {{\"median\": {med:.1}, \"mad\": {mad:.1}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"incremental\": {{");
     let _ = writeln!(
         json,

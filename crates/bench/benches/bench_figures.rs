@@ -14,6 +14,7 @@ fn bench_fig6_cell(c: &mut Bench) {
             issues: vec![1, 2],
             delays: vec![1, 3],
             schemes: casted::Scheme::ALL.to_vec(),
+            clusters: vec![2],
         };
         b.iter(|| casted::experiments::perf_sweep(std::slice::from_ref(&w), &spec));
     });
@@ -22,6 +23,7 @@ fn bench_fig6_cell(c: &mut Bench) {
             issues: vec![2],
             delays: vec![2],
             schemes: vec![casted::Scheme::Casted],
+            clusters: vec![2],
         };
         let campaign = casted_faults::CampaignConfig {
             trials: 20,

@@ -47,11 +47,7 @@ fn bench_fault_trial(c: &mut Bench) {
             casted_faults::run_trial(
                 &prep.sp,
                 &golden,
-                casted_sim::Injection {
-                    at_dyn_insn: golden.stats.dyn_insns / 2,
-                    bit: 17,
-                    target: None,
-                },
+                casted_sim::Injection::single(golden.stats.dyn_insns / 2, 17, None),
                 golden.stats.cycles * 10,
             )
         })

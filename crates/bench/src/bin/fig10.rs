@@ -14,6 +14,7 @@ fn main() {
             issues: vec![1, 4],
             delays: vec![1, 4],
             schemes: casted::Scheme::ALL.to_vec(),
+            clusters: vec![2],
         }
     } else {
         GridSpec::paper_full()

@@ -19,11 +19,13 @@ fn main() {
     }
     // The implemented schemes, tied to the library's enum.
     use casted::Scheme;
-    for s in [Scheme::Sced, Scheme::Dced, Scheme::Casted] {
+    for s in [Scheme::Sced, Scheme::Dced, Scheme::Casted, Scheme::Tmred, Scheme::Rbed] {
         let (speedup, target, placement) = match s {
             Scheme::Sced => ("(SWIFT-style baseline)", "wide single-core", "fixed"),
             Scheme::Dced => ("(SRMT/DAFT-style baseline)", "dual-core", "fixed"),
             Scheme::Casted => ("adaptivity", "tightly-coupled cores", "adaptive"),
+            Scheme::Tmred => ("majority voting (corrects)", "tightly-coupled cores", "adaptive"),
+            Scheme::Rbed => ("replay digest, zero overhead", "single-core + replays", "fixed"),
             Scheme::Noed => unreachable!(),
         };
         println!("{:<26} {:<32} {:<22} {:<9}   [implemented: Scheme::{:?}]", s.name(), speedup, target, placement, s);

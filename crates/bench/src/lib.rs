@@ -177,6 +177,7 @@ pub fn grid(opts: &RunOpts) -> casted::experiments::GridSpec {
             issues: vec![1, 2],
             delays: vec![1, 3],
             schemes: casted::Scheme::ALL.to_vec(),
+            clusters: vec![2, 4],
         }
     } else {
         casted::experiments::GridSpec::paper_full()

@@ -9,11 +9,18 @@
 //! castedc trace <file.mc> [opts]            first 200 issued instructions
 //!
 //! options:
-//!   --scheme noed|sced|dced|casted   (default casted)
+//!   --scheme noed|sced|dced|casted|tmred|rbed
+//!                                    (default casted; case-insensitive,
+//!                                    aliases none|single|dual|adaptive|
+//!                                    tmr|replay accepted)
 //!   --issue N                        issue width per cluster (default 2)
 //!   --delay N                        inter-cluster delay (default 2)
+//!   --clusters N                     cluster count (default 2)
 //!   --trials N                       injection trials (default 300)
 //!   --seed N                         campaign seed
+//!   --fault-model single|burst2|burst4
+//!                                    bits flipped per strike (default
+//!                                    single; bursts hit adjacent bits)
 //!   --incremental                    inject through the section cache
 //!                                    (compositional campaign; same
 //!                                    tally bytes as a cold run)
@@ -41,8 +48,10 @@ struct Args {
     scheme: Scheme,
     issue: usize,
     delay: u32,
+    clusters: usize,
     trials: usize,
     seed: u64,
+    flip: casted_faults::FlipModel,
     incremental: bool,
     section_cache: String,
     artifact_cache: Option<String>,
@@ -53,7 +62,8 @@ struct Args {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: castedc <ir|build|run|schedule|inject> <file.mc> \
-         [--scheme noed|sced|dced|casted] [--issue N] [--delay N] [--trials N] [--seed N]"
+         [--scheme noed|sced|dced|casted|tmred|rbed] [--issue N] [--delay N] [--clusters N] \
+         [--trials N] [--seed N] [--fault-model single|burst2|burst4]"
     );
     ExitCode::from(2)
 }
@@ -68,8 +78,10 @@ fn parse_args() -> Result<Args, ExitCode> {
         scheme: Scheme::Casted,
         issue: 2,
         delay: 2,
+        clusters: 2,
         trials: 300,
         seed: 0xCA57ED,
+        flip: casted_faults::FlipModel::Single,
         incremental: false,
         section_cache: ".casted-sections".to_string(),
         artifact_cache: None,
@@ -80,21 +92,33 @@ fn parse_args() -> Result<Args, ExitCode> {
         let mut val = || argv.next().ok_or_else(usage);
         match a.as_str() {
             "--scheme" => {
-                args.scheme = match val()?.to_lowercase().as_str() {
-                    "noed" => Scheme::Noed,
-                    "sced" => Scheme::Sced,
-                    "dced" => Scheme::Dced,
-                    "casted" => Scheme::Casted,
-                    other => {
-                        eprintln!("unknown scheme {other:?}");
+                // Registry-backed: case-insensitive, accepts aliases.
+                args.scheme = match Scheme::parse(&val()?) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("{e}");
                         return Err(ExitCode::from(2));
                     }
                 };
             }
             "--issue" => args.issue = val()?.parse().map_err(|_| usage())?,
             "--delay" => args.delay = val()?.parse().map_err(|_| usage())?,
+            "--clusters" => args.clusters = val()?.parse().map_err(|_| usage())?,
             "--trials" => args.trials = val()?.parse().map_err(|_| usage())?,
             "--seed" => args.seed = val()?.parse().map_err(|_| usage())?,
+            "--fault-model" => {
+                let v = val()?;
+                args.flip = match casted_faults::FlipModel::parse(&v) {
+                    Some(m) => m,
+                    None => {
+                        eprintln!(
+                            "unknown fault model {v:?} (accepted: {})",
+                            casted_faults::FlipModel::ACCEPTED
+                        );
+                        return Err(ExitCode::from(2));
+                    }
+                };
+            }
             "--incremental" => args.incremental = true,
             "--section-cache" => args.section_cache = val()?,
             "--artifact-cache" => args.artifact_cache = Some(val()?),
@@ -178,7 +202,8 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let config = MachineConfig::itanium2_like(args.issue, args.delay);
+    let mut config = MachineConfig::itanium2_like(args.issue, args.delay);
+    config.clusters = args.clusters;
     let prep = match &pipeline {
         Some(p) => match p.prepare(&args.file, &source, args.scheme, &config) {
             Ok((prep, _stats)) => prep,
@@ -253,9 +278,8 @@ fn main() -> ExitCode {
             let r = casted_sim::simulate(
                 &prep.sp,
                 &casted_sim::SimOptions {
-                    max_cycles: u64::MAX,
-                    injection: None,
                     trace_limit: 200,
+                    ..casted_sim::SimOptions::default()
                 },
             );
             let f = prep.sp.module.entry_fn();
@@ -277,6 +301,8 @@ fn main() -> ExitCode {
                 trials: args.trials,
                 seed: args.seed,
                 timeout_factor: 10,
+                flip: args.flip,
+                replay_detect: args.scheme.replay_detect(),
             };
             let r = if args.incremental {
                 let store = match casted_faults::SectionStore::open(std::path::Path::new(

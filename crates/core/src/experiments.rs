@@ -89,6 +89,11 @@ pub struct GridSpec {
     pub delays: Vec<u32>,
     /// Schemes to run.
     pub schemes: Vec<Scheme>,
+    /// Cluster counts for the *coverage* grid (the perf figures fix
+    /// the paper's 2-cluster machine). The quick grid includes a
+    /// 4-cluster entry so every scheme is exercised beyond the
+    /// 2-cluster machine the paper evaluates.
+    pub clusters: Vec<usize>,
 }
 
 impl GridSpec {
@@ -99,6 +104,7 @@ impl GridSpec {
             issues: vec![1, 2, 3, 4],
             delays: vec![1, 2, 3, 4],
             schemes: Scheme::ALL.to_vec(),
+            clusters: vec![2],
         }
     }
 
@@ -108,6 +114,7 @@ impl GridSpec {
             issues: vec![1, 2],
             delays: vec![1, 3],
             schemes: Scheme::ALL.to_vec(),
+            clusters: vec![2, 4],
         }
     }
 }
@@ -284,7 +291,11 @@ pub fn perf_sweep_with_cache(
     let mut cells: Vec<Cell> = Vec::new();
     for (name, module, digest) in &modules {
         for &scheme in &spec.schemes {
-            let delay_sensitive = matches!(scheme, Scheme::Dced | Scheme::Casted);
+            // Delay-sensitive iff the scheme's placement policy uses
+            // more than one cluster (registry-driven: DCED/CASTED/
+            // TMRED spread streams, NOED/SCED/RBED stay on MAIN).
+            let delay_sensitive =
+                !matches!(scheme.placement(), casted_passes::Placement::AllOn(_));
             for &issue in &spec.issues {
                 if delay_sensitive {
                     for &delay in &spec.delays {
@@ -393,6 +404,8 @@ pub struct CoveragePoint {
     pub issue: usize,
     /// Inter-cluster delay.
     pub delay: u32,
+    /// Cluster count of the machine the campaign ran on.
+    pub clusters: usize,
     /// Outcome tallies.
     pub tally: Tally,
 }
@@ -428,21 +441,31 @@ pub fn coverage_sweep_with(
         for &scheme in &spec.schemes {
             for &issue in &spec.issues {
                 for &delay in &spec.delays {
-                    let campaign = campaign.clone();
-                    let meter = &meter;
-                    tasks.push(move || meter.observe_cell(|| {
-                        let config = MachineConfig::itanium2_like(issue, delay);
-                        let prep = casted_passes::prepare(module, scheme, &config)
-                            .expect("prepare failed");
-                        let r = casted_faults::run_campaign_engine(&prep.sp, &campaign, engine);
-                        CoveragePoint {
-                            benchmark: name.clone(),
-                            scheme,
-                            issue,
-                            delay,
-                            tally: r.tally,
-                        }
-                    }));
+                    for &clusters in &spec.clusters {
+                        // Per-cell override: RBED cells must run the
+                        // replay-digest detector regardless of what the
+                        // grid-wide config says.
+                        let campaign = CampaignConfig {
+                            replay_detect: scheme.replay_detect(),
+                            ..campaign.clone()
+                        };
+                        let meter = &meter;
+                        tasks.push(move || meter.observe_cell(|| {
+                            let mut config = MachineConfig::itanium2_like(issue, delay);
+                            config.clusters = clusters;
+                            let prep = casted_passes::prepare(module, scheme, &config)
+                                .expect("prepare failed");
+                            let r = casted_faults::run_campaign_engine(&prep.sp, &campaign, engine);
+                            CoveragePoint {
+                                benchmark: name.clone(),
+                                scheme,
+                                issue,
+                                delay,
+                                clusters,
+                                tally: r.tally,
+                            }
+                        }));
+                    }
                 }
             }
         }
@@ -484,22 +507,29 @@ pub fn coverage_sweep_incremental(
         for &scheme in &spec.schemes {
             for &issue in &spec.issues {
                 for &delay in &spec.delays {
-                    let campaign = campaign.clone();
-                    let meter = &meter;
-                    let store = &store;
-                    tasks.push(move || meter.observe_cell(|| {
-                        let config = MachineConfig::itanium2_like(issue, delay);
-                        let prep = casted_passes::prepare(module, scheme, &config)
-                            .expect("prepare failed");
-                        let r = casted_faults::run_campaign_incremental(&prep.sp, &campaign, store);
-                        CoveragePoint {
-                            benchmark: name.clone(),
-                            scheme,
-                            issue,
-                            delay,
-                            tally: r.tally,
-                        }
-                    }));
+                    for &clusters in &spec.clusters {
+                        let campaign = CampaignConfig {
+                            replay_detect: scheme.replay_detect(),
+                            ..campaign.clone()
+                        };
+                        let meter = &meter;
+                        let store = &store;
+                        tasks.push(move || meter.observe_cell(|| {
+                            let mut config = MachineConfig::itanium2_like(issue, delay);
+                            config.clusters = clusters;
+                            let prep = casted_passes::prepare(module, scheme, &config)
+                                .expect("prepare failed");
+                            let r = casted_faults::run_campaign_incremental(&prep.sp, &campaign, store);
+                            CoveragePoint {
+                                benchmark: name.clone(),
+                                scheme,
+                                issue,
+                                delay,
+                                clusters,
+                                tally: r.tally,
+                            }
+                        }));
+                    }
                 }
             }
         }
@@ -737,6 +767,7 @@ mod tests {
             issues: vec![2],
             delays: vec![2],
             schemes: vec![Scheme::Casted],
+            clusters: vec![2],
         };
         let campaign = CampaignConfig {
             trials: 30,
@@ -758,6 +789,7 @@ mod tests {
             issues: vec![2],
             delays: vec![2],
             schemes: vec![Scheme::Noed, Scheme::Casted],
+            clusters: vec![2],
         };
         let campaign = CampaignConfig {
             trials: 20,

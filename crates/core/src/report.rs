@@ -60,20 +60,22 @@ pub fn scaling_panel(table: &PerfTable, benchmark: &str, issues: &[usize], delay
 pub fn coverage_panel(points: &[CoveragePoint]) -> String {
     let mut out = String::new();
     out.push_str(
-        "benchmark    scheme  issue delay   Benign Detected Exception Corrupt Timeout\n",
+        "benchmark    scheme  issue delay clust   Benign Detected Exception Corrupt Timeout Corrected\n",
     );
     for p in points {
         out.push_str(&format!(
-            "{:12} {:7} {:5} {:5} {:7.1}% {:7.1}% {:8.1}% {:6.1}% {:6.1}%\n",
+            "{:12} {:7} {:5} {:5} {:5} {:7.1}% {:7.1}% {:8.1}% {:6.1}% {:6.1}% {:8.1}%\n",
             p.benchmark,
             p.scheme.name(),
             p.issue,
             p.delay,
+            p.clusters,
             100.0 * p.tally.fraction(Outcome::Benign),
             100.0 * p.tally.fraction(Outcome::Detected),
             100.0 * p.tally.fraction(Outcome::Exception),
             100.0 * p.tally.fraction(Outcome::DataCorrupt),
             100.0 * p.tally.fraction(Outcome::Timeout),
+            100.0 * p.tally.fraction(Outcome::Corrected),
         ));
     }
     out
@@ -108,20 +110,23 @@ pub fn perf_csv(table: &PerfTable) -> String {
 
 /// Dump coverage points as CSV.
 pub fn coverage_csv(points: &[CoveragePoint]) -> String {
-    let mut out =
-        String::from("benchmark,scheme,issue,delay,benign,detected,exception,corrupt,timeout\n");
+    let mut out = String::from(
+        "benchmark,scheme,issue,delay,clusters,benign,detected,exception,corrupt,timeout,corrected\n",
+    );
     for p in points {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{}\n",
             p.benchmark,
             p.scheme.name(),
             p.issue,
             p.delay,
+            p.clusters,
             p.tally.count(Outcome::Benign),
             p.tally.count(Outcome::Detected),
             p.tally.count(Outcome::Exception),
             p.tally.count(Outcome::DataCorrupt),
             p.tally.count(Outcome::Timeout),
+            p.tally.count(Outcome::Corrected),
         ));
     }
     out
@@ -208,13 +213,16 @@ mod tests {
             scheme: Scheme::Casted,
             issue: 2,
             delay: 2,
+            clusters: 2,
             tally,
         }];
         let panel = coverage_panel(&pts);
         assert!(panel.contains("70.0%"), "{panel}");
         assert!(panel.contains("30.0%"), "{panel}");
         let csv = coverage_csv(&pts);
-        assert!(csv.lines().nth(1).unwrap().contains(",3,7,0,0,0"));
+        let row = csv.lines().nth(1).unwrap();
+        assert!(row.starts_with("fake,CASTED,2,2,2,"), "{row}");
+        assert!(row.ends_with(",3,7,0,0,0,0"), "{row}");
     }
 
     #[test]

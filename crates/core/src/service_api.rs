@@ -107,7 +107,7 @@ pub struct InjectReply {
     /// Trials run.
     pub trials: u64,
     /// Outcome counts in [`Outcome::ALL`] order.
-    pub counts: [u64; 5],
+    pub counts: [u64; 6],
     /// Fault-free cycle count of the target.
     pub golden_cycles: u64,
     /// Fault-free dynamic instruction count.
@@ -210,7 +210,7 @@ pub fn simulate_stats_with(
         &SimOptions {
             max_cycles,
             injection: None,
-            trace_limit: 0,
+            ..SimOptions::default()
         },
     );
     match r.stop {
@@ -264,7 +264,7 @@ pub fn inject_tally_with(
         &SimOptions {
             max_cycles,
             injection: None,
-            trace_limit: 0,
+            ..SimOptions::default()
         },
     );
     if !matches!(screen.stop, StopReason::Halt(_)) {
@@ -276,6 +276,7 @@ pub fn inject_tally_with(
     let cfg = CampaignConfig {
         trials: trials as usize,
         seed,
+        replay_detect: spec.scheme.replay_detect(),
         ..Default::default()
     };
     let r = run_campaign_engine(&prep.sp, &cfg, engine);
@@ -300,7 +301,7 @@ pub fn inject_stream_with(
     max_cycles: u64,
     every: u64,
     pipeline: Option<&crate::stages::ArtifactPipeline>,
-    progress: &mut dyn FnMut(u64, &[u64; 5]) -> bool,
+    progress: &mut dyn FnMut(u64, &[u64; 6]) -> bool,
 ) -> Result<(InjectReply, bool), String> {
     let prep = prepare_via(spec, pipeline)?;
     let screen = simulate_quiet(
@@ -308,7 +309,7 @@ pub fn inject_stream_with(
         &SimOptions {
             max_cycles,
             injection: None,
-            trace_limit: 0,
+            ..SimOptions::default()
         },
     );
     if !matches!(screen.stop, StopReason::Halt(_)) {
@@ -320,6 +321,7 @@ pub fn inject_stream_with(
     let cfg = CampaignConfig {
         trials: trials as usize,
         seed,
+        replay_detect: spec.scheme.replay_detect(),
         ..Default::default()
     };
     let (r, completed) = casted_faults::run_campaign_streaming(
@@ -327,7 +329,7 @@ pub fn inject_stream_with(
         &cfg,
         every.max(1) as usize,
         &mut |done, tally| {
-            let mut counts = [0u64; 5];
+            let mut counts = [0u64; 6];
             for o in Outcome::ALL {
                 counts[o.index()] = tally.count(o) as u64;
             }
@@ -374,7 +376,7 @@ pub fn inject_tally_incremental_with(
         &SimOptions {
             max_cycles,
             injection: None,
-            trace_limit: 0,
+            ..SimOptions::default()
         },
     );
     if !matches!(screen.stop, StopReason::Halt(_)) {
@@ -388,6 +390,7 @@ pub fn inject_tally_incremental_with(
     let cfg = CampaignConfig {
         trials: trials as usize,
         seed,
+        replay_detect: spec.scheme.replay_detect(),
         ..Default::default()
     };
     let r = run_campaign_incremental(&prep.sp, &cfg, &store);
@@ -395,7 +398,7 @@ pub fn inject_tally_incremental_with(
 }
 
 fn reply_of(r: &casted_faults::CampaignResult) -> InjectReply {
-    let mut counts = [0u64; 5];
+    let mut counts = [0u64; 6];
     for o in Outcome::ALL {
         counts[o.index()] = r.tally.count(o) as u64;
     }
@@ -484,7 +487,7 @@ mod tests {
     #[test]
     fn inject_stream_matches_one_shot_and_cancels_exactly() {
         let s = spec(Scheme::Casted);
-        let mut updates: Vec<(u64, [u64; 5])> = Vec::new();
+        let mut updates: Vec<(u64, [u64; 6])> = Vec::new();
         let (reply, completed) =
             inject_stream_with(&s, 40, 7, u64::MAX, 16, None, &mut |done, counts| {
                 updates.push((done, *counts));

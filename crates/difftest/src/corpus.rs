@@ -130,7 +130,7 @@ fn check_module(name: &str, m: &casted_ir::Module) -> Result<usize, Divergence> 
             &SimOptions {
                 max_cycles: CORPUS_MAX_CYCLES,
                 injection: None,
-                trace_limit: 0,
+                ..SimOptions::default()
             },
         );
         check_sim_against(&sim, &golden, &format!("corpus:{name}:{stage}"))?;

@@ -304,7 +304,7 @@ pub fn run_case_with(cfg: &CaseConfig, hooks: &Hooks) -> Result<CaseReport, Dive
                 &SimOptions {
                     max_cycles: SIM_MAX_CYCLES,
                     injection: None,
-                    trace_limit: 0,
+                    ..SimOptions::default()
                 },
             );
             if sim.stop != golden.stop || !stream_eq(&sim.stream, &golden.stream) {
@@ -504,11 +504,183 @@ pub fn run_case_with(cfg: &CaseConfig, hooks: &Hooks) -> Result<CaseReport, Dive
         }
     }
 
+    // Layer 10: recovery schemes (TMRED, RBED) at the balanced grid
+    // point. Built through the production registry dispatch (`prepare`
+    // — the sabotage hook targets the dup-compare pass and does not
+    // apply here). Three checks per scheme:
+    //
+    //  * zero-fault equivalence — the scheduled program re-interprets
+    //    and simulates to the golden stream (which layer 5 proved
+    //    equal to the NOED baseline bit for bit);
+    //  * engine agreement — all three campaign engines produce the
+    //    same tally with `replay_detect` wired per the registry;
+    //  * targeted probes (library-free cases only) — strikes at
+    //    `Provenance::Original` defs must never classify as silent
+    //    corruption: TMRED repairs them in place (`Corrected`; a TMR
+    //    binary has no detect branches, so `Detected` is equally a
+    //    divergence), RBED reports them at a digest boundary.
+    for scheme in [Scheme::Tmred, Scheme::Rbed] {
+        let stage = format!("recovery:{scheme}:iw2d2");
+        let mc = MachineConfig::itanium2_like(2, 2);
+        let prep = prepare(&m, scheme, &mc)
+            .map_err(|e| Divergence::new(format!("prepare:{stage}"), e))?;
+        prep.sp
+            .validate()
+            .map_err(|e| Divergence::new(format!("prepare:{stage}"), format!("schedule invalid: {e:?}")))?;
+        check_interp(
+            &prep.sp.module,
+            &golden,
+            STEP_LIMIT_XFORM,
+            &format!("interp-stage:{stage}"),
+        )?;
+        let sim = simulate(
+            &prep.sp,
+            &SimOptions {
+                max_cycles: SIM_MAX_CYCLES,
+                injection: None,
+                ..SimOptions::default()
+            },
+        );
+        if sim.stop != golden.stop || !stream_eq(&sim.stream, &golden.stream) {
+            return Err(Divergence::new(
+                format!("zerofault:{stage}"),
+                format!(
+                    "fault-free {scheme} run diverged from golden: stop {} vs {}, {} vs {} outputs",
+                    fmt_stop(&sim.stop),
+                    fmt_stop(&golden.stop),
+                    sim.stream.len(),
+                    golden.stream.len()
+                ),
+            ));
+        }
+        if sim.stats.corrections != 0 {
+            return Err(Divergence::new(
+                format!("zerofault:{stage}"),
+                format!("fault-free run voted {} corrections", sim.stats.corrections),
+            ));
+        }
+        stages += 1;
+        digest.write_u64(sim.stats.cycles);
+
+        let ccfg = casted_faults::CampaignConfig {
+            trials: ENGINE_TRIALS,
+            seed: cfg.seed ^ ENGINE_SALT,
+            replay_detect: scheme.replay_detect(),
+            ..Default::default()
+        };
+        let reference = casted_faults::run_campaign_reference(&prep.sp, &ccfg);
+        for engine in [casted_faults::Engine::Checkpointed, casted_faults::Engine::Batched] {
+            let got = casted_faults::run_campaign_engine(&prep.sp, &ccfg, engine);
+            if reference.tally != got.tally {
+                return Err(Divergence::new(
+                    format!("engines:{stage}"),
+                    format!(
+                        "campaign engines diverged over {ENGINE_TRIALS} trials: reference {:?} vs {engine:?} {:?}",
+                        reference.tally.counts, got.tally.counts,
+                    ),
+                ));
+            }
+        }
+        for c in reference.tally.counts {
+            digest.write_u64(c as u64);
+        }
+        stages += 1;
+
+        if cfg.gen.lib_calls == 0 && hooks.probes > 0 {
+            probes += probe_recovery_scheme(cfg, scheme, &prep, hooks.probes)?;
+            stages += 1;
+        }
+    }
+
     Ok(CaseReport {
         stages,
         probes,
         digest: digest.finish(),
     })
+}
+
+/// Layer-10 probe body: aim `count` single-bit strikes at
+/// `Provenance::Original` defs of a recovery-scheme binary and require
+/// that none escapes as silent corruption. For TMRED any `Detected`
+/// outcome is also a divergence — the binary carries votes, not detect
+/// branches, so a "detection" means a vote wrote a wrong majority that
+/// something downstream then trapped on.
+fn probe_recovery_scheme(
+    cfg: &CaseConfig,
+    scheme: Scheme,
+    prep: &Prepared,
+    count: usize,
+) -> Result<usize, Divergence> {
+    let stage = format!("probe:{scheme}:iw2d2");
+    // Probe sites draw from a salted stream like the main probe layer,
+    // further separated by scheme tag so TMRED and RBED (different
+    // binaries) don't share site indices.
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ PROBE_SALT ^ (scheme as u64) << 32);
+    let golden_sim = simulate(
+        &prep.sp,
+        &SimOptions {
+            max_cycles: SIM_MAX_CYCLES,
+            injection: None,
+            ..SimOptions::default()
+        },
+    );
+    let traced = simulate(
+        &prep.sp,
+        &SimOptions {
+            max_cycles: SIM_MAX_CYCLES,
+            trace_limit: golden_sim.stats.dyn_insns as usize,
+            ..SimOptions::default()
+        },
+    );
+    let f = prep.sp.module.entry_fn();
+    let sites: Vec<u64> = traced
+        .trace
+        .iter()
+        .enumerate()
+        .filter_map(|(k, te)| {
+            let insn = f.insn(te.insn);
+            (insn.def().is_some() && insn.prov == Provenance::Original).then_some(k as u64 + 1)
+        })
+        .collect();
+    if sites.is_empty() {
+        return Err(Divergence::new(stage, "no Original-provenance defs to probe"));
+    }
+    let injections: Vec<Injection> = (0..count)
+        .map(|_| {
+            Injection::single(
+                sites[rng.below(sites.len() as u64) as usize],
+                rng.below(64) as u32,
+                None,
+            )
+        })
+        .collect();
+    let max_cycles = golden_sim.stats.cycles.saturating_mul(10) + 10_000;
+    let rbed = scheme
+        .replay_detect()
+        .then(|| casted_sim::rbed_plan(&prep.sp, golden_sim.stats.dyn_insns));
+    for inj in &injections {
+        let out = casted_faults::run_trial_with(
+            &prep.sp,
+            &golden_sim,
+            *inj,
+            max_cycles,
+            rbed.as_ref(),
+        );
+        if out == Outcome::DataCorrupt
+            || (scheme == Scheme::Tmred && out == Outcome::Detected)
+        {
+            return Err(Divergence::new(
+                stage,
+                format!(
+                    "bit {} at dyn insn {} classified {out:?} under {scheme} (case {})",
+                    inj.bit,
+                    inj.at_dyn_insn,
+                    cfg.replay_line(None)
+                ),
+            ));
+        }
+    }
+    Ok(injections.len())
 }
 
 /// Canonical bytes of a `Prepared` — what "byte-identical" means for
@@ -543,15 +715,15 @@ fn probe_scheme(
         &SimOptions {
             max_cycles: SIM_MAX_CYCLES,
             injection: None,
-            trace_limit: 0,
+            ..SimOptions::default()
         },
     );
     let traced = simulate(
         &prep.sp,
         &SimOptions {
             max_cycles: SIM_MAX_CYCLES,
-            injection: None,
             trace_limit: golden_sim.stats.dyn_insns as usize,
+            ..SimOptions::default()
         },
     );
     let f = prep.sp.module.entry_fn();
@@ -571,10 +743,12 @@ fn probe_scheme(
         return Err(Divergence::new(stage, "no Original-provenance defs to probe"));
     }
     let injections: Vec<Injection> = (0..count)
-        .map(|_| Injection {
-            at_dyn_insn: sites[rng.below(sites.len() as u64) as usize],
-            bit: rng.below(64) as u32,
-            target: None,
+        .map(|_| {
+            Injection::single(
+                sites[rng.below(sites.len() as u64) as usize],
+                rng.below(64) as u32,
+                None,
+            )
         })
         .collect();
     let max_cycles = golden_sim.stats.cycles.saturating_mul(10) + 10_000;

@@ -22,13 +22,16 @@ pub use sections::{run_campaign_incremental, SectionStats, SectionStore};
 use casted_ir::interp::StopReason;
 use casted_ir::vliw::ScheduledProgram;
 use casted_sim::{
-    golden_with_checkpoints, replay_trial, run_batch, simulate, simulate_quiet, BatchStats,
-    GoldenTrace, Injection, LaneVerdict, SimOptions, SimResult, TrialRun,
+    golden_with_checkpoints_rbed, rbed_plan, replay_trial, run_batch, simulate, simulate_quiet,
+    BatchStats, GoldenTrace, Injection, LaneVerdict, RbedPlan, SimOptions, SimResult, TrialRun,
 };
 
 pub use casted_sim::DEFAULT_LANE_WIDTH;
+pub use casted_sim::{rbed_plan as build_rbed_plan, RbedPlan as RbedDigestPlan};
 
-/// The five outcome classes of §IV-C.
+/// The paper's five outcome classes of §IV-C, plus the `Corrected`
+/// class the recovery-capable TMRED scheme introduces (appended last,
+/// so the historical class indices are stable).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Outcome {
     /// Masked: same output stream and exit code as the fault-free run.
@@ -44,16 +47,22 @@ pub enum Outcome {
     DataCorrupt,
     /// Infinite execution, detected by the simulator watchdog.
     Timeout,
+    /// Repaired in place: the run finished with the golden output and
+    /// exit code *and* at least one majority vote masked a corrupted
+    /// copy (TMRED). Where a detect-only scheme stops the run, a
+    /// correcting scheme finishes it correctly — the recovery story.
+    Corrected,
 }
 
 impl Outcome {
     /// All outcomes in reporting order.
-    pub const ALL: [Outcome; 5] = [
+    pub const ALL: [Outcome; 6] = [
         Outcome::Benign,
         Outcome::Detected,
         Outcome::Exception,
         Outcome::DataCorrupt,
         Outcome::Timeout,
+        Outcome::Corrected,
     ];
 
     /// Index of this outcome in [`Outcome::ALL`] order — a direct
@@ -66,6 +75,7 @@ impl Outcome {
             Outcome::Exception => 2,
             Outcome::DataCorrupt => 3,
             Outcome::Timeout => 4,
+            Outcome::Corrected => 5,
         }
     }
 
@@ -77,6 +87,7 @@ impl Outcome {
             Outcome::Exception => "Exception",
             Outcome::DataCorrupt => "DataCorrupt",
             Outcome::Timeout => "Timeout",
+            Outcome::Corrected => "Corrected",
         }
     }
 }
@@ -96,6 +107,12 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Watchdog threshold as a multiple of the fault-free cycle count.
     pub timeout_factor: u64,
+    /// Strike shape: single-bit (the paper's model, the default) or a
+    /// multi-bit burst.
+    pub flip: FlipModel,
+    /// Replay-based detection (the RBED scheme): build a chunk-digest
+    /// plan from the golden run and check every trial against it.
+    pub replay_detect: bool,
 }
 
 impl Default for CampaignConfig {
@@ -104,6 +121,8 @@ impl Default for CampaignConfig {
             trials: 300,
             seed: 0xCA57ED,
             timeout_factor: 10,
+            flip: FlipModel::Single,
+            replay_detect: false,
         }
     }
 }
@@ -112,7 +131,7 @@ impl Default for CampaignConfig {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Tally {
     /// Count per outcome, indexed in [`Outcome::ALL`] order.
-    pub counts: [usize; 5],
+    pub counts: [usize; 6],
 }
 
 impl Tally {
@@ -257,7 +276,14 @@ pub fn classify(golden: &SimResult, faulty: &SimResult) -> Outcome {
                     .zip(&faulty.stream)
                     .all(|(a, b)| a.bit_eq(b));
             if same_code && same_stream {
-                Outcome::Benign
+                // Golden output with vote corrections performed means
+                // the scheme *repaired* the strike rather than the
+                // strike being naturally masked.
+                if faulty.stats.corrections > 0 {
+                    Outcome::Corrected
+                } else {
+                    Outcome::Benign
+                }
             } else {
                 Outcome::DataCorrupt
             }
@@ -271,12 +297,24 @@ pub fn classify(golden: &SimResult, faulty: &SimResult) -> Outcome {
 /// counters — and the two campaign engines' counter snapshots must
 /// stay comparable.
 pub fn run_trial(sp: &ScheduledProgram, golden: &SimResult, inj: Injection, max_cycles: u64) -> Outcome {
+    run_trial_with(sp, golden, inj, max_cycles, None)
+}
+
+/// [`run_trial`] with an optional RBED digest plan installed.
+pub fn run_trial_with(
+    sp: &ScheduledProgram,
+    golden: &SimResult,
+    inj: Injection,
+    max_cycles: u64,
+    rbed: Option<&std::sync::Arc<RbedPlan>>,
+) -> Outcome {
     let r = simulate_quiet(
         sp,
         &SimOptions {
             max_cycles,
             injection: Some(inj),
-            trace_limit: 0,
+            rbed: rbed.cloned(),
+            ..SimOptions::default()
         },
     );
     classify(golden, &r)
@@ -313,6 +351,73 @@ pub fn run_trials(
 /// runs fault-free (classified Benign). The `bit` draw still consumes
 /// one value from the stream, keeping the RNG in a defined state for
 /// subsequent trials.
+/// Strike shape for the `--fault-model` flag: single-bit (the paper's
+/// model) or an adjacent multi-bit burst (charge sharing between
+/// neighbouring cells upsets several bits of one word; see MITRA et
+/// al. style soft-error surveys). Bursts reuse the frozen `(at, bit)`
+/// draws and add exactly one extra documented draw (`phase`), so the
+/// `single` model reproduces the historical stream byte for byte.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FlipModel {
+    /// One flipped bit — the paper's model and the frozen default.
+    #[default]
+    Single,
+    /// Two adjacent bits flipped.
+    Burst2,
+    /// Four adjacent bits flipped.
+    Burst4,
+}
+
+impl FlipModel {
+    /// Accepted `--fault-model` flag values, for error messages at
+    /// every flag site.
+    pub const ACCEPTED: &'static str = "single|burst2|burst4";
+
+    /// Parse a `--fault-model` flag value (case-insensitive).
+    pub fn parse(s: &str) -> Option<FlipModel> {
+        match s.to_ascii_lowercase().as_str() {
+            "single" => Some(FlipModel::Single),
+            "burst2" => Some(FlipModel::Burst2),
+            "burst4" => Some(FlipModel::Burst4),
+            _ => None,
+        }
+    }
+
+    /// Flag-style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlipModel::Single => "single",
+            FlipModel::Burst2 => "burst2",
+            FlipModel::Burst4 => "burst4",
+        }
+    }
+
+    /// Burst width in bits.
+    pub fn width(self) -> u8 {
+        match self {
+            FlipModel::Single => 1,
+            FlipModel::Burst2 => 2,
+            FlipModel::Burst4 => 4,
+        }
+    }
+}
+
+/// [`draw_injection`] plus the burst draw: for a multi-bit model one
+/// extra value, `phase = gen_range(0..width)`, is drawn *after* the
+/// frozen `(at, bit)` pair (and after any model-specific draw, see
+/// [`run_campaign_with_model_engine`]), placing the drawn `bit` at
+/// offset `phase` inside the flipped window. Under
+/// [`FlipModel::Single`] no extra value is consumed, so the historical
+/// stream is reproduced byte for byte.
+pub fn draw_burst_phase(rng: &mut Rng, flip: FlipModel) -> u8 {
+    let w = flip.width();
+    if w > 1 {
+        rng.gen_range(0..w as u32) as u8
+    } else {
+        0
+    }
+}
+
 pub fn draw_injection(rng: &mut Rng, golden_dyn_insns: u64) -> (u64, u32) {
     if golden_dyn_insns == 0 {
         let bit = rng.gen_range(0..64u32);
@@ -375,12 +480,16 @@ pub fn run_campaign_engine_lanes(
     engine: Engine,
     lane_width: usize,
 ) -> CampaignResult {
+    let flip = cfg.flip;
     campaign_core(sp, cfg, engine, lane_width, &mut |rng, dyn_insns| {
         let (at, bit) = draw_injection(rng, dyn_insns);
+        let phase = draw_burst_phase(rng, flip);
         Injection {
             at_dyn_insn: at,
             bit,
             target: None,
+            width: flip.width(),
+            phase,
         }
     })
 }
@@ -411,7 +520,7 @@ pub fn run_campaign_streaming(
     chunk: usize,
     progress: &mut dyn FnMut(u64, &Tally) -> bool,
 ) -> (CampaignResult, bool) {
-    let trace = golden_with_checkpoints(sp);
+    let trace = golden_with_checkpoints_rbed(sp, campaign_rbed_plan(sp, cfg));
     assert!(
         matches!(trace.result.stop, StopReason::Halt(_)),
         "campaign target must run fault-free to completion, got {:?}",
@@ -427,10 +536,13 @@ pub fn run_campaign_streaming(
     let injections: Vec<Injection> = (0..cfg.trials)
         .map(|_| {
             let (at, bit) = draw_injection(&mut rng, golden_dyn);
+            let phase = draw_burst_phase(&mut rng, cfg.flip);
             Injection {
                 at_dyn_insn: at,
                 bit,
                 target: None,
+                width: cfg.flip.width(),
+                phase,
             }
         })
         .collect();
@@ -483,6 +595,22 @@ pub fn run_campaign_streaming(
     )
 }
 
+/// Build the campaign's RBED digest plan when [`CampaignConfig::
+/// replay_detect`] is set (`None` otherwise): one quiet golden run for
+/// the dynamic length, then [`casted_sim::rbed_plan`]'s two recording
+/// passes. Never-halting targets fall through to the engines' own
+/// `must run fault-free to completion` refusal.
+fn campaign_rbed_plan(
+    sp: &ScheduledProgram,
+    cfg: &CampaignConfig,
+) -> Option<std::sync::Arc<RbedPlan>> {
+    if !cfg.replay_detect {
+        return None;
+    }
+    let golden = simulate_quiet(sp, &SimOptions::default());
+    Some(rbed_plan(sp, golden.stats.dyn_insns))
+}
+
 /// Shared campaign driver: draw the frozen injection stream, run
 /// every trial on the chosen engine, reduce the tally in trial order.
 ///
@@ -507,13 +635,14 @@ fn campaign_core(
                 "campaign target must run fault-free to completion, got {:?}",
                 golden.stop
             );
+            let rbed = campaign_rbed_plan(sp, cfg);
             let max_cycles = golden.stats.cycles.saturating_mul(cfg.timeout_factor);
             let mut rng = Rng::seed_from_u64(cfg.seed);
             let mut tally = Tally::default();
             let span = casted_obs::span("faults.campaign_ns");
             for _ in 0..cfg.trials {
                 let inj = draw(&mut rng, golden.stats.dyn_insns);
-                tally.record(run_trial(sp, &golden, inj, max_cycles));
+                tally.record(run_trial_with(sp, &golden, inj, max_cycles, rbed.as_ref()));
             }
             record_campaign_metrics(&tally, None, span);
             CampaignResult {
@@ -524,7 +653,7 @@ fn campaign_core(
             }
         }
         Engine::Checkpointed => {
-            let trace = golden_with_checkpoints(sp);
+            let trace = golden_with_checkpoints_rbed(sp, campaign_rbed_plan(sp, cfg));
             assert!(
                 matches!(trace.result.stop, StopReason::Halt(_)),
                 "campaign target must run fault-free to completion, got {:?}",
@@ -575,7 +704,7 @@ fn campaign_core(
             }
         }
         Engine::Batched => {
-            let trace = golden_with_checkpoints(sp);
+            let trace = golden_with_checkpoints_rbed(sp, campaign_rbed_plan(sp, cfg));
             assert!(
                 matches!(trace.result.stop, StopReason::Halt(_)),
                 "campaign target must run fault-free to completion, got {:?}",
@@ -712,6 +841,7 @@ fn outcome_counter(o: Outcome) -> &'static str {
         Outcome::Exception => "faults.outcome.exception",
         Outcome::DataCorrupt => "faults.outcome.data_corrupt",
         Outcome::Timeout => "faults.outcome.timeout",
+        Outcome::Corrected => "faults.outcome.corrected",
     }
 }
 
@@ -861,6 +991,32 @@ mod tests {
                 (32, 45),
             ]
         );
+        // Burst extension: `Single` consumes no extra value — the
+        // historical stream above is reproduced byte for byte — while
+        // a multi-bit model draws exactly one extra `phase` value per
+        // trial, *after* the frozen `(at, bit)` pair.
+        let mut single = Rng::seed_from_u64(CampaignConfig::default().seed);
+        for want in &got {
+            let pair = draw_injection(&mut single, 1000);
+            assert_eq!(&pair, want, "Single must not perturb the stream");
+            assert_eq!(draw_burst_phase(&mut single, FlipModel::Single), 0);
+        }
+        // Pinned golden values for the burst2 stream: interleaving the
+        // phase draw shifts every subsequent (at, bit) pair.
+        let mut burst = Rng::seed_from_u64(CampaignConfig::default().seed);
+        let got2: Vec<(u64, u32, u8)> = (0..4)
+            .map(|_| {
+                let (at, bit) = draw_injection(&mut burst, 1000);
+                (at, bit, draw_burst_phase(&mut burst, FlipModel::Burst2))
+            })
+            .collect();
+        assert_eq!(
+            got2,
+            [(11, 13, 1), (606, 28, 1), (884, 48, 0), (594, 28, 0)]
+        );
+        for (_, _, phase) in &got2 {
+            assert!(*phase < FlipModel::Burst2.width() as u8);
+        }
     }
 
     /// Streaming campaigns must be *exact*: the final result equals
@@ -874,6 +1030,7 @@ mod tests {
             trials: 40,
             seed: 7,
             timeout_factor: 10,
+            ..CampaignConfig::default()
         };
         let mut updates: Vec<(u64, Tally)> = Vec::new();
         let (res, completed) = run_campaign_streaming(&sp, &cfg, 16, &mut |done, t| {
@@ -913,6 +1070,7 @@ mod tests {
             trials: 40,
             seed: 9,
             timeout_factor: 10,
+            ..CampaignConfig::default()
         };
         let (partial, completed) =
             run_campaign_streaming(&sp, &cfg, 10, &mut |done, _| done < 20);
@@ -960,7 +1118,7 @@ mod tests {
         let outcome = run_trial(
             &sp,
             &golden,
-            Injection { at_dyn_insn: u64::MAX, bit: 5, target: None },
+            Injection::single(u64::MAX, 5, None),
             golden.stats.cycles * 10,
         );
         assert_eq!(outcome, Outcome::Benign);
@@ -1236,7 +1394,7 @@ mod tests {
     #[test]
     fn safe_fraction_never_leaves_unit_interval() {
         let ulp_overshoot = Tally {
-            counts: [0, 0, 0, 4, 1],
+            counts: [0, 0, 0, 4, 1, 0],
         };
         // The raw subtraction really does overshoot — this pins the
         // arithmetic the clamp is protecting against.
@@ -1251,7 +1409,7 @@ mod tests {
             for to in 0..12usize {
                 for benign in 0..3usize {
                     let t = Tally {
-                        counts: [benign, 0, 0, dc, to],
+                        counts: [benign, 0, 0, dc, to, 0],
                     };
                     let f = t.safe_fraction();
                     assert!((0.0..=1.0).contains(&f), "{t:?} -> {f}");
@@ -1320,6 +1478,7 @@ pub fn run_campaign_with_model_engine(
         func.reg_count(RegClass::Pr),
     ];
     let total: u32 = counts.iter().sum();
+    let flip = cfg.flip;
     campaign_core(sp, cfg, engine, DEFAULT_LANE_WIDTH, &mut |rng, dyn_insns| {
         let (at, bit) = draw_injection(rng, dyn_insns);
         let mut pick = rng.gen_range(0..total.max(1));
@@ -1334,10 +1493,13 @@ pub fn run_campaign_with_model_engine(
             pick -= counts[1];
             Reg::pr(pick)
         };
+        let phase = draw_burst_phase(rng, flip);
         Injection {
             at_dyn_insn: at,
             bit,
             target: Some(target),
+            width: flip.width(),
+            phase,
         }
     })
 }
@@ -1412,7 +1574,7 @@ mod model_tests {
         let golden = casted_sim::simulate(&sp, &casted_sim::SimOptions::default());
         let max_cycles = golden.stats.cycles * 10;
         let injections: Vec<Injection> = (1..6)
-            .map(|k| Injection { at_dyn_insn: k * 7, bit: (k % 64) as u32, target: None })
+            .map(|k| Injection::single(k * 7, (k % 64) as u32, None))
             .collect();
         let batch = run_trials(&sp, &golden, &injections, max_cycles);
         assert_eq!(batch.len(), injections.len());

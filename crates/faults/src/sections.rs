@@ -570,6 +570,15 @@ pub fn run_campaign_incremental(
     cfg: &CampaignConfig,
     store: &SectionStore,
 ) -> CampaignResult {
+    // The section evidence vocabulary predates the recovery-capable
+    // schemes: halt evidence is `(exit code, stream)` only, so a vote
+    // correction, a multi-bit burst or a replay-digest plan cannot be
+    // recombined from the store. Campaigns outside the vocabulary run
+    // on the standard engine instead — byte-identical tally, no
+    // caching — rather than silently misclassifying Corrected trials.
+    if cfg.flip != crate::FlipModel::Single || cfg.replay_detect || program_has_votes(sp) {
+        return crate::run_campaign_engine(sp, cfg, crate::Engine::default());
+    }
     let hashes = block_validation_hashes(sp);
     let pkey = program_key(sp, &hashes);
     if let Some(prog) = store.load_program(pkey) {
@@ -587,6 +596,17 @@ pub fn run_campaign_incremental(
 /// or stale section, an escape without reusable evidence, a damaged
 /// partition) returns `None` and the caller falls back to the full
 /// path.
+/// Whether the scheduled program contains any majority-vote
+/// instruction (the TMRED transform) — see the vocabulary gate in
+/// [`run_campaign_incremental`].
+fn program_has_votes(sp: &ScheduledProgram) -> bool {
+    sp.module
+        .entry_fn()
+        .insns
+        .iter()
+        .any(|i| i.op == casted_ir::Opcode::Vote)
+}
+
 fn recombine_from_cache(
     sp: &ScheduledProgram,
     cfg: &CampaignConfig,
@@ -611,7 +631,7 @@ fn recombine_from_cache(
     let injections: Vec<Injection> = (0..cfg.trials)
         .map(|_| {
             let (at, bit) = crate::draw_injection(&mut rng, golden_dyn);
-            Injection { at_dyn_insn: at, bit, target: None }
+            Injection::single(at, bit, None)
         })
         .collect();
 
@@ -702,7 +722,7 @@ fn run_campaign_cold(
     let injections: Vec<Injection> = (0..cfg.trials)
         .map(|_| {
             let (at, bit) = crate::draw_injection(&mut rng, golden_dyn);
-            Injection { at_dyn_insn: at, bit, target: None }
+            Injection::single(at, bit, None)
         })
         .collect();
 

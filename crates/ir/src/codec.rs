@@ -107,6 +107,7 @@ fn op_tag(op: Opcode) -> (u64, u64) {
         Opcode::ChkNe => (31, 0),
         Opcode::Halt => (32, 0),
         Opcode::Nop => (33, 0),
+        Opcode::Vote => (34, 0),
     }
 }
 
@@ -151,6 +152,7 @@ fn op_of(tag: u64, sub: u64) -> Option<Opcode> {
         31 => Opcode::ChkNe,
         32 => Opcode::Halt,
         33 => Opcode::Nop,
+        34 => Opcode::Vote,
         _ => return None,
     })
 }

@@ -176,6 +176,16 @@ pub enum Opcode {
     /// compare + branch *pairs*; this opcode exists to quantify what
     /// that choice costs (see the `ablation` bench binary).
     ChkNe,
+    /// Bitwise majority vote over three copies of a value:
+    /// `def = (a&b)|(a&c)|(b&c)` per bit (applied to the IEEE bit
+    /// pattern for floats, to the single bit for predicates). Emitted
+    /// by the TMRED scheme in place of a compare+detect pair: a
+    /// single corrupted copy is out-voted, so the fault is *corrected*
+    /// rather than detected. Polymorphic over the register classes
+    /// like [`Opcode::Cmp`]; def and all three operands share one
+    /// class. Never replicated (it is check infrastructure, like
+    /// [`Opcode::ChkNe`]).
+    Vote,
     /// Stop the program with exit code `a`. Block terminator.
     Halt,
 
@@ -245,7 +255,10 @@ impl Opcode {
     /// compiler-generated or as unprotected library code.
     #[inline]
     pub fn is_replicable(self) -> bool {
-        !self.is_control_flow() && !self.is_store_class() && self != Opcode::Nop
+        !self.is_control_flow()
+            && !self.is_store_class()
+            && self != Opcode::Nop
+            && self != Opcode::Vote
     }
 
     /// Result latency in cycles under the given latency configuration.
@@ -264,6 +277,7 @@ impl Opcode {
             | Opcode::Sra
             | Opcode::MovI
             | Opcode::Sel
+            | Opcode::Vote
             | Opcode::Nop => lat.alu,
             Opcode::Mul => lat.mul,
             Opcode::Div | Opcode::Rem => lat.div,
@@ -317,6 +331,7 @@ impl Opcode {
             Opcode::BrCond => "br.cond".into(),
             Opcode::DetectBr => "br.detect".into(),
             Opcode::ChkNe => "chk.ne".into(),
+            Opcode::Vote => "vote".into(),
             Opcode::Halt => "halt".into(),
             Opcode::Nop => "nop".into(),
         }
@@ -368,6 +383,17 @@ mod tests {
     fn detect_br_is_control_flow_but_not_terminator() {
         assert!(Opcode::DetectBr.is_control_flow());
         assert!(!Opcode::DetectBr.is_terminator());
+    }
+
+    #[test]
+    fn vote_is_check_infrastructure() {
+        // Like ChkNe, the voter must never be replicated itself; it is
+        // a plain ALU-latency instruction, not control flow.
+        assert!(!Opcode::Vote.is_replicable());
+        assert!(!Opcode::Vote.is_control_flow());
+        assert!(!Opcode::Vote.is_store_class());
+        let lat = LatencyConfig::default();
+        assert_eq!(Opcode::Vote.latency(&lat), lat.alu);
     }
 
     #[test]

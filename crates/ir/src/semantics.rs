@@ -128,6 +128,17 @@ pub fn eval_pure(op: Opcode, uses: &[Val]) -> Result<Val, ExecError> {
         Opcode::FMul => Val::F(f(0) * f(1)),
         Opcode::FDiv => Val::F(f(0) / f(1)),
         Opcode::FMovI => uses[0],
+        // Bitwise majority over three same-class copies (TMRED): any
+        // single corrupted copy is out-voted. Polymorphic like `Cmp`.
+        Opcode::Vote => match (uses[0], uses[1], uses[2]) {
+            (Val::I(a), Val::I(b), Val::I(c)) => Val::I((a & b) | (a & c) | (b & c)),
+            (Val::F(a), Val::F(b), Val::F(c)) => {
+                let (a, b, c) = (a.to_bits(), b.to_bits(), c.to_bits());
+                Val::F(f64::from_bits((a & b) | (a & c) | (b & c)))
+            }
+            (Val::B(a), Val::B(b), Val::B(c)) => Val::B((a & b) | (a & c) | (b & c)),
+            (a, b, c) => panic!("vote over mismatched value classes: {a:?}/{b:?}/{c:?}"),
+        },
         Opcode::I2F => Val::F(i(0) as f64),
         Opcode::F2I => {
             let v = f(0);
@@ -252,6 +263,37 @@ mod tests {
         assert_eq!(check_addr(0, 600), Err(ExecError::MemOutOfBounds(0)));
         assert_eq!(check_addr(-8, 600), Err(ExecError::MemOutOfBounds(-8)));
         assert_eq!(check_addr(600 * 8, 600), Err(ExecError::MemOutOfBounds(4800)));
+    }
+
+    #[test]
+    fn vote_out_votes_a_single_corrupted_copy() {
+        // A strike in any one copy is corrected in all three classes.
+        let good = Val::I(0x5a5a_5a5a);
+        for lane in 0..3usize {
+            let mut v = [good; 3];
+            v[lane] = good.flip_bit(17);
+            assert_eq!(eval_pure(Opcode::Vote, &v).unwrap(), good);
+        }
+        let f = Val::F(2.75);
+        for lane in 0..3usize {
+            let mut v = [f; 3];
+            v[lane] = f.flip_bit(63);
+            assert_eq!(eval_pure(Opcode::Vote, &v).unwrap(), f);
+        }
+        let p = Val::B(true);
+        for lane in 0..3usize {
+            let mut v = [p; 3];
+            v[lane] = p.flip_bit(0);
+            assert_eq!(eval_pure(Opcode::Vote, &v).unwrap(), p);
+        }
+        // NaN payload bits survive the vote bit-exactly.
+        let nan = Val::F(f64::NAN);
+        let voted = eval_pure(Opcode::Vote, &[nan, nan.flip_bit(3), nan]).unwrap();
+        assert!(!eval_cmp_vals(CmpKind::Ne, voted, nan));
+        // Two corrupted copies win the vote — TMR only covers single
+        // strikes (documented in docs/SCHEMES.md).
+        let bad = good.flip_bit(2);
+        assert_eq!(eval_pure(Opcode::Vote, &[good, bad, bad]).unwrap(), bad);
     }
 
     #[test]

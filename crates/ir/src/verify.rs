@@ -183,6 +183,29 @@ fn verify_insn(errs: &mut Vec<String>, func: &Function, ctx: &str, insn: &Insn) 
                 errs.push(format!("{ctx}: chk.ne operand classes differ: {a:?} vs {b:?}"));
             }
         }
+        Vote => {
+            // Polymorphic majority vote: def and all three operands
+            // share a single register class.
+            expect_use_count(errs, ctx, insn, 3);
+            match insn.def() {
+                None => errs.push(format!("{ctx}: missing def")),
+                Some(d) => {
+                    for idx in 0..3 {
+                        if let Some(o) = insn.uses.get(idx) {
+                            if operand_class(o) != Some(d.class) {
+                                errs.push(format!(
+                                    "{ctx}: vote operand {idx} must be {}, got {o:?}",
+                                    d.class
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            if insn.defs.len() > 1 {
+                errs.push(format!("{ctx}: more than one def"));
+            }
+        }
         Nop => {
             expect_no_def(errs, ctx, insn);
             expect_use_count(errs, ctx, insn, 0);

@@ -26,8 +26,13 @@
 //!   physical per-cluster register indices (a validation artifact; the
 //!   simulator executes on virtual registers with home clusters).
 //! * [`pipeline`] — the end-to-end driver: [`pipeline::Scheme`] selects
-//!   NOED / SCED / DCED / CASTED and [`pipeline::prepare`] produces a
+//!   NOED / SCED / DCED / CASTED (plus the recovery-capable TMRED and
+//!   RBED extensions) and [`pipeline::prepare`] produces a
 //!   simulator-ready [`casted_ir::vliw::ScheduledProgram`].
+//! * [`schemes`] — the pluggable scheme registry: one descriptor row
+//!   per scheme (name, aliases, transform, replication factor,
+//!   correction capability, placement), plus the TMR transform that
+//!   backs TMRED's majority-vote recovery.
 
 pub mod errordetect;
 pub mod ifconvert;
@@ -35,9 +40,11 @@ pub mod opt;
 pub mod physreg;
 pub mod pipeline;
 pub mod schedule;
+pub mod schemes;
 pub mod spill;
 pub mod stages;
 
 pub use errordetect::{error_detection, EdStats};
 pub use pipeline::{prepare, PrepareOptions, Prepared, Scheme};
 pub use schedule::{schedule_function, Placement};
+pub use schemes::{SchemeDescriptor, Transform};

@@ -7,14 +7,17 @@
 //! produced by the MiniC front end.
 
 use casted_ir::vliw::ScheduledProgram;
-use casted_ir::{Cluster, MachineConfig, Module};
+use casted_ir::{MachineConfig, Module};
 
 use crate::errordetect::{error_detection_with, EdOptions, EdStats};
 use crate::physreg::{assign_physical, PhysAssignment};
 use crate::schedule::{schedule_function, Placement};
 use crate::spill::{choose_spills, intervals, spill_register};
 
-/// The four evaluated code-generation schemes of the paper.
+/// The evaluated code-generation schemes: the paper's four plus the
+/// recovery-capable extensions (TMR majority voting, replay-based
+/// detection). Per-scheme metadata lives in the registry
+/// (`crate::schemes`); the methods here are thin views of it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// No error detection; unmodified code on a single cluster. The
@@ -29,37 +32,84 @@ pub enum Scheme {
     /// Core-Adaptive (the paper's contribution): error-detection code
     /// placed by the BUG completion-cycle heuristic.
     Casted,
+    /// Triple-Modular-Redundant Error Detection (ELZAR-style): two
+    /// redundant streams plus majority `vote` instructions at every
+    /// check site, so single-lane strikes are *corrected* in place
+    /// (golden output preserved) instead of merely reported.
+    Tmred,
+    /// Replay-Based Error Detection (RepTFD-style): code untouched;
+    /// fault campaigns accumulate a per-chunk digest of retired
+    /// results and detect on divergence from the golden digests.
+    Rbed,
 }
 
 impl Scheme {
-    /// All schemes in presentation order.
+    /// The paper's four schemes in presentation order (the figure
+    /// grids of Figs. 6–9 iterate exactly these).
     pub const ALL: [Scheme; 4] = [Scheme::Noed, Scheme::Sced, Scheme::Dced, Scheme::Casted];
 
-    /// The schemes that carry error detection (everything but NOED).
+    /// Every production scheme, extensions included, in registry order.
+    pub const FULL: [Scheme; 6] = [
+        Scheme::Noed,
+        Scheme::Sced,
+        Scheme::Dced,
+        Scheme::Casted,
+        Scheme::Tmred,
+        Scheme::Rbed,
+    ];
+
+    /// The paper schemes that carry error detection.
     pub const ED: [Scheme; 3] = [Scheme::Sced, Scheme::Dced, Scheme::Casted];
+
+    /// Accepted `--scheme` spellings, for CLI usage strings.
+    pub const ACCEPTED: &'static str = "noed|sced|dced|casted|tmred|rbed";
+
+    /// Case-insensitive parse over registry names and aliases
+    /// (`noed|none`, `sced|single`, `dced|dual`, `casted|adaptive`,
+    /// `tmred|tmr`, `rbed|replay`).
+    pub fn parse(input: &str) -> Result<Scheme, String> {
+        crate::schemes::parse(input)
+            .ok_or_else(|| format!("unknown scheme '{input}' (accepted: {})", Scheme::ACCEPTED))
+    }
+
+    /// The registry row describing this scheme.
+    pub fn descriptor(self) -> &'static crate::schemes::SchemeDescriptor {
+        crate::schemes::descriptor(self)
+    }
 
     /// Display name as used in the paper's figures.
     pub fn name(self) -> &'static str {
-        match self {
-            Scheme::Noed => "NOED",
-            Scheme::Sced => "SCED",
-            Scheme::Dced => "DCED",
-            Scheme::Casted => "CASTED",
-        }
+        self.descriptor().name
     }
 
-    /// Whether the error-detection transformation runs.
+    /// Whether a compile-time protection transform runs (and so
+    /// whether [`Prepared::ed_stats`] is populated). RBED is
+    /// deliberately `false`: its code is NOED-identical and detection
+    /// happens at the fault-campaign layer.
     pub fn has_error_detection(self) -> bool {
-        self != Scheme::Noed
+        self.descriptor().transform != crate::schemes::Transform::None
+    }
+
+    /// Copies of each protected computation at runtime (1, 2 or 3).
+    pub fn replication_factor(self) -> u8 {
+        self.descriptor().replication_factor
+    }
+
+    /// Whether a detected single-lane strike is repaired in place
+    /// (`Outcome::Corrected`) rather than merely reported.
+    pub fn corrects(self) -> bool {
+        self.descriptor().corrects
+    }
+
+    /// Whether fault campaigns must enable the replay-digest detector
+    /// (`CampaignConfig::replay_detect`) for this scheme.
+    pub fn replay_detect(self) -> bool {
+        self.descriptor().replay_detect
     }
 
     /// The placement policy handed to the scheduler.
     pub fn placement(self) -> Placement {
-        match self {
-            Scheme::Noed | Scheme::Sced => Placement::AllOn(Cluster::MAIN),
-            Scheme::Dced => Placement::ByStream,
-            Scheme::Casted => Placement::Adaptive,
-        }
+        self.descriptor().placement
     }
 }
 
@@ -115,21 +165,37 @@ pub fn prepare(
     prepare_with(module, scheme, config, &PrepareOptions::default())
 }
 
-/// [`prepare`] with explicit options.
+/// [`prepare`] with explicit options. Scheme-default behaviour: the
+/// registry (`crate::schemes`) decides which protection transform
+/// runs and which placement policy the scheduler gets.
 pub fn prepare_with(
     module: &Module,
     scheme: Scheme,
     config: &MachineConfig,
     opts: &PrepareOptions,
 ) -> Result<Prepared, String> {
-    prepare_custom(
-        module,
-        scheme,
-        scheme.has_error_detection().then(EdOptions::default),
-        scheme.placement(),
-        config,
-        opts,
-    )
+    use crate::schemes::Transform;
+    match scheme.descriptor().transform {
+        Transform::Tmr => prepare_transformed(
+            module,
+            scheme,
+            Some(&|m| crate::schemes::tmr_transform(m)),
+            scheme.placement(),
+            config,
+            opts,
+        ),
+        Transform::DupCompare => prepare_custom(
+            module,
+            scheme,
+            Some(EdOptions::default()),
+            scheme.placement(),
+            config,
+            opts,
+        ),
+        Transform::None => {
+            prepare_custom(module, scheme, None, scheme.placement(), config, opts)
+        }
+    }
 }
 
 /// Fully custom pipeline entry for ablation studies: choose the
@@ -143,12 +209,38 @@ pub fn prepare_custom(
     config: &MachineConfig,
     opts: &PrepareOptions,
 ) -> Result<Prepared, String> {
+    let transform = ed.map(|e| {
+        move |m: &mut Module| error_detection_with(m, &e)
+    });
+    prepare_transformed(
+        module,
+        scheme,
+        transform
+            .as_ref()
+            .map(|f| f as &dyn Fn(&mut Module) -> EdStats),
+        placement,
+        config,
+        opts,
+    )
+}
+
+/// The pipeline body shared by every scheme: optional if-conversion,
+/// an arbitrary protection transform, then the spill↔schedule fixed
+/// point and physical-register validation.
+fn prepare_transformed(
+    module: &Module,
+    scheme: Scheme,
+    transform: Option<&dyn Fn(&mut Module) -> EdStats>,
+    placement: Placement,
+    config: &MachineConfig,
+    opts: &PrepareOptions,
+) -> Result<Prepared, String> {
     let _t = casted_obs::span("passes.prepare_ns");
     let mut m = module.clone();
     if opts.if_convert {
         crate::ifconvert::if_convert(&mut m);
     }
-    let ed_stats = ed.map(|e| error_detection_with(&mut m, &e));
+    let ed_stats = transform.map(|f| f(&mut m));
 
     let mut spilled = 0usize;
     let mut rounds = 0usize;
@@ -186,12 +278,7 @@ pub fn prepare_custom(
 /// Per-scheme check-emission counter name (static, so recording never
 /// allocates; nonzero iff the scheme carries error detection).
 pub(crate) fn checks_counter(scheme: Scheme) -> &'static str {
-    match scheme {
-        Scheme::Noed => "passes.ed.checks.noed",
-        Scheme::Sced => "passes.ed.checks.sced",
-        Scheme::Dced => "passes.ed.checks.dced",
-        Scheme::Casted => "passes.ed.checks.casted",
-    }
+    scheme.descriptor().checks_counter
 }
 
 /// Flush one successful back-end run into the global metrics registry

@@ -243,9 +243,8 @@ fn schedule_cost(sp: &ScheduledProgram, freq: &[u64]) -> u64 {
         sp,
         &casted_sim::SimOptions {
             max_cycles: 200_000_000,
-            injection: None,
-                trace_limit: 0,
-            },
+            ..casted_sim::SimOptions::default()
+        },
     );
     match r.stop {
         casted_ir::interp::StopReason::Halt(_) => r.stats.cycles,

@@ -131,7 +131,12 @@ pub fn ed_stage_key(input_digest: u64, scheme: Scheme, opts: &PrepareOptions) ->
     h.write(b"casted:stage:ed");
     h.write_u64(STAGE_FORMAT_VERSION_ED);
     h.write_u64(input_digest);
-    h.write_u8(scheme.has_error_detection() as u8);
+    // Registry transform tag. `None = 0` / `DupCompare = 1` coincide
+    // with the historical `has_error_detection() as u8` byte, so
+    // pre-registry artifacts and the pinned golden keys stay valid;
+    // RBED (tag 0) deliberately shares NOED's ED artifact — both leave
+    // the module untouched.
+    h.write_u8(scheme.descriptor().transform.tag());
     h.write_u8(ed.fused_checks as u8);
     h.write_u8(ed.selective as u8);
     h.write_u8(opts.if_convert as u8);
@@ -338,9 +343,13 @@ fn run_ed_stage(
     if opts.if_convert {
         crate::ifconvert::if_convert(&mut m);
     }
-    let ed_stats = scheme
-        .has_error_detection()
-        .then(|| error_detection_with(&mut m, &EdOptions::default()));
+    let ed_stats = match scheme.descriptor().transform {
+        crate::schemes::Transform::None => None,
+        crate::schemes::Transform::DupCompare => {
+            Some(error_detection_with(&mut m, &EdOptions::default()))
+        }
+        crate::schemes::Transform::Tmr => Some(crate::schemes::tmr_transform(&mut m)),
+    };
     if casted_obs::enabled() {
         if let Some(st) = &ed_stats {
             casted_obs::add("passes.ed.replicated", st.replicated as u64);
@@ -514,8 +523,8 @@ mod tests {
         for seed in [0u64, 3, 9] {
             let m = random_module(seed, &GenOptions::default());
             let key = module_content_key(&m);
-            let mut ed_seen = false;
-            for scheme in Scheme::ALL {
+            let mut tags_seen = std::collections::HashSet::new();
+            for scheme in Scheme::FULL {
                 let legacy = prepare_with(&m, scheme, &cfg, &opts).unwrap();
                 let mut cold_stats = StageStats::default();
                 let cold =
@@ -526,12 +535,21 @@ mod tests {
                 assert_eq!(prepared_bytes(&legacy), prepared_bytes(&cold));
                 assert_eq!(prepared_bytes(&legacy), prepared_bytes(&warm));
                 assert_eq!(warm_stats.hit, 3, "warm rerun must hit every stage");
-                // The second and later ED-carrying schemes reuse the
-                // shared machine-independent ED artifact; everything
-                // downstream is placement-specific and must miss.
-                let expect_ed_hit = scheme.has_error_detection() && ed_seen;
-                assert_eq!(cold_stats.hit, expect_ed_hit as u64, "{scheme:?}");
-                ed_seen |= scheme.has_error_detection();
+                // Schemes running the same registry transform share the
+                // machine-independent ED artifact (SCED/DCED/CASTED all
+                // dup-and-compare; RBED reuses NOED's untouched module;
+                // TMRED's triplication is its own artifact). Downstream
+                // stages are placement-specific and miss — except RBED,
+                // which compiles to NOED's exact schedule (same module,
+                // same placement) and therefore hits the whole chain.
+                let tag = scheme.descriptor().transform.tag();
+                let expect_hits = if scheme == Scheme::Rbed {
+                    3
+                } else {
+                    tags_seen.contains(&tag) as u64
+                };
+                assert_eq!(cold_stats.hit, expect_hits, "{scheme:?}");
+                tags_seen.insert(tag);
                 // The full machine config (simulator fields included)
                 // rides along on both paths.
                 assert_eq!(
@@ -604,6 +622,46 @@ mod tests {
         prepare_staged(&store, key, &m, Scheme::Dced, &cfg, &opts, &mut s2).unwrap();
         assert_eq!(s1.hit, 0);
         assert_eq!(s2.hit, 1, "DCED must reuse SCED's ED artifact");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_scheme_keys_partition_by_transform() {
+        // RBED leaves the module untouched, so its ED key equals
+        // NOED's and its ED artifact is shared; TMRED's triplication
+        // is a distinct transform and must key (and miss) separately
+        // from every dup-and-compare scheme.
+        let opts = PrepareOptions::default();
+        let digest = 0xD1_6E57u64;
+        let k_noed = ed_stage_key(digest, Scheme::Noed, &opts);
+        let k_sced = ed_stage_key(digest, Scheme::Sced, &opts);
+        let k_tmred = ed_stage_key(digest, Scheme::Tmred, &opts);
+        let k_rbed = ed_stage_key(digest, Scheme::Rbed, &opts);
+        assert_eq!(k_rbed, k_noed, "RBED shares NOED's ED artifact");
+        assert_ne!(k_tmred, k_sced);
+        assert_ne!(k_tmred, k_noed);
+        assert_eq!(
+            ed_stage_key(digest, Scheme::Dced, &opts),
+            k_sced,
+            "all dup-and-compare schemes share one ED key"
+        );
+
+        let dir = temp_dir("recovery");
+        let store = ArtifactStore::open(&dir).unwrap();
+        let cfg = MachineConfig::itanium2_like(2, 2);
+        let m = random_module(13, &GenOptions::default());
+        let key = module_content_key(&m);
+        let mut s1 = StageStats::default();
+        prepare_staged(&store, key, &m, Scheme::Noed, &cfg, &opts, &mut s1).unwrap();
+        let mut s2 = StageStats::default();
+        prepare_staged(&store, key, &m, Scheme::Rbed, &cfg, &opts, &mut s2).unwrap();
+        assert_eq!(
+            s2.hit, 3,
+            "RBED compiles to NOED's exact schedule and must hit every stage"
+        );
+        let mut s3 = StageStats::default();
+        prepare_staged(&store, key, &m, Scheme::Tmred, &cfg, &opts, &mut s3).unwrap();
+        assert_eq!(s3.hit, 0, "TMRED's transform is its own artifact");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

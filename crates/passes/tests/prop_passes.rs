@@ -64,7 +64,7 @@ fn full_pipeline_preserves_semantics_for_every_scheme() {
         let m = random_module(rng.next_u64(), &opts());
         let golden = interp::run(&m, 2_000_000).unwrap();
         let cfg = MachineConfig::itanium2_like(2, 2);
-        for scheme in Scheme::ALL {
+        for scheme in Scheme::FULL {
             let prep = prepare(&m, scheme, &cfg).unwrap();
             let r = casted_sim::simulate(&prep.sp, &casted_sim::SimOptions::default());
             prop_assert_eq!(&r.stop, &golden.stop);

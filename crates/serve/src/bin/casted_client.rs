@@ -12,7 +12,7 @@
 //!   shutdown                              graceful drain-then-exit
 //!   bench    --file F | --source S        serving benchmark (spawns its own fleet)
 //!
-//! shared job options:  --scheme noed|sced|dced|casted  --issue N  --delay N
+//! shared job options:  --scheme noed|sced|dced|casted|tmred|rbed  --issue N  --delay N
 //! simulate option:     --max-cycles N
 //! inject options:      --trials N  --seed N  --engine reference|checkpointed|batched
 //!                      --stream  --every N  --cancel-after N
@@ -50,7 +50,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: casted-client --addr HOST:PORT \
          <ping|compile|simulate|inject|counters|shutdown|bench> [options]\n\
-         job options: --file F | --source S  --scheme noed|sced|dced|casted  --issue N  --delay N\n\
+         job options: --file F | --source S  --scheme noed|sced|dced|casted|tmred|rbed  --issue N  --delay N\n\
          simulate: --max-cycles N\n\
          inject: --trials N --seed N --engine reference|checkpointed|batched\n\
          \x20       --stream --every N --cancel-after N\n\
@@ -60,16 +60,11 @@ fn usage() -> ! {
 }
 
 fn parse_scheme(s: &str) -> Scheme {
-    match s {
-        "noed" => Scheme::Noed,
-        "sced" => Scheme::Sced,
-        "dced" => Scheme::Dced,
-        "casted" => Scheme::Casted,
-        other => {
-            eprintln!("casted-client: unknown scheme {other:?}");
-            usage();
-        }
-    }
+    // Registry-backed parse: case-insensitive, accepts aliases.
+    Scheme::parse(s).unwrap_or_else(|e| {
+        eprintln!("casted-client: {e}");
+        usage();
+    })
 }
 
 struct Opts {
@@ -188,9 +183,16 @@ fn parse_args() -> Opts {
     o
 }
 
-fn print_tally(trials: u64, counts: &[u64; 5]) {
+fn print_tally(trials: u64, counts: &[u64; 6]) {
     println!("trials: {trials}");
-    let labels = ["benign", "detected", "exception", "data_corrupt", "timeout"];
+    let labels = [
+        "benign",
+        "detected",
+        "exception",
+        "data_corrupt",
+        "timeout",
+        "corrected",
+    ];
     for (label, count) in labels.iter().zip(counts.iter()) {
         println!("{label}: {count}");
     }
@@ -734,12 +736,7 @@ fn run_bench(o: &Opts) -> Result<(), String> {
         .unwrap_or(1);
     let json = format!(
         "{{\n  \"bench\": \"serve_throughput\",\n  \"workload\": \"simulate {} issue {} delay {}\",\n  \"host_cpus\": {host_cpus},\n  \"conns\": {},\n  \"samples\": {},\n  \"requests_per_conn\": {},\n  \"cold_requests_per_conn\": {},\n  \"shard_keys\": {},\n  \"rows\": {{\n{}\n  }},\n  \"ratios\": {{\n{}\n  }},\n  \"staged_compile\": {{\n    \"iterations\": {},\n    \"cold_elapsed_s\": {:.4},\n    \"warm_elapsed_s\": {:.4},\n    \"cold_compiles_per_sec\": {:.0},\n    \"warm_compiles_per_sec\": {:.0},\n    \"warm_over_cold\": {:.2}\n  }}\n}}\n",
-        match o.spec.scheme {
-            Scheme::Noed => "noed",
-            Scheme::Sced => "sced",
-            Scheme::Dced => "dced",
-            Scheme::Casted => "casted",
-        },
+        o.spec.scheme.name().to_ascii_lowercase(),
         o.spec.issue,
         o.spec.delay,
         o.conns,

@@ -90,7 +90,7 @@ impl Client {
     pub fn request_stream(
         &mut self,
         req: &Request,
-        progress: &mut dyn FnMut(u64, &[u64; 5]) -> bool,
+        progress: &mut dyn FnMut(u64, &[u64; 6]) -> bool,
     ) -> io::Result<Response> {
         write_frame(&mut self.stream, &encode_request(req))?;
         let mut cancel_sent = false;

@@ -29,8 +29,10 @@ pub const MAX_FRAME: usize = 1 << 20;
 /// Wire protocol version; bumped on any format change. Version 2
 /// added the streaming-inject extension (`InjectStream`/`Cancel`
 /// requests; `Progress`/`Cancelled` frames) and structured admission
-/// replies (`Throttled`/`Expired`).
-pub const PROTOCOL_VERSION: u8 = 2;
+/// replies (`Throttled`/`Expired`). Version 3 added the recovery
+/// schemes (TMRED tag 4, RBED tag 5) and widened outcome counts to
+/// six entries for `Corrected`.
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// A client request.
 #[derive(Clone, Debug, PartialEq)]
@@ -155,7 +157,7 @@ pub enum Response {
         /// Trials completed so far.
         done: u64,
         /// Outcome counts so far, in `Outcome::ALL` order.
-        counts: [u64; 5],
+        counts: [u64; 6],
     },
     /// Streaming: terminal frame of a cancelled campaign — the partial
     /// tally after `done` trials (an exact prefix of the full run).
@@ -163,7 +165,7 @@ pub enum Response {
         /// Trials completed before the cancel took effect.
         done: u64,
         /// Outcome counts over those trials.
-        counts: [u64; 5],
+        counts: [u64; 6],
     },
 }
 
@@ -196,6 +198,8 @@ fn scheme_to_u8(s: Scheme) -> u8 {
         Scheme::Sced => 1,
         Scheme::Dced => 2,
         Scheme::Casted => 3,
+        Scheme::Tmred => 4,
+        Scheme::Rbed => 5,
     }
 }
 
@@ -205,6 +209,8 @@ fn scheme_from_u8(b: u8) -> Result<Scheme, String> {
         1 => Ok(Scheme::Sced),
         2 => Ok(Scheme::Dced),
         3 => Ok(Scheme::Casted),
+        4 => Ok(Scheme::Tmred),
+        5 => Ok(Scheme::Rbed),
         other => Err(format!("unknown scheme tag {other}")),
     }
 }
@@ -507,7 +513,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
         }
         4 => {
             let trials = r.u64("trials")?;
-            let mut counts = [0u64; 5];
+            let mut counts = [0u64; 6];
             for c in counts.iter_mut() {
                 *c = r.u64("outcome count")?;
             }
@@ -528,7 +534,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
         10 => Response::Expired,
         11 => {
             let done = r.u64("done")?;
-            let mut counts = [0u64; 5];
+            let mut counts = [0u64; 6];
             for c in counts.iter_mut() {
                 *c = r.u64("outcome count")?;
             }
@@ -536,7 +542,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
         }
         12 => {
             let done = r.u64("done")?;
-            let mut counts = [0u64; 5];
+            let mut counts = [0u64; 6];
             for c in counts.iter_mut() {
                 *c = r.u64("outcome count")?;
             }
@@ -630,7 +636,7 @@ mod tests {
             }),
             Response::Injected(InjectReply {
                 trials: 300,
-                counts: [100, 150, 20, 25, 5],
+                counts: [100, 150, 20, 25, 5, 30],
                 golden_cycles: 4000,
                 golden_dyn: 3000,
             }),
@@ -642,11 +648,11 @@ mod tests {
             Response::Expired,
             Response::Progress {
                 done: 250,
-                counts: [100, 100, 25, 20, 5],
+                counts: [100, 100, 25, 20, 5, 15],
             },
             Response::Cancelled {
                 done: 500,
-                counts: [200, 200, 50, 40, 10],
+                counts: [200, 200, 50, 40, 10, 30],
             },
         ];
         for resp in resps {
@@ -657,13 +663,13 @@ mod tests {
 
     #[test]
     fn progress_frames_are_the_only_non_terminal_replies() {
-        assert!(!Response::Progress { done: 1, counts: [1, 0, 0, 0, 0] }.terminal());
+        assert!(!Response::Progress { done: 1, counts: [1, 0, 0, 0, 0, 0] }.terminal());
         for r in [
             Response::Pong,
             Response::Busy,
             Response::Expired,
             Response::Throttled { retry_after_ms: 1 },
-            Response::Cancelled { done: 1, counts: [1, 0, 0, 0, 0] },
+            Response::Cancelled { done: 1, counts: [1, 0, 0, 0, 0, 0] },
             Response::ShuttingDown,
             Response::Err("x".into()),
         ] {

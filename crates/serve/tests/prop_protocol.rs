@@ -63,8 +63,9 @@ fn gen_request(rng: &mut Rng) -> Request {
     }
 }
 
-fn gen_counts(rng: &mut Rng) -> [u64; 5] {
+fn gen_counts(rng: &mut Rng) -> [u64; 6] {
     [
+        rng.next_u64(),
         rng.next_u64(),
         rng.next_u64(),
         rng.next_u64(),
@@ -184,11 +185,11 @@ fn truncation_at_every_cut_is_rejected() {
     let payloads = [
         encode_response(&Response::Progress {
             done: 12_345,
-            counts: [1, 2, 3, u64::MAX, 5],
+            counts: [1, 2, 3, u64::MAX, 5, 9],
         }),
         encode_response(&Response::Cancelled {
             done: 700,
-            counts: [100, 200, 300, 50, 50],
+            counts: [100, 200, 300, 50, 50, 25],
         }),
         encode_request(&Request::InjectStream {
             spec: JobSpec {

@@ -316,6 +316,17 @@ pub struct BatchState<'a> {
     /// The shared structural machine, replaying the golden run.
     leader: MachineState,
     max_cycles: u64,
+    /// The campaign runs under an RBED digest plan. The digest absorbs
+    /// every retired computed value (loads, pure results, stored
+    /// values, emitted values), so a lane computing *any* value that
+    /// differs from the leader's would diverge its digest from the
+    /// golden digests — a condition the verdict vocabulary cannot
+    /// carry (the real run may Detect at a later chunk boundary even
+    /// after the value state re-converges). Such lanes retire
+    /// [`LaneVerdict::Diverged`] and are replayed exactly; lanes whose
+    /// computed values all equal the leader's have the golden digest
+    /// by construction and every other verdict stays sound.
+    rbed: bool,
     // ---- per-lane arrays (SoA), in ascending-injection-site order ----
     inj: Vec<Injection>,
     /// Caller-side lane index (verdicts are reported in caller order).
@@ -403,6 +414,7 @@ impl<'a> BatchState<'a> {
             sp,
             leader,
             max_cycles,
+            rbed: trace.rbed_active(),
             inj,
             orig: order,
             status: vec![LaneStatus::Virtual; n],
@@ -857,6 +869,12 @@ impl<'a> BatchState<'a> {
                                         Some(&bits) => Val::F(f64::from_bits(bits as u64)),
                                         None => lv,
                                     };
+                                    if self.rbed && !val_bits_eq(v, lv) {
+                                        // A differing retired value
+                                        // diverges the lane's digest.
+                                        self.retire(lane, LaneVerdict::Diverged);
+                                        continue;
+                                    }
                                     self.set_lane_def(lane, d, v, lv);
                                 }
                                 Opcode::Store | Opcode::FStore => {
@@ -908,6 +926,10 @@ impl<'a> BatchState<'a> {
                                     Some(&bits) => Val::F(f64::from_bits(bits as u64)),
                                     None => lv,
                                 };
+                                if self.rbed && !val_bits_eq(v, lv) {
+                                    self.retire(lane, LaneVerdict::Diverged);
+                                    continue;
+                                }
                                 self.set_lane_def(lane, d, v, lv);
                             }
                             Opcode::Store | Opcode::FStore => {
@@ -930,6 +952,10 @@ impl<'a> BatchState<'a> {
                                 };
                                 if lane_bits == leader_bits {
                                     self.mem_over[lane].remove(&addr);
+                                } else if self.rbed {
+                                    // The digest absorbs stored values.
+                                    self.retire(lane, LaneVerdict::Diverged);
+                                    continue;
                                 } else {
                                     if self.mem_over[lane].is_empty() {
                                         self.lanes_with_mem.push(lane as u32);
@@ -940,12 +966,24 @@ impl<'a> BatchState<'a> {
                             Opcode::Out => {
                                 let v = OutVal::Int(vals[0].as_i());
                                 if !v.bit_eq(&leader_out.expect("leader emitted too")) {
+                                    if self.rbed {
+                                        // The digest absorbs emitted
+                                        // values: the real run may
+                                        // Detect at the next boundary,
+                                        // not silently corrupt.
+                                        self.retire(lane, LaneVerdict::Diverged);
+                                        continue;
+                                    }
                                     self.stream_differs[lane] = true;
                                 }
                             }
                             Opcode::FOut => {
                                 let v = OutVal::Float(vals[0].as_f());
                                 if !v.bit_eq(&leader_out.expect("leader emitted too")) {
+                                    if self.rbed {
+                                        self.retire(lane, LaneVerdict::Diverged);
+                                        continue;
+                                    }
                                     self.stream_differs[lane] = true;
                                 }
                             }
@@ -967,10 +1005,25 @@ impl<'a> BatchState<'a> {
                             }
                             Opcode::Halt => self.halt[lane] = Some(vals[0].as_i()),
                             Opcode::Nop => {}
+                            Opcode::Vote => {
+                                // A vote over a differing operand
+                                // corrects (or fails to correct) in a
+                                // way the verdict vocabulary cannot
+                                // carry: the classifier needs the
+                                // run's correction count to tell
+                                // Corrected from Benign. Prove
+                                // nothing; replay this trial exactly.
+                                self.retire(lane, LaneVerdict::Diverged);
+                                continue;
+                            }
                             op => match eval_pure(op, vals) {
                                 Ok(v) => {
                                     let (d, lv, _lat) =
                                         leader_def.expect("leader executed the same pure op");
+                                    if self.rbed && !val_bits_eq(v, lv) {
+                                        self.retire(lane, LaneVerdict::Diverged);
+                                        continue;
+                                    }
                                     self.set_lane_def(lane, d, v, lv);
                                 }
                                 Err(_) => {
@@ -1011,7 +1064,7 @@ impl<'a> BatchState<'a> {
                         // empty overlay holding just the flipped
                         // victim — no register-file or memory clone.
                         let orig_v = self.leader.rf.get(d);
-                        let flipped = orig_v.flip_bit(self.inj[lane].bit % d.class.bits());
+                        let flipped = self.inj[lane].flip(orig_v, d.class.bits());
                         let mut diff = RegDiff::sized(func);
                         let differs = !val_bits_eq(flipped, orig_v);
                         diff.set(d, differs);
@@ -1243,7 +1296,7 @@ mod tests {
             &SimOptions {
                 max_cycles,
                 injection: Some(inj),
-                trace_limit: 0,
+                ..SimOptions::default()
             },
         );
         match r.stop {
@@ -1282,11 +1335,7 @@ mod tests {
         let max_cycles = trace.result.stats.cycles * 10;
         let dyn_insns = trace.result.stats.dyn_insns;
         let injections: Vec<Injection> = (0..24u64)
-            .map(|k| Injection {
-                at_dyn_insn: 1 + (k * 13) % dyn_insns,
-                bit: (k * 7 % 64) as u32,
-                target: None,
-            })
+            .map(|k| Injection::single(1 + (k * 13) % dyn_insns, (k * 7 % 64) as u32, None))
             .collect();
         let (verdicts, stats) = run_batch_auto(&sp, &trace, &injections, max_cycles);
         assert_eq!(verdicts.len(), injections.len());
@@ -1316,11 +1365,7 @@ mod tests {
         // Sites past the end never land: lanes stay virtual for the
         // whole batch and retire exactly like the golden run.
         let injections: Vec<Injection> = (0..8)
-            .map(|k| Injection {
-                at_dyn_insn: trace.result.stats.dyn_insns + 1 + k,
-                bit: 5,
-                target: None,
-            })
+            .map(|k| Injection::single(trace.result.stats.dyn_insns + 1 + k, 5, None))
             .collect();
         let (verdicts, stats) =
             run_batch_auto(&sp, &trace, &injections, trace.result.stats.cycles * 10);
@@ -1359,11 +1404,7 @@ mod tests {
         let trace = golden_with_checkpoints(&sp);
         let max_cycles = trace.result.stats.cycles * 10;
         let injections: Vec<Injection> = (0..8u64)
-            .map(|k| Injection {
-                at_dyn_insn: 4 + k * 11,
-                bit: 3,
-                target: Some(junk),
-            })
+            .map(|k| Injection::single(4 + k * 11, 3, Some(junk)))
             .collect();
         let (verdicts, stats) = run_batch_auto(&sp, &trace, &injections, max_cycles);
         assert!(
@@ -1386,7 +1427,7 @@ mod tests {
         let m = looping_module(10);
         let sp = sequential(&m, MachineConfig::perfect_memory(1, 1));
         let trace = golden_with_checkpoints(&sp);
-        let inj = Injection { at_dyn_insn: 3, bit: 2, target: None };
+        let inj = Injection::single(3, 2, None);
         // An out-of-range checkpoint index must not panic — the batch
         // starts from the power-on state instead.
         let (verdicts, _stats) =

@@ -232,6 +232,17 @@ pub(crate) fn fingerprint(st: &MachineState, live: &LiveMask) -> u64 {
     h.write_u64_round(st.cycle);
     h.write_u64_round(st.block.index() as u64);
     h.write_u64_round(st.stats.dyn_insns);
+    // Corrections performed so far (TMRED): a trial whose vote masked
+    // a strike must not prune to Benign — it is Corrected, a distinct
+    // outcome — so the counter is part of observable state.
+    h.write_u64_round(st.stats.corrections);
+    // RBED accumulator: register/memory reconvergence does not imply
+    // digest reconvergence (the divergent values were already
+    // absorbed), so a pruned trial must have the golden digest too.
+    if let Some(rb) = st.rbed.as_deref() {
+        h.write_u64_round(rb.acc.finish());
+        h.write_u64_round(rb.next as u64);
+    }
 
     // Live registers: value plus scoreboard entry, in class/index
     // order so the digest is canonical.
@@ -312,6 +323,10 @@ pub struct GoldenTrace {
     checkpoints: Vec<MachineState>,
     fingerprints: HashMap<u64, u64>,
     live: Vec<LiveMask>,
+    /// RBED digest plan the golden run was instrumented with (`None`
+    /// for every other scheme). Replays run under the same plan so
+    /// restored accumulators keep advancing.
+    rbed: Option<std::sync::Arc<crate::rbed::RbedPlan>>,
 }
 
 impl GoldenTrace {
@@ -346,6 +361,16 @@ impl GoldenTrace {
     pub(crate) fn checkpoint(&self, idx: usize) -> Option<&MachineState> {
         self.checkpoints.get(idx)
     }
+
+    /// Whether this golden run was instrumented with an RBED digest
+    /// plan. The batch engine needs only the flag: a lane whose
+    /// computed values all equal the leader's carries the golden
+    /// digest by construction, and any lane computing a differing
+    /// value is handed back to the exact replay path (see
+    /// `batch.rs`), so the batch never evaluates digests itself.
+    pub(crate) fn rbed_active(&self) -> bool {
+        self.rbed.is_some()
+    }
 }
 
 /// Run the golden (fault-free) simulation, capturing checkpoints and
@@ -358,10 +383,25 @@ impl GoldenTrace {
 /// second pass costs one extra golden run per campaign — noise next
 /// to the hundreds of trials it accelerates.
 pub fn golden_with_checkpoints(sp: &ScheduledProgram) -> GoldenTrace {
+    golden_with_checkpoints_rbed(sp, None)
+}
+
+/// [`golden_with_checkpoints`] with an optional RBED digest plan: the
+/// instrumented pass runs with the accumulator installed, so every
+/// snapshot and fingerprint carries the mid-run digest state a replay
+/// needs to resume checking from.
+pub fn golden_with_checkpoints_rbed(
+    sp: &ScheduledProgram,
+    rbed: Option<std::sync::Arc<crate::rbed::RbedPlan>>,
+) -> GoldenTrace {
     let result = crate::machine::simulate(sp, &SimOptions::default());
     let plan = CheckpointPlan::for_golden(result.stats.dyn_insns);
     let live = live_in_masks(sp);
 
+    let instrumented_opts = SimOptions {
+        rbed: rbed.clone(),
+        ..SimOptions::default()
+    };
     let mut checkpoints = vec![MachineState::fresh(sp)];
     let mut fingerprints: HashMap<u64, u64> = HashMap::new();
     let mut next_ckpt = plan.interval;
@@ -369,7 +409,7 @@ pub fn golden_with_checkpoints(sp: &ScheduledProgram) -> GoldenTrace {
     let mut st = checkpoints[0].clone();
     let replayed = run_machine(
         sp,
-        &SimOptions::default(),
+        &instrumented_opts,
         &mut st,
         false,
         &mut |st: &MachineState| {
@@ -398,6 +438,7 @@ pub fn golden_with_checkpoints(sp: &ScheduledProgram) -> GoldenTrace {
         checkpoints,
         fingerprints,
         live,
+        rbed,
     }
 }
 
@@ -449,7 +490,8 @@ pub fn replay_trial(
     let opts = SimOptions {
         max_cycles,
         injection: Some(inj),
-        trace_limit: 0,
+        rbed: trace.rbed.clone(),
+        ..SimOptions::default()
     };
     let mut attempts = 0u32;
     let finished = run_machine(sp, &opts, &mut st, false, &mut |st: &MachineState| {
@@ -518,7 +560,8 @@ pub fn replay_trial_observed(
     let opts = SimOptions {
         max_cycles,
         injection: Some(inj),
-        trace_limit: 0,
+        rbed: trace.rbed.clone(),
+        ..SimOptions::default()
     };
     let mut attempts = 0u32;
     let mut visited: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
@@ -671,17 +714,13 @@ mod tests {
         // bit-identical to from-scratch faulty runs unless pruned.
         for k in 0..40u64 {
             let at = 1 + (k * 7) % t.result.stats.dyn_insns;
-            let inj = Injection {
-                at_dyn_insn: at,
-                bit: (k % 64) as u32,
-                target: None,
-            };
+            let inj = Injection::single(at, (k % 64) as u32, None);
             let scratch = crate::machine::simulate_quiet(
                 &sp,
                 &SimOptions {
                     max_cycles,
                     injection: Some(inj),
-                    trace_limit: 0,
+                    ..SimOptions::default()
                 },
             );
             match replay_trial(&sp, &t, inj, max_cycles) {
@@ -717,11 +756,7 @@ mod tests {
         let m = looping_module(120);
         let sp = sequential(&m, MachineConfig::perfect_memory(1, 1));
         let t = golden_with_checkpoints(&sp);
-        let inj = Injection {
-            at_dyn_insn: u64::MAX,
-            bit: 3,
-            target: None,
-        };
+        let inj = Injection::single(u64::MAX, 3, None);
         let (run, st) = replay_trial(&sp, &t, inj, t.result.stats.cycles * 10);
         // The injection never lands; the replay starts at the deepest
         // snapshot and finishes exactly like the golden run.
@@ -758,11 +793,7 @@ mod tests {
         assert_eq!(t.result.stats.dyn_insns, 0);
         assert_eq!(t.checkpoints_taken(), 1, "power-on snapshot only");
         assert_eq!(t.restore_index(u64::MAX), 0);
-        let inj = Injection {
-            at_dyn_insn: u64::MAX,
-            bit: 7,
-            target: None,
-        };
+        let inj = Injection::single(u64::MAX, 7, None);
         match replay_trial(&sp, &t, inj, 1000) {
             (TrialRun::Finished(r), st) => {
                 assert_eq!(r.stop, t.result.stop);
@@ -787,11 +818,7 @@ mod tests {
         let t = golden_with_checkpoints(&sp);
         assert_eq!(t.result.stats.dyn_insns, 1);
         for bit in [0u32, 17, 63] {
-            let inj = Injection {
-                at_dyn_insn: 1,
-                bit,
-                target: None,
-            };
+            let inj = Injection::single(1, bit, None);
             match replay_trial(&sp, &t, inj, 1000) {
                 (TrialRun::Finished(r), _) => {
                     assert_eq!(r.stop, t.result.stop);
@@ -814,11 +841,7 @@ mod tests {
         let max_cycles = t.result.stats.cycles * 10;
         let mut pruned = 0;
         for at in (1..t.result.stats.dyn_insns).step_by(11) {
-            let inj = Injection {
-                at_dyn_insn: at,
-                bit: 1,
-                target: None,
-            };
+            let inj = Injection::single(at, 1, None);
             if let (TrialRun::Converged, st) = replay_trial(&sp, &t, inj, max_cycles) {
                 assert!(st.pruned);
                 pruned += 1;

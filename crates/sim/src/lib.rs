@@ -32,6 +32,7 @@ pub mod batch;
 pub mod cache;
 pub mod checkpoint;
 pub mod machine;
+pub mod rbed;
 pub mod section;
 pub mod stats;
 
@@ -40,12 +41,13 @@ pub use batch::{
 };
 pub use cache::{CacheHierarchy, CacheStats};
 pub use checkpoint::{
-    golden_with_checkpoints, replay_trial, replay_trial_observed, CheckpointPlan, GoldenTrace,
-    ReplayStats, TrialRun,
+    golden_with_checkpoints, golden_with_checkpoints_rbed, replay_trial, replay_trial_observed,
+    CheckpointPlan, GoldenTrace, ReplayStats, TrialRun,
 };
 pub use machine::{
     simulate, simulate_quiet, Injection, MachineState, SimOptions, SimResult, TraceEntry,
 };
+pub use rbed::{rbed_plan, RbedPlan};
 pub use section::{
     block_validation_hashes, capture_sections, run_section_trial, Section, SectionCapture,
     SectionTrial, MAX_SECTIONS, MIN_SECTION_SPAN,

@@ -8,7 +8,7 @@ use casted_ir::{Opcode, Operand, Reg, RegClass};
 use crate::cache::CacheHierarchy;
 use crate::stats::SimStats;
 
-/// A single-bit transient fault to inject (paper §IV-C): at the
+/// A transient fault to inject (paper §IV-C): at the
 /// `at_dyn_insn`-th dynamic instruction (1-based), flip bit `bit` of
 /// its output register right after writeback. If that instruction has
 /// no output register, the injection slides to the next instruction
@@ -18,6 +18,14 @@ use crate::stats::SimStats;
 /// register at the same point in time, whether or not the instruction
 /// wrote it — a register-file strike rather than a functional-unit
 /// output strike (the `fault_models` extension experiment).
+///
+/// With `width > 1` the strike is a **multi-bit burst** (the
+/// `--fault-model burst2|burst4` extension): `width` adjacent bits
+/// are flipped, positioned so the drawn `bit` sits `phase` bits from
+/// the window's top, wrapping mod 64. `width == 1` (the
+/// [`Injection::single`] constructor) is byte-for-byte the paper's
+/// single-bit model. Predicate registers have one bit, so any burst
+/// degenerates to the single flip there.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Injection {
     /// 1-based dynamic instruction index to strike.
@@ -26,6 +34,43 @@ pub struct Injection {
     pub bit: u32,
     /// Optional register-file target (None = the paper's output model).
     pub target: Option<Reg>,
+    /// Burst width in bits (1 = the paper's single-bit model).
+    pub width: u8,
+    /// Offset of `bit` inside the burst window (0 for single).
+    pub phase: u8,
+}
+
+impl Injection {
+    /// The paper's single-bit strike.
+    pub fn single(at_dyn_insn: u64, bit: u32, target: Option<Reg>) -> Self {
+        Injection {
+            at_dyn_insn,
+            bit,
+            target,
+            width: 1,
+            phase: 0,
+        }
+    }
+
+    /// Apply this strike to a register value of `class_bits` width.
+    /// For `width == 1` this is exactly the historical
+    /// `flip_bit(bit % class_bits)`; a burst flips `width` adjacent
+    /// bit positions `(bit - phase + k) mod 64` for `k < width`
+    /// (distinct since `width <= 4`), each masked by the register
+    /// width — one flip for predicates.
+    #[inline]
+    pub fn flip(&self, v: Val, class_bits: u32) -> Val {
+        let w = (self.width as u32).max(1);
+        if w == 1 || class_bits <= 1 {
+            return v.flip_bit(self.bit % class_bits.max(1));
+        }
+        let mut out = v;
+        for k in 0..w {
+            let b = (self.bit + 64 - self.phase as u32 + k) % 64;
+            out = out.flip_bit(b % class_bits);
+        }
+        out
+    }
 }
 
 /// Simulation options.
@@ -39,6 +84,12 @@ pub struct SimOptions {
     /// (0 = tracing off). Used by `castedc trace` and by debugging
     /// tests; tracing does not perturb timing.
     pub trace_limit: usize,
+    /// Replay-based detection plan (the RBED scheme): accumulate a
+    /// digest of retired results and compare it against the golden
+    /// digests at each chunk boundary (`None` = off, all other
+    /// schemes). Installed into a fresh [`MachineState`]; a restored
+    /// checkpoint keeps the accumulator it was snapshotted with.
+    pub rbed: Option<std::sync::Arc<crate::rbed::RbedPlan>>,
 }
 
 impl Default for SimOptions {
@@ -47,6 +98,7 @@ impl Default for SimOptions {
             max_cycles: u64::MAX,
             injection: None,
             trace_limit: 0,
+            rbed: None,
         }
     }
 }
@@ -181,6 +233,10 @@ pub struct MachineState {
     /// take effect at the end of the block).
     pub(crate) halt: Option<i64>,
     pub(crate) injected: bool,
+    /// RBED chunk-digest accumulator (None for every other scheme).
+    /// Boxed: it only exists for RBED campaigns, and the common-case
+    /// state must stay cheap to clone.
+    pub(crate) rbed: Option<Box<crate::rbed::RbedState>>,
 }
 
 impl MachineState {
@@ -204,6 +260,7 @@ impl MachineState {
             next_block: None,
             halt: None,
             injected: false,
+            rbed: None,
         }
     }
 
@@ -220,6 +277,16 @@ impl MachineState {
     /// Values emitted so far.
     pub fn stream_len(&self) -> usize {
         self.stream.len()
+    }
+}
+
+/// Canonical 64-bit image of a retired value for digest purposes.
+#[inline]
+fn val_word(v: Val) -> u64 {
+    match v {
+        Val::I(x) => x as u64,
+        Val::F(x) => x.to_bits(),
+        Val::B(x) => x as u64,
     }
 }
 
@@ -260,6 +327,15 @@ pub(crate) fn run_machine(
     let delay = config.inter_cluster_delay as u64;
     let lat = &config.latency;
     let inj = opts.injection;
+
+    // Install the RBED digest accumulator on a fresh state; a state
+    // restored from a checkpoint keeps the accumulator it was
+    // snapshotted with (mid-run digests are part of machine state).
+    if st.rbed.is_none() {
+        if let Some(plan) = &opts.rbed {
+            st.rbed = Some(Box::new(crate::rbed::RbedState::new(plan.clone())));
+        }
+    }
 
     // Reusable per-bundle operand buffers (the simulator's hottest
     // allocation site otherwise).
@@ -357,6 +433,12 @@ pub(crate) fn run_machine(
                     });
                 }
 
+                // Retired result absorbed by the RBED digest (the
+                // *computed* value — deliberately sampled before the
+                // injector's post-writeback flip, so dead strikes
+                // never poison the digest).
+                let mut retired_val: Option<Val> = None;
+
                 // Completion helper: set value + scoreboard.
                 let write_def = |rf: &mut RegFile,
                                  ready: &mut Ready,
@@ -397,6 +479,7 @@ pub(crate) fn run_machine(
                                     }
                                     st.mshr.push(issue + l as u64);
                                 }
+                                retired_val = Some(v);
                                 write_def(&mut st.rf, &mut st.ready, insn.defs[0], v, l);
                             }
                             Err(e) => finish!(StopReason::Exception(e), issue + 1),
@@ -412,12 +495,19 @@ pub(crate) fn run_machine(
                         match res {
                             Ok(()) => {
                                 st.cache.access(addr as u64);
+                                retired_val = Some(vals[1]);
                             }
                             Err(e) => finish!(StopReason::Exception(e), issue + 1),
                         }
                     }
-                    Opcode::Out => st.stream.push(OutVal::Int(vals[0].as_i())),
-                    Opcode::FOut => st.stream.push(OutVal::Float(vals[0].as_f())),
+                    Opcode::Out => {
+                        retired_val = Some(vals[0]);
+                        st.stream.push(OutVal::Int(vals[0].as_i()));
+                    }
+                    Opcode::FOut => {
+                        retired_val = Some(vals[0]);
+                        st.stream.push(OutVal::Float(vals[0].as_f()));
+                    }
                     Opcode::Br => st.next_block = insn.target,
                     Opcode::BrCond => {
                         st.next_block = if vals[0].as_b() {
@@ -442,12 +532,63 @@ pub(crate) fn run_machine(
                     }
                     Opcode::Halt => st.halt = Some(vals[0].as_i()),
                     Opcode::Nop => {}
+                    Opcode::Vote => match eval_pure(insn.op, vals) {
+                        Ok(v) => {
+                            // The copies disagree iff the vote masked a
+                            // corrupted lane — count the correction so
+                            // fault classification can distinguish
+                            // Corrected from Benign.
+                            let eq01 = casted_ir::semantics::eval_cmp_vals(
+                                casted_ir::CmpKind::Eq,
+                                vals[0],
+                                vals[1],
+                            );
+                            let eq02 = casted_ir::semantics::eval_cmp_vals(
+                                casted_ir::CmpKind::Eq,
+                                vals[0],
+                                vals[2],
+                            );
+                            if !(eq01 && eq02) {
+                                st.stats.corrections += 1;
+                            }
+                            retired_val = Some(v);
+                            write_def(
+                                &mut st.rf,
+                                &mut st.ready,
+                                insn.defs[0],
+                                v,
+                                insn.op.latency(lat),
+                            )
+                        }
+                        Err(e) => finish!(StopReason::Exception(e), issue + 1),
+                    },
                     op => match eval_pure(op, &vals) {
                         Ok(v) => {
+                            retired_val = Some(v);
                             write_def(&mut st.rf, &mut st.ready, insn.defs[0], v, op.latency(lat))
                         }
                         Err(e) => finish!(StopReason::Exception(e), issue + 1),
                     },
+                }
+
+                // ---- RBED digest accumulation + boundary check ----
+                if let Some(rb) = st.rbed.as_deref_mut() {
+                    if let Some(v) = retired_val {
+                        rb.acc.write_u64_round(val_word(v));
+                    }
+                    if rb.next < rb.plan.bounds.len()
+                        && st.stats.dyn_insns == rb.plan.bounds[rb.next]
+                    {
+                        let d = rb.acc.finish();
+                        if rb.plan.is_check() {
+                            if d != rb.plan.digests[rb.next] {
+                                detect_fired = true;
+                            }
+                        } else {
+                            rb.recorded.push(d);
+                        }
+                        rb.next += 1;
+                    }
                 }
 
                 // ---- fault injection after writeback ----
@@ -458,7 +599,7 @@ pub(crate) fn run_machine(
                             None => insn.def(),
                         };
                         if let Some(d) = victim {
-                            let flipped = st.rf.get(d).flip_bit(inj.bit % d.class.bits());
+                            let flipped = inj.flip(st.rf.get(d), d.class.bits());
                             st.rf.set(d, flipped);
                             st.injected = true;
                         }
@@ -474,6 +615,15 @@ pub(crate) fn run_machine(
         }
 
         if let Some(code) = st.halt {
+            // RBED truncation detection: a halt with boundaries still
+            // unconsumed means the run retired fewer instructions than
+            // the golden run — report it instead of trusting the
+            // (truncated) output.
+            if let Some(rb) = st.rbed.as_deref() {
+                if rb.plan.is_check() && rb.next < rb.plan.bounds.len() {
+                    finish!(StopReason::Detected, st.cycle);
+                }
+            }
             finish!(StopReason::Halt(code), st.cycle);
         }
         match st.next_block {
@@ -635,7 +785,7 @@ mod tests {
             &SimOptions {
                 max_cycles: 1000,
                 injection: None,
-                trace_limit: 0,
+                ..SimOptions::default()
             },
         );
         assert_eq!(r.stop, StopReason::Timeout);
@@ -652,12 +802,8 @@ mod tests {
             &sp,
             &SimOptions {
                 max_cycles: 1_000_000,
-                injection: Some(Injection {
-                    at_dyn_insn: golden.stats.dyn_insns / 2,
-                    bit: 62,
-                    target: None,
-                }),
-                trace_limit: 0,
+                injection: Some(Injection::single(golden.stats.dyn_insns / 2, 62, None)),
+                ..SimOptions::default()
             },
         );
         assert!(r.injected);
@@ -692,12 +838,8 @@ mod tests {
             &sp,
             &SimOptions {
                 max_cycles: 10_000,
-                injection: Some(Injection {
-                    at_dyn_insn: 1,
-                    bit: 0,
-                    target: None,
-                }),
-                trace_limit: 0,
+                injection: Some(Injection::single(1, 0, None)),
+                ..SimOptions::default()
             },
         );
         assert!(r.injected);

@@ -225,7 +225,7 @@ pub fn run_section_trial(
     let opts = SimOptions {
         max_cycles,
         injection: Some(inj),
-        trace_limit: 0,
+        ..SimOptions::default()
     };
     let mut attempts = 0u32;
     let mut converged = false;
@@ -321,6 +321,13 @@ fn full_state_digest(sp: &ScheduledProgram, st: &MachineState) -> u64 {
     h.write_u64_round(st.block.index() as u64);
     h.write_u64_round(st.bundle_idx as u64);
     h.write_u64_round(st.stats.dyn_insns);
+    // Scheme-observable extras: TMRED's correction count and RBED's
+    // running digest are both part of what a resumed run can expose.
+    h.write_u64_round(st.stats.corrections);
+    if let Some(rb) = st.rbed.as_deref() {
+        h.write_u64_round(rb.acc.finish());
+        h.write_u64_round(rb.next as u64);
+    }
 
     for (class, tag) in [(RegClass::Gp, 1u64), (RegClass::Fp, 2), (RegClass::Pr, 3)] {
         h.write_u64_round(tag);
@@ -474,17 +481,13 @@ mod tests {
         let max_cycles = t.result.stats.cycles * 10;
         for k in 0..60u64 {
             let at = 1 + (k * 5) % golden_dyn;
-            let inj = Injection {
-                at_dyn_insn: at,
-                bit: (k % 64) as u32,
-                target: None,
-            };
+            let inj = Injection::single(at, (k % 64) as u32, None);
             let scratch = crate::machine::simulate_quiet(
                 &sp,
                 &SimOptions {
                     max_cycles,
                     injection: Some(inj),
-                    trace_limit: 0,
+                    ..SimOptions::default()
                 },
             );
             let (verdict, visited) = run_section_trial(&sp, &cap, cap.section_of(at), inj, max_cycles);

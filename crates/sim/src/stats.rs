@@ -20,6 +20,10 @@ pub struct SimStats {
     pub cross_reads: u64,
     /// Dynamic instruction counts per cluster (resource balance).
     pub per_cluster: Vec<u64>,
+    /// Majority-vote corrections performed (TMRED scheme): `vote`
+    /// instructions whose three copies were not bit-identical. Zero
+    /// on any fault-free run; nonzero means a strike was masked.
+    pub corrections: u64,
     /// Cache behaviour.
     pub cache: CacheStats,
 }

@@ -166,11 +166,7 @@ fn batch_matches_independent_replays_at_checkpoint_boundaries() {
             }
             let injections: Vec<Injection> = sites
                 .iter()
-                .map(|&at| Injection {
-                    at_dyn_insn: at,
-                    bit: rng.gen_range(0..64u32),
-                    target: None,
-                })
+                .map(|&at| Injection::single(at, rng.gen_range(0..64u32), None))
                 .collect();
 
             let (verdicts, stats) = run_batch_auto(&sp, &trace, &injections, max_cycles);
@@ -210,11 +206,7 @@ fn explicit_checkpoint_grouping_matches_auto_restore() {
         // run each group from its own checkpoint: verdict classes must
         // match the whole-list auto batch, lane for lane.
         let injections: Vec<Injection> = (0..12)
-            .map(|_| Injection {
-                at_dyn_insn: rng.gen_range(1..=dyn_insns),
-                bit: rng.gen_range(0..64u32),
-                target: None,
-            })
+            .map(|_| Injection::single(rng.gen_range(1..=dyn_insns), rng.gen_range(0..64u32), None))
             .collect();
         let (auto, _) = run_batch_auto(&sp, &trace, &injections, max_cycles);
 

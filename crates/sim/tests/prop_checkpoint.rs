@@ -95,17 +95,13 @@ fn replay_is_bit_identical_to_scratch_run() {
         for _ in 0..6 {
             let at = rng.gen_range(1..=golden.stats.dyn_insns);
             let bit = rng.gen_range(0..64u32);
-            let inj = Injection {
-                at_dyn_insn: at,
-                bit,
-                target: None,
-            };
+            let inj = Injection::single(at, bit, None);
             let scratch = simulate_quiet(
                 &sp,
                 &SimOptions {
                     max_cycles,
                     injection: Some(inj),
-                    trace_limit: 0,
+                    ..SimOptions::default()
                 },
             );
             match replay_trial(&sp, &trace, inj, max_cycles) {
@@ -155,11 +151,7 @@ fn resume_from_any_checkpoint_reproduces_golden_run() {
         // An injection past the end of the run never lands, so the
         // replay exercises pure snapshot → restore → resume from the
         // deepest checkpoint; the result must equal the golden run.
-        let inj = Injection {
-            at_dyn_insn: golden.stats.dyn_insns + 1,
-            bit: rng.gen_range(0..64u32),
-            target: None,
-        };
+        let inj = Injection::single(golden.stats.dyn_insns + 1, rng.gen_range(0..64u32), None);
         match replay_trial(&sp, &trace, inj, golden.stats.cycles.saturating_mul(10)) {
             (TrialRun::Finished(r), _) => {
                 prop_assert!(

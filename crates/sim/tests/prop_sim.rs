@@ -111,8 +111,8 @@ fn injected_run_always_classifiable() {
         let at = (golden.stats.dyn_insns * at_frac / 100).max(1);
         let r = simulate(&sp, &SimOptions {
             max_cycles: golden.stats.cycles * 10 + 1000,
-            injection: Some(casted_sim::Injection { at_dyn_insn: at, bit, target: None }),
-            trace_limit: 0,
+            injection: Some(casted_sim::Injection::single(at, bit, None)),
+            ..SimOptions::default()
         });
         // Whatever happens, the run must terminate with one of the
         // five outcomes — never hang or panic.

@@ -368,6 +368,64 @@ impl ArtifactStore {
         }
         Ok(())
     }
+
+    /// Delete every artifact written under a *different* envelope
+    /// format version, reclaiming disk a version bump stranded: old
+    /// envelopes would never hit again (the version check makes every
+    /// load a miss) yet still count against the byte budget and crowd
+    /// out live entries. Returns the number of files deleted.
+    ///
+    /// Only files whose checksum verifies and whose version field
+    /// differs from [`STORE_FORMAT_VERSION`] are removed: a damaged
+    /// file is indistinguishable from a half-written one and is left
+    /// for the healing path (a fresh save overwrites it in place).
+    /// Temp files and live-version artifacts are never touched.
+    pub fn gc_stale_versions(&self) -> io::Result<usize> {
+        let mut dropped: Vec<String> = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with(".tmp-") || !entry.file_type()?.is_file() {
+                continue;
+            }
+            let Ok(bytes) = std::fs::read(entry.path()) else {
+                continue;
+            };
+            if !envelope_version_is_stale(&bytes) {
+                continue;
+            }
+            if std::fs::remove_file(entry.path()).is_ok() {
+                dropped.push(name);
+            }
+        }
+        let mut lru = self.lru.lock();
+        let removed = dropped.len();
+        for name in dropped {
+            if let Some(e) = lru.entries.remove(&name) {
+                lru.total -= e.size;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// Does `bytes` hold an intact envelope from another format
+/// generation? Damage (bad checksum, short file, unreadable varint)
+/// is *not* stale — see [`ArtifactStore::gc_stale_versions`].
+fn envelope_version_is_stale(bytes: &[u8]) -> bool {
+    if bytes.len() < 8 {
+        return false;
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+    if fnv1a(payload) != stored {
+        return false;
+    }
+    let mut pos = 0;
+    match get_uvarint(payload, &mut pos) {
+        Some(v) => v != STORE_FORMAT_VERSION,
+        None => false,
+    }
 }
 
 #[cfg(test)]
@@ -438,6 +496,47 @@ mod tests {
             store.load("ed", 0xABCD).unwrap(),
             b"stage payload with some length"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_deletes_stale_versions_and_spares_live_entries() {
+        let dir = temp_store_dir("gc");
+        let store = ArtifactStore::open(&dir).unwrap();
+        store.save("ir", 1, b"live one").unwrap();
+        store.save("sched", 2, b"live two").unwrap();
+        let live_bytes = store.resident_bytes();
+
+        // Two intact envelopes from the previous format generation.
+        for (key, kind) in [(0x10u64, "ir"), (0x11u64, "ed")] {
+            let mut old = Vec::new();
+            put_uvarint(&mut old, STORE_FORMAT_VERSION + 1);
+            put_uvarint(&mut old, key);
+            put_str(&mut old, kind);
+            put_bytes(&mut old, b"stranded payload");
+            let sum = fnv1a(&old);
+            old.extend_from_slice(&sum.to_le_bytes());
+            std::fs::write(dir.join(ArtifactStore::file_name(kind, key)), &old).unwrap();
+        }
+        // One damaged file: bad checksum, must be left for healing.
+        let damaged = dir.join(ArtifactStore::file_name("ra", 0x12));
+        std::fs::write(&damaged, b"not an envelope at all").unwrap();
+
+        // Re-open so the LRU index adopts the stranded files too.
+        let store = ArtifactStore::open(&dir).unwrap();
+        assert!(store.resident_bytes() > live_bytes);
+        assert_eq!(store.gc_stale_versions().unwrap(), 2);
+
+        // Live entries survive, still load, and the index shrank back.
+        assert_eq!(store.load("ir", 1).unwrap(), b"live one");
+        assert_eq!(store.load("sched", 2).unwrap(), b"live two");
+        assert!(store.load("ir", 0x10).is_none());
+        assert!(!dir.join(ArtifactStore::file_name("ir", 0x10)).exists());
+        assert!(!dir.join(ArtifactStore::file_name("ed", 0x11)).exists());
+        assert!(damaged.exists(), "damaged file must be left for healing");
+
+        // Second pass finds nothing more to do.
+        assert_eq!(store.gc_stale_versions().unwrap(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

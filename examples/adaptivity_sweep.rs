@@ -18,6 +18,7 @@ fn main() {
         issues: vec![1, 2, 3, 4],
         delays: vec![1, 2, 3, 4],
         schemes: Scheme::ALL.to_vec(),
+        clusters: vec![2],
     };
     eprintln!("sweeping {name} over issue 1-4 x delay 1-4 ...");
     let table = perf_sweep(&[w], &spec);

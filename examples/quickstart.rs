@@ -65,13 +65,9 @@ fn main() {
         &prep.sp,
         &SimOptions {
             max_cycles: golden.stats.cycles * 10,
-            injection: Some(Injection {
-                at_dyn_insn: golden.stats.dyn_insns / 3,
-                bit: 7,
-                target: None,
-            }),
-                trace_limit: 0,
-            },
+            injection: Some(Injection::single(golden.stats.dyn_insns / 3, 7, None)),
+            ..SimOptions::default()
+        },
     );
     println!("\ninjected a single bit flip 1/3 into the run:");
     println!("  outcome: {:?}", faulty.stop);

@@ -66,7 +66,18 @@ for engine in checkpointed batched; do
   cmp "$log_dir/eng_reference/fig9.csv" "$log_dir/eng_$engine/fig9.csv"
   cmp "$log_dir/eng_reference/common.json" "$log_dir/eng_$engine/common.json"
 done
-echo "engines byte-identical over the quick grid (coverage CSV + common counters)"
+# The quick grid must actually cover the recovery schemes and the
+# 4-cluster machine (docs/SCHEMES.md): TMRED rows must report
+# corrections (last CSV column nonzero somewhere), RBED rows must
+# report zero silent corruptions (its exactness property), and both
+# cluster counts must appear.
+grep -q ',TMRED,' "$log_dir/eng_reference/fig9.csv"
+grep -q ',RBED,'  "$log_dir/eng_reference/fig9.csv"
+awk -F, 'NR>1 && $2=="TMRED" { c+=$NF } END { exit !(c>0) }' "$log_dir/eng_reference/fig9.csv"
+awk -F, 'NR>1 && $2=="RBED" && $9!=0 { bad=1 } END { exit bad }' "$log_dir/eng_reference/fig9.csv"
+awk -F, 'NR>1 && $5==2 { two=1 } NR>1 && $5==4 { four=1 } END { exit !(two && four) }' \
+  "$log_dir/eng_reference/fig9.csv"
+echo "engines byte-identical over the quick grid, recovery schemes + 4-cluster cells included"
 
 echo "== incremental section cache cross-check (fig9 --quick --incremental, cold + warm) =="
 # The compositional section cache (docs/INCREMENTAL.md) must reproduce

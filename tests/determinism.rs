@@ -39,11 +39,13 @@ fn seeded_coverage_sweep_is_byte_reproducible() {
         issues: vec![2],
         delays: vec![2],
         schemes: vec![Scheme::Noed, Scheme::Casted],
+        clusters: vec![2],
     };
     let campaign = CampaignConfig {
         trials: 30,
         seed: 0xCA57ED,
         timeout_factor: 8,
+        ..CampaignConfig::default()
     };
     let a = coverage_sweep(&suite(), &spec, &campaign);
     let b = coverage_sweep(&suite(), &spec, &campaign);
@@ -59,6 +61,7 @@ fn coverage_sweep_depends_on_seed() {
         issues: vec![2],
         delays: vec![2],
         schemes: vec![Scheme::Noed],
+        clusters: vec![2],
     };
     let mk = |seed| {
         coverage_sweep(
@@ -68,6 +71,7 @@ fn coverage_sweep_depends_on_seed() {
                 trials: 60,
                 seed,
                 timeout_factor: 8,
+                ..CampaignConfig::default()
             },
         )
     };

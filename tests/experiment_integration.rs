@@ -17,6 +17,7 @@ fn reduced_grid_reproduces_paper_shape() {
         issues: vec![1, 2],
         delays: vec![1, 4],
         schemes: Scheme::ALL.to_vec(),
+        clusters: vec![2],
     };
     let table = perf_sweep(&small_suite(), &spec);
 
@@ -57,6 +58,7 @@ fn casted_occupancy_adapts_to_delay() {
         issues: vec![4],
         delays: vec![1, 4],
         schemes: vec![Scheme::Casted],
+        clusters: vec![2],
     };
     let table = perf_sweep(&[w], &spec);
     let low = table.get("cjpeg", Scheme::Casted, 4, 1).unwrap();
@@ -79,6 +81,7 @@ fn csv_reports_are_well_formed() {
         issues: vec![1],
         delays: vec![2],
         schemes: Scheme::ALL.to_vec(),
+        clusters: vec![2],
     };
     let ws: Vec<_> = casted_workloads::all().into_iter().take(1).collect();
     let table = perf_sweep(&ws, &spec);

@@ -15,6 +15,7 @@ fn campaign(scheme: Scheme, trials: usize) -> casted_faults::CampaignResult {
             trials,
             seed: 7,
             timeout_factor: 8,
+            ..CampaignConfig::default()
         },
     )
 }
@@ -68,6 +69,7 @@ fn engines_agree_on_real_workload_across_schemes() {
         trials: 30,
         seed: 7,
         timeout_factor: 8,
+        ..CampaignConfig::default()
     };
     for scheme in Scheme::ALL {
         let prep = casted::build(&module, scheme, &cfg).unwrap();
@@ -114,6 +116,7 @@ fn incremental_rerun_after_kernel_edit_is_exact() {
         trials: 120,
         seed: 7,
         timeout_factor: 8,
+        ..CampaignConfig::default()
     };
     let dir = std::env::temp_dir().join(format!(
         "casted-integration-sections-{}",
@@ -184,6 +187,7 @@ fn coverage_insensitive_to_configuration() {
                 trials: 60,
                 seed: 11,
                 timeout_factor: 8,
+                ..CampaignConfig::default()
             },
         );
         safes.push(r.tally.safe_fraction());

@@ -74,6 +74,7 @@ fn fault_outcome_counters_match_tally() {
             trials: 40,
             seed: 0xCA57ED,
             timeout_factor: 8,
+            ..CampaignConfig::default()
         },
     );
     obs::set_enabled(false);
@@ -86,6 +87,7 @@ fn fault_outcome_counters_match_tally() {
         (Outcome::Exception, "faults.outcome.exception"),
         (Outcome::DataCorrupt, "faults.outcome.data_corrupt"),
         (Outcome::Timeout, "faults.outcome.timeout"),
+        (Outcome::Corrected, "faults.outcome.corrected"),
     ] {
         assert_eq!(
             counter(name),
@@ -103,24 +105,24 @@ fn check_emission_counters_are_nonzero_iff_scheme_has_error_detection() {
 
     obs::reset();
     obs::set_enabled(true);
-    let preps: Vec<_> = Scheme::ALL
+    let preps: Vec<_> = Scheme::FULL
         .iter()
         .map(|&s| build(&module, s, &config).unwrap())
         .collect();
     obs::set_enabled(false);
 
     for prep in &preps {
-        let name = match prep.scheme {
-            Scheme::Noed => "passes.ed.checks.noed",
-            Scheme::Sced => "passes.ed.checks.sced",
-            Scheme::Dced => "passes.ed.checks.dced",
-            Scheme::Casted => "passes.ed.checks.casted",
-        };
+        // Counter names come from the scheme registry — the same
+        // descriptor row the pipeline read when it recorded them.
+        let name = prep.scheme.descriptor().checks_counter;
         let got = counter(name);
         match prep.ed_stats {
             None => {
-                assert_eq!(prep.scheme, Scheme::Noed);
-                assert_eq!(got, 0, "NOED must emit no checks");
+                assert!(
+                    matches!(prep.scheme, Scheme::Noed | Scheme::Rbed),
+                    "only transform-free schemes may skip ED stats"
+                );
+                assert_eq!(got, 0, "{} must emit no checks", prep.scheme);
             }
             Some(st) => {
                 assert!(got > 0, "{} ran error detection but {name} is 0", prep.scheme);
@@ -130,9 +132,14 @@ fn check_emission_counters_are_nonzero_iff_scheme_has_error_detection() {
         }
     }
     // The aggregate equals the per-scheme sum.
-    let per_scheme: u64 = ["passes.ed.checks.sced", "passes.ed.checks.dced", "passes.ed.checks.casted"]
-        .iter()
-        .map(|n| obs::global().counter(n).get())
-        .sum();
+    let per_scheme: u64 = [
+        "passes.ed.checks.sced",
+        "passes.ed.checks.dced",
+        "passes.ed.checks.casted",
+        "passes.ed.checks.tmred",
+    ]
+    .iter()
+    .map(|n| obs::global().counter(n).get())
+    .sum();
     assert_eq!(counter("passes.ed.checks"), per_scheme);
 }

@@ -44,11 +44,13 @@ fn run_quick_grid() -> String {
         issues: vec![2],
         delays: vec![2],
         schemes: vec![Scheme::Noed, Scheme::Casted],
+        clusters: vec![2],
     };
     let campaign = CampaignConfig {
         trials: 25,
         seed: 0xCA57ED,
         timeout_factor: 8,
+        ..CampaignConfig::default()
     };
     let _cov = coverage_sweep(&suite(), &cov_spec, &campaign);
     // Incremental section-cache path, cold then warm from a fresh
